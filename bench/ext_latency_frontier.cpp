@@ -1,0 +1,69 @@
+// Extension D: the anonymity-vs-latency frontier measured on the
+// discrete-event simulator — the engineering tradeoff behind the paper's
+// "overheads within tolerable limits" remark (Sec. 2). Each strategy is run
+// through the full onion pipeline; latency is measured end-to-end, anonymity
+// by the adversary's realized posterior entropy.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+#include "src/anonymity/optimizer.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace {
+
+using namespace anonpath;
+
+sim::sim_config base_config() {
+  sim::sim_config cfg;
+  cfg.sys = {100, 1};
+  cfg.compromised = {13};
+  cfg.message_count = 1500;
+  cfg.arrival_rate = 200.0;
+  cfg.seed = 2002;
+  return cfg;
+}
+
+void emit(std::ostream& os) {
+  os << "# extD: anonymity vs end-to-end latency on the simulator "
+        "(N=100, C=1, onion transport, 1500 msgs)\n";
+  os << "strategy,mean_len,latency_ms,H*_empirical,ci95\n";
+  std::vector<path_length_distribution> strategies{
+      path_length_distribution::fixed(1),
+      path_length_distribution::fixed(3),
+      path_length_distribution::fixed(5),
+      path_length_distribution::fixed(10),
+      path_length_distribution::fixed(25),
+      path_length_distribution::fixed(51),
+      path_length_distribution::uniform(0, 10),
+      path_length_distribution::geometric(0.75, 1, 99),
+      optimize_for_mean(system_params{100, 1}, 5.0, 99).distribution,
+  };
+  for (const auto& lengths : strategies) {
+    auto cfg = base_config();
+    cfg.lengths = lengths;
+    const auto r = sim::run_simulation(cfg);
+    os << lengths.label() << "," << lengths.mean() << ","
+       << r.end_to_end_latency.mean() * 1000.0 << ","
+       << r.empirical_entropy_bits << ","
+       << 1.96 * r.empirical_entropy_stderr << "\n";
+  }
+  os << "\n";
+}
+
+void BM_SimulationThroughput(benchmark::State& state) {
+  auto cfg = base_config();
+  cfg.message_count = static_cast<std::uint32_t>(state.range(0));
+  cfg.lengths = path_length_distribution::fixed(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_simulation(cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulationThroughput)->Arg(200)->Arg(1000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return anonpath::bench::figure_main(argc, argv, emit);
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Figure 3 (a) and (b): anonymity degree versus fixed path
+// length, N = 100 nodes, C = 1 compromised node. Prints both panels' series,
+// then times the analytic engine.
+//
+// Paper anchors: H*_F(1) = H*_F(2) ~ 6.4824; H*_F(4) ~ 6.502; peak 6.5384 at
+// l = 51; decreasing beyond (long-path effect).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+#include "src/anonymity/analytic.hpp"
+#include "src/anonymity/length_distribution.hpp"
+#include "src/repro/figures.hpp"
+
+namespace {
+
+constexpr anonpath::system_params sys{100, 1};
+
+void emit(std::ostream& os) {
+  anonpath::repro::print_figure(anonpath::repro::fig3a(sys), os);
+  anonpath::repro::print_figure(anonpath::repro::fig3b(sys), os);
+}
+
+void BM_AnalyticFixedLength(benchmark::State& state) {
+  const auto d = anonpath::path_length_distribution::fixed(
+      static_cast<anonpath::path_length>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anonpath::anonymity_degree(sys, d));
+  }
+}
+BENCHMARK(BM_AnalyticFixedLength)->Arg(1)->Arg(51)->Arg(99);
+
+void BM_FullFigure3Sweep(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anonpath::repro::fig3a(sys));
+  }
+}
+BENCHMARK(BM_FullFigure3Sweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return anonpath::bench::figure_main(argc, argv, emit);
+}

@@ -1,0 +1,47 @@
+// Reproduces paper Figure 4 (a)-(d): anonymity degree versus the expectation
+// of the path length at constant variance — U(A, A+L) families, N=100, C=1.
+//
+// Paper claims reproduced: (a) small A: rising, larger A wins at equal L;
+// (b) intermediate A: interior extremum; (c) A >= 51: strictly falling
+// (long-path effect); (d) U(0,L) starts terrible (direct sends) but ends
+// best at large L.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+#include "src/anonymity/analytic.hpp"
+#include "src/repro/figures.hpp"
+
+namespace {
+
+constexpr anonpath::system_params sys{100, 1};
+
+void emit(std::ostream& os) {
+  for (char panel : {'a', 'b', 'c', 'd'}) {
+    anonpath::repro::print_figure(anonpath::repro::fig4(sys, panel), os);
+  }
+}
+
+void BM_UniformDegree(benchmark::State& state) {
+  const auto d = anonpath::path_length_distribution::uniform(
+      static_cast<anonpath::path_length>(state.range(0)),
+      static_cast<anonpath::path_length>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anonpath::anonymity_degree(sys, d));
+  }
+}
+BENCHMARK(BM_UniformDegree)->Args({0, 10})->Args({4, 54})->Args({51, 99});
+
+void BM_Figure4AllPanels(benchmark::State& state) {
+  for (auto _ : state) {
+    for (char panel : {'a', 'b', 'c', 'd'})
+      benchmark::DoNotOptimize(anonpath::repro::fig4(sys, panel));
+  }
+}
+BENCHMARK(BM_Figure4AllPanels);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return anonpath::bench::figure_main(argc, argv, emit);
+}

@@ -1,0 +1,48 @@
+// Reproduces paper Figure 5 (a)-(d): anonymity degree versus the variance of
+// the path length at constant mean — F(L) against U(a, 2L-a), N=100, C=1.
+//
+// Paper claims reproduced: panels (a)-(c) (lower bound >= 3) overlay the
+// fixed-length curve *exactly* — the moment-sufficiency reduction; panel (d)
+// shows variance only matters when mass reaches lengths 0..2, where
+// variable-length strategies beat fixed (paper formula (18) / headline).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+#include "src/anonymity/analytic.hpp"
+#include "src/repro/figures.hpp"
+
+namespace {
+
+constexpr anonpath::system_params sys{100, 1};
+
+void emit(std::ostream& os) {
+  for (char panel : {'a', 'b', 'c', 'd'}) {
+    anonpath::repro::print_figure(anonpath::repro::fig5(sys, panel), os);
+  }
+}
+
+void BM_OverlayCheck(benchmark::State& state) {
+  // Times the equal-mean comparison F(25) vs U(10, 40).
+  const auto fixed = anonpath::path_length_distribution::fixed(25);
+  const auto uni = anonpath::path_length_distribution::uniform(10, 40);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anonpath::anonymity_degree(sys, fixed));
+    benchmark::DoNotOptimize(anonpath::anonymity_degree(sys, uni));
+  }
+}
+BENCHMARK(BM_OverlayCheck);
+
+void BM_Figure5AllPanels(benchmark::State& state) {
+  for (auto _ : state) {
+    for (char panel : {'a', 'b', 'c', 'd'})
+      benchmark::DoNotOptimize(anonpath::repro::fig5(sys, panel));
+  }
+}
+BENCHMARK(BM_Figure5AllPanels);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return anonpath::bench::figure_main(argc, argv, emit);
+}

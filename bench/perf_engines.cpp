@@ -1,0 +1,127 @@
+// Performance benchmarks for every engine in the library: the analytic
+// closed form, the general posterior, Monte-Carlo sampling, the optimizer,
+// the onion crypto, and the discrete-event fabric.
+
+#include <benchmark/benchmark.h>
+
+#include "src/anonymity/analytic.hpp"
+#include "src/anonymity/brute_force.hpp"
+#include "src/anonymity/monte_carlo.hpp"
+#include "src/anonymity/optimizer.hpp"
+#include "src/anonymity/path_sampler.hpp"
+#include "src/anonymity/posterior.hpp"
+#include "src/crypto/onion.hpp"
+#include "src/sim/event_queue.hpp"
+#include "src/stats/rng.hpp"
+
+namespace {
+
+using namespace anonpath;
+
+constexpr system_params sys{100, 1};
+
+void BM_AnalyticDegreeFromMoments(benchmark::State& state) {
+  const moment_signature sig{0.01, 0.05, 0.1, 12.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anonymity_degree_from_moments(sys, sig));
+  }
+}
+BENCHMARK(BM_AnalyticDegreeFromMoments);
+
+void BM_AnalyticDegreeFromPmf(benchmark::State& state) {
+  const auto d = path_length_distribution::uniform(
+      0, static_cast<path_length>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anonymity_degree(sys, d));
+  }
+}
+BENCHMARK(BM_AnalyticDegreeFromPmf)->Arg(10)->Arg(99);
+
+void BM_PosteriorSingleObservation(benchmark::State& state) {
+  const auto c = static_cast<std::uint32_t>(state.range(0));
+  std::vector<node_id> comp;
+  for (std::uint32_t i = 0; i < c; ++i) comp.push_back(i * 7 % 100);
+  const system_params s{100, c};
+  const auto d = path_length_distribution::uniform(1, 20);
+  const posterior_engine engine(s, comp, d);
+  std::vector<bool> flags(100, false);
+  for (auto x : comp) flags[x] = true;
+  stats::rng gen(5);
+  const route r = sample_route(100, d, path_model::simple, gen);
+  const auto obs = observe(r, flags);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.sender_posterior(obs));
+  }
+}
+BENCHMARK(BM_PosteriorSingleObservation)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BruteForceSmallSystem(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto d = path_length_distribution::uniform(0, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        brute_force_analyzer(system_params{n, 1}, {0}, d).anonymity_degree());
+  }
+}
+BENCHMARK(BM_BruteForceSmallSystem)->Arg(5)->Arg(7);
+
+void BM_MonteCarloThousandSamples(benchmark::State& state) {
+  const auto d = path_length_distribution::uniform(1, 10);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimate_anonymity_degree(sys, {13}, d, 1000, seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MonteCarloThousandSamples);
+
+void BM_OptimizerGridRefine(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        optimize_for_mean(sys, 10.0, 99, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_OptimizerGridRefine)->Arg(16)->Arg(48);
+
+void BM_OnionWrapPeel(benchmark::State& state) {
+  const crypto::key_registry keys(1, 100);
+  stats::rng gen(2);
+  const auto l = static_cast<path_length>(state.range(0));
+  const route r = sample_simple_route(100, 0, l, gen);
+  std::vector<std::byte> payload(256, std::byte{0x42});
+  for (auto _ : state) {
+    auto env = crypto::wrap_onion(r, payload, keys, 9);
+    for (node_id hop : r.hops) {
+      auto peeled = crypto::peel_onion(hop, env, keys, 9);
+      env = std::move(peeled.inner);
+    }
+    benchmark::DoNotOptimize(crypto::open_at_receiver(env, keys, 9));
+  }
+  state.SetItemsProcessed(state.iterations() * (l + 1));
+}
+BENCHMARK(BM_OnionWrapPeel)->Arg(3)->Arg(10)->Arg(51);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::event_queue q;
+    for (int i = 0; i < 1000; ++i)
+      q.schedule_at(static_cast<double>(i % 97), [] {});
+    q.run_until_empty();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_SimpleRouteSampling(benchmark::State& state) {
+  stats::rng gen(3);
+  const auto d = path_length_distribution::uniform(1, 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_route(100, d, path_model::simple, gen));
+  }
+}
+BENCHMARK(BM_SimpleRouteSampling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

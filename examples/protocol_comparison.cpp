@@ -1,0 +1,59 @@
+// Ranks the anonymous communication systems surveyed in the paper's Sec. 2
+// (Anonymizer, LPWA, Freedom, Onion Routing I/II, Crowds, Hordes, PipeNet)
+// by anonymity degree on the same system, and shows what each would gain by
+// switching to the optimal length distribution at the same rerouting cost —
+// the paper's concluding recommendation, made concrete.
+//
+// Build & run:  ./build/examples/protocol_comparison [N] [C-position]
+
+#include <algorithm>
+#include <cstdio>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "src/anonymity/analytic.hpp"
+#include "src/anonymity/optimizer.hpp"
+#include "src/anonymity/strategy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace anonpath;
+
+  const std::uint32_t n =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 100;
+  const system_params sys{n, 1};
+  const auto cap = static_cast<path_length>(n - 1);
+
+  struct row {
+    std::string name;
+    double mean;
+    double degree;
+    double optimal;
+  };
+  std::vector<row> rows;
+  for (const auto& p : protocols::survey(cap)) {
+    const double h = anonymity_degree(sys, p.lengths);
+    const double target = std::min<double>(cap, std::round(p.lengths.mean()));
+    const double h_opt = optimize_for_mean(sys, target, cap).degree;
+    rows.push_back({p.name, p.lengths.mean(), h, h_opt});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const row& a, const row& b) { return a.degree > b.degree; });
+
+  std::printf("Protocol ranking on N=%u nodes, C=1 compromised "
+              "(ceiling log2(N) = %.4f bits)\n\n",
+              n, max_anonymity_degree(sys));
+  std::printf("%-18s %10s %12s %14s %10s\n", "protocol", "mean len",
+              "H* (bits)", "optimal@mean", "headroom");
+  for (const auto& r : rows) {
+    std::printf("%-18s %10.2f %12.4f %14.4f %10.4f\n", r.name.c_str(), r.mean,
+                r.degree, r.optimal, r.optimal - r.degree);
+  }
+
+  std::printf(
+      "\nReading: 'headroom' is the anonymity the protocol leaves on the\n"
+      "table versus the optimal length distribution at the same expected\n"
+      "rerouting cost (paper Sec. 5.4). Single-hop proxies (Anonymizer,\n"
+      "LPWA) and short fixed routes (Freedom) leave the most.\n");
+  return 0;
+}

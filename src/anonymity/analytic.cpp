@@ -1,0 +1,119 @@
+#include "src/anonymity/analytic.hpp"
+
+#include <cmath>
+
+#include "src/anonymity/entropy.hpp"
+#include "src/stats/contract.hpp"
+
+namespace anonpath {
+
+namespace {
+
+void check_system(const system_params& sys) {
+  ANONPATH_EXPECTS(sys.valid());
+  ANONPATH_EXPECTS(sys.compromised_count == 1);
+  // N >= 5 keeps every event class's "other candidates" count positive;
+  // smaller systems are covered exactly by the brute-force analyzer.
+  ANONPATH_EXPECTS(sys.node_count >= 5);
+}
+
+/// Derived weights like kappa = mean - p1 - 2 p2 - 3 m3 can come out slightly
+/// negative for signatures at the feasibility boundary: feasible() admits a
+/// tail mass up to 1e-9 treated as zero, which propagates to kappa as much as
+/// -(3 + 1)e-9. Clamp within that slack; keep real negativity (a genuinely
+/// infeasible signature) loud.
+double clamp_weight(double w) {
+  ANONPATH_EXPECTS(w > -5e-9);
+  return w < 0.0 ? 0.0 : w;
+}
+
+}  // namespace
+
+degree_breakdown anonymity_breakdown_from_moments(const system_params& sys,
+                                                  const moment_signature& sig) {
+  check_system(sys);
+  const double n = static_cast<double>(sys.node_count);
+  ANONPATH_EXPECTS(sig.feasible(n - 1.0));
+
+  const double p0 = clamp_weight(sig.p0);
+  const double p1 = clamp_weight(sig.p1);
+  const double p2 = clamp_weight(sig.p2);
+  const double mu = clamp_weight(sig.mean);
+  const double m1 = clamp_weight(sig.m1());
+  const double m2 = clamp_weight(sig.m2());
+  const double m3 = clamp_weight(sig.m3());
+  const double kappa = clamp_weight(sig.kappa());
+
+  degree_breakdown out;
+
+  // Event class 1: the compromised node is the sender itself (the paper's
+  // local-eavesdropper case). The adversary sees the message originate.
+  out.p_sender_compromised = 1.0 / n;
+
+  // Event class 2: c is not on the path at all. The adversary sees only the
+  // receiver's predecessor v. Candidates: v itself (only via a length-0
+  // path) against the N-2 nodes other than {c, v}. The likelihood of each
+  // generic candidate collapses to ((N-1)m1 - mu) / ((N-1)(N-2)); we use
+  // weights scaled by (N-1)(N-2).
+  out.p_absent = (n - 1.0 - mu) / n;
+  if (out.p_absent > 1e-15) {
+    const double w_direct = p0 * (n - 1.0) * (n - 2.0);
+    const double w_other = clamp_weight((n - 1.0) * m1 - mu);
+    out.h_absent = two_level_entropy_bits(w_direct, w_other,
+                                          sys.node_count - 2);
+  }
+
+  // Event class 3: c == x_l (its successor is R). Its predecessor u is the
+  // sender exactly when l == 1. Weights scaled by (N-1)(N-2).
+  out.p_last = m1 / n;
+  if (out.p_last > 1e-15) {
+    out.h_last = two_level_entropy_bits(p1 * (n - 2.0), m2,
+                                        sys.node_count - 2);
+  }
+
+  // Event class 4: c == x_{l-1} (its successor equals the receiver's
+  // predecessor v). Its predecessor u is the sender exactly when l == 2.
+  // Candidates other than u exclude {u, c, v}. Weights scaled by
+  // (N-1)(N-2)(N-3).
+  out.p_penultimate = m2 / n;
+  if (out.p_penultimate > 1e-15) {
+    out.h_penultimate = two_level_entropy_bits(p2 * (n - 3.0), m3,
+                                               sys.node_count - 3);
+  }
+
+  // Event class 5: c == x_i with i <= l-2; the adversary cannot tell
+  // position 1 (pred == sender) from positions 2..l-2. Weights scaled by
+  // (N-1)(N-2)(N-3)(N-4).
+  out.p_mid = (kappa + m3) / n;
+  if (out.p_mid > 1e-15) {
+    out.h_mid = two_level_entropy_bits(m3 * (n - 4.0), kappa,
+                                       sys.node_count - 4);
+  }
+
+  out.degree = out.p_absent * out.h_absent + out.p_last * out.h_last +
+               out.p_penultimate * out.h_penultimate + out.p_mid * out.h_mid;
+  return out;
+}
+
+degree_breakdown anonymity_breakdown(const system_params& sys,
+                                     const path_length_distribution& lengths) {
+  ANONPATH_EXPECTS(lengths.max_length() <= sys.node_count - 1);
+  return anonymity_breakdown_from_moments(sys, signature_of(lengths));
+}
+
+double anonymity_degree_from_moments(const system_params& sys,
+                                     const moment_signature& sig) {
+  return anonymity_breakdown_from_moments(sys, sig).degree;
+}
+
+double anonymity_degree(const system_params& sys,
+                        const path_length_distribution& lengths) {
+  return anonymity_breakdown(sys, lengths).degree;
+}
+
+double max_anonymity_degree(const system_params& sys) {
+  ANONPATH_EXPECTS(sys.valid());
+  return std::log2(static_cast<double>(sys.node_count));
+}
+
+}  // namespace anonpath

@@ -1,0 +1,59 @@
+#pragma once
+
+#include "src/anonymity/length_distribution.hpp"
+#include "src/anonymity/moments.hpp"
+#include "src/anonymity/types.hpp"
+
+namespace anonpath {
+
+/// Per-event-class decomposition of the anonymity degree for a system with
+/// exactly one compromised node (C = 1) plus the compromised receiver
+/// (derivation in DESIGN.md Sec. 2.1). Every adversary observation falls in
+/// one of five classes; the table gives each class's probability and the
+/// conditional sender entropy H(X | e) in bits.
+struct degree_breakdown {
+  double p_sender_compromised = 0.0;  ///< c == S: sender identified, H = 0
+  double p_absent = 0.0;              ///< c not on the path
+  double h_absent = 0.0;
+  double p_last = 0.0;                ///< c == x_l (delivers to R)
+  double h_last = 0.0;
+  double p_penultimate = 0.0;         ///< c == x_{l-1} (feeds the last hop)
+  double h_penultimate = 0.0;
+  double p_mid = 0.0;                 ///< c == x_i, i <= l-2 (position ambiguous)
+  double h_mid = 0.0;
+  double degree = 0.0;                ///< H*(S) = sum of p * h over classes
+
+  /// Sum of the class probabilities (== 1 up to rounding; used in tests).
+  [[nodiscard]] double total_probability() const noexcept {
+    return p_sender_compromised + p_absent + p_last + p_penultimate + p_mid;
+  }
+};
+
+/// Exact anonymity degree H*(S) in bits for a C = 1 system under simple
+/// (cycle-free) rerouting paths, evaluated in closed form from the moment
+/// signature — O(1) given the moments, O(max length) from a pmf.
+///
+/// Preconditions: sys.valid(), sys.compromised_count == 1,
+/// sys.node_count >= 5, and the distribution's support fits a simple path
+/// (max_length <= N - 1).
+[[nodiscard]] double anonymity_degree(const system_params& sys,
+                                      const path_length_distribution& lengths);
+
+/// As anonymity_degree, but evaluated directly from a moment signature
+/// (the signature must be feasible for support [0, N-1]).
+[[nodiscard]] double anonymity_degree_from_moments(const system_params& sys,
+                                                   const moment_signature& sig);
+
+/// Full per-class decomposition (probabilities and conditional entropies).
+[[nodiscard]] degree_breakdown anonymity_breakdown(
+    const system_params& sys, const path_length_distribution& lengths);
+
+/// Decomposition from a moment signature.
+[[nodiscard]] degree_breakdown anonymity_breakdown_from_moments(
+    const system_params& sys, const moment_signature& sig);
+
+/// The theoretical ceiling log2(N): no adversary information at all
+/// (paper Sec. 5.1 / conclusion 4).
+[[nodiscard]] double max_anonymity_degree(const system_params& sys);
+
+}  // namespace anonpath

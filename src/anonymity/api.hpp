@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file api.hpp
+/// Umbrella header for the anonpath core library — everything a downstream
+/// user needs to score, compare, optimize, and attack rerouting-based
+/// anonymous communication strategies (Guan et al., ICDCS 2002).
+///
+/// Layering (low to high):
+///   types            node ids, system parameters, routes
+///   entropy          Shannon machinery on posteriors
+///   length_distribution / moments   the strategy space and its 4-scalar
+///                                   sufficient statistic
+///   analytic / closed_forms         exact C=1 anonymity degree (all paper
+///                                   figures) and Theorems 1-3
+///   observation / posterior         the threat model and general-C exact
+///                                   Bayesian sender inference
+///   brute_force / cyclic            exhaustive oracles (simple and
+///                                   cycle-allowing paths)
+///   path_sampler / monte_carlo      sampled estimation at scale
+///   multi_message                   cross-message degradation attacks
+///   optimizer                       the paper's Sec. 5.4 optimal strategy
+///   strategy                        presets for every surveyed protocol
+///
+/// The discrete-event simulator lives in src/sim (include
+/// "src/sim/simulator.hpp"), the figure generators in src/repro.
+
+#include "src/anonymity/analytic.hpp"
+#include "src/anonymity/brute_force.hpp"
+#include "src/anonymity/closed_forms.hpp"
+#include "src/anonymity/cyclic.hpp"
+#include "src/anonymity/entropy.hpp"
+#include "src/anonymity/length_distribution.hpp"
+#include "src/anonymity/moments.hpp"
+#include "src/anonymity/monte_carlo.hpp"
+#include "src/anonymity/multi_message.hpp"
+#include "src/anonymity/observation.hpp"
+#include "src/anonymity/optimizer.hpp"
+#include "src/anonymity/path_sampler.hpp"
+#include "src/anonymity/posterior.hpp"
+#include "src/anonymity/strategy.hpp"
+#include "src/anonymity/types.hpp"

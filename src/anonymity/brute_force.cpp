@@ -1,0 +1,108 @@
+#include "src/anonymity/brute_force.hpp"
+
+#include <map>
+#include <string>
+
+#include "src/anonymity/entropy.hpp"
+#include "src/stats/contract.hpp"
+#include "src/stats/kahan.hpp"
+
+namespace anonpath {
+
+namespace {
+
+/// Recursively enumerates ordered arrangements of `remaining` distinct
+/// intermediates and invokes `emit(route)` for each completed path.
+template <typename Emit>
+void enumerate_paths(route& r, std::vector<bool>& used, path_length remaining,
+                     std::uint32_t node_count, const Emit& emit) {
+  if (remaining == 0) {
+    emit(r);
+    return;
+  }
+  for (node_id x = 0; x < node_count; ++x) {
+    if (used[x]) continue;
+    used[x] = true;
+    r.hops.push_back(x);
+    enumerate_paths(r, used, remaining - 1, node_count, emit);
+    r.hops.pop_back();
+    used[x] = false;
+  }
+}
+
+double falling_factorial(std::uint32_t n, std::uint32_t k) {
+  double acc = 1.0;
+  for (std::uint32_t i = 0; i < k; ++i) acc *= static_cast<double>(n - i);
+  return acc;
+}
+
+}  // namespace
+
+brute_force_analyzer::brute_force_analyzer(
+    system_params sys, std::vector<node_id> compromised,
+    const path_length_distribution& lengths) {
+  ANONPATH_EXPECTS(sys.valid());
+  ANONPATH_EXPECTS(sys.node_count <= 10);
+  ANONPATH_EXPECTS(compromised.size() == sys.compromised_count);
+  ANONPATH_EXPECTS(lengths.max_length() <= sys.node_count - 1);
+
+  std::vector<bool> compromised_flag(sys.node_count, false);
+  for (node_id c : compromised) {
+    ANONPATH_EXPECTS(c < sys.node_count);
+    ANONPATH_EXPECTS(!compromised_flag[c]);
+    compromised_flag[c] = true;
+  }
+
+  const auto n = sys.node_count;
+
+  // key -> (observation, per-sender probability mass)
+  struct bucket {
+    observation obs;
+    std::vector<double> mass;
+  };
+  std::map<std::string, bucket> buckets;
+
+  for (node_id s = 0; s < n; ++s) {
+    for (path_length l = lengths.min_length(); l <= lengths.max_length(); ++l) {
+      const double pl = lengths.pmf(l);
+      if (pl <= 0.0) continue;
+      const double path_prob =
+          pl / (static_cast<double>(n) * falling_factorial(n - 1, l));
+      route r;
+      r.sender = s;
+      std::vector<bool> used(n, false);
+      used[s] = true;
+      enumerate_paths(r, used, l, n, [&](const route& full) {
+        const observation obs = observe(full, compromised_flag);
+        auto [it, inserted] = buckets.try_emplace(obs.key());
+        if (inserted) {
+          it->second.obs = obs;
+          it->second.mass.assign(n, 0.0);
+        }
+        it->second.mass[full.sender] += path_prob;
+      });
+    }
+  }
+
+  stats::kahan_sum degree_acc;
+  stats::kahan_sum total_acc;
+  events_.reserve(buckets.size());
+  for (auto& [key, b] : buckets) {
+    event_record rec;
+    rec.obs = std::move(b.obs);
+    stats::kahan_sum p_acc;
+    for (double m : b.mass) p_acc.add(m);
+    rec.probability = p_acc.value();
+    rec.posterior.resize(n);
+    for (node_id i = 0; i < n; ++i)
+      rec.posterior[i] = b.mass[i] / rec.probability;
+    rec.entropy_bits = entropy_bits(rec.posterior);
+    degree_acc.add(rec.probability * rec.entropy_bits);
+    total_acc.add(rec.probability);
+    events_.push_back(std::move(rec));
+  }
+  degree_ = degree_acc.value();
+  total_ = total_acc.value();
+}
+
+}  // namespace anonpath

@@ -1,0 +1,63 @@
+#include "src/anonymity/closed_forms.hpp"
+
+#include <cmath>
+
+#include "src/anonymity/analytic.hpp"
+#include "src/stats/contract.hpp"
+
+namespace anonpath {
+
+double theorem1_fixed_length(std::uint32_t node_count, path_length l) {
+  ANONPATH_EXPECTS(node_count >= 5);
+  ANONPATH_EXPECTS(l <= node_count - 1);
+  const double n = node_count;
+  if (l == 0) return 0.0;
+  if (l == 1 || l == 2) return (n - 2.0) / n * std::log2(n - 2.0);
+  if (l == 3)
+    return (n - 3.0) / n * std::log2(n - 2.0) + 1.0 / n * std::log2(n - 3.0);
+  const double ld = l;
+  const double h_mid =
+      std::log2(ld - 2.0) / (ld - 2.0) +
+      (ld - 3.0) / (ld - 2.0) *
+          std::log2((n - 4.0) * (ld - 2.0) / (ld - 3.0));
+  return (n - ld) / n * std::log2(n - 2.0) + 1.0 / n * std::log2(n - 3.0) +
+         (ld - 2.0) / n * h_mid;
+}
+
+double theorem2_geometric(std::uint32_t node_count, double forward_prob) {
+  ANONPATH_EXPECTS(node_count >= 5);
+  ANONPATH_EXPECTS(forward_prob >= 0.0 && forward_prob < 1.0);
+  const double q = 1.0 - forward_prob;  // stop probability
+  moment_signature sig;
+  sig.p0 = 0.0;
+  sig.p1 = q;
+  sig.p2 = q * forward_prob;
+  sig.mean = 1.0 / q;
+  const system_params sys{node_count, 1};
+  return anonymity_degree_from_moments(sys, sig);
+}
+
+double fixed_length_continued(std::uint32_t node_count, double mean) {
+  ANONPATH_EXPECTS(node_count >= 5);
+  ANONPATH_EXPECTS(mean >= 3.0 && mean <= static_cast<double>(node_count) - 1.0);
+  moment_signature sig;
+  sig.p0 = sig.p1 = sig.p2 = 0.0;
+  sig.mean = mean;
+  const system_params sys{node_count, 1};
+  return anonymity_degree_from_moments(sys, sig);
+}
+
+double theorem3_uniform(std::uint32_t node_count, path_length a, path_length b) {
+  ANONPATH_EXPECTS(node_count >= 5);
+  ANONPATH_EXPECTS(a <= b);
+  ANONPATH_EXPECTS(b <= node_count - 1);
+  if (a >= 3) {
+    // Theorem 3 proper: only the mean matters once no mass sits below 3.
+    return fixed_length_continued(node_count,
+                                  0.5 * (static_cast<double>(a) + b));
+  }
+  const system_params sys{node_count, 1};
+  return anonymity_degree(sys, path_length_distribution::uniform(a, b));
+}
+
+}  // namespace anonpath

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "src/anonymity/types.hpp"
+
+namespace anonpath {
+
+/// Closed-form anonymity degrees for the paper's three special cases
+/// (Sec. 5.3, Theorems 1-3), re-derived from first principles (the published
+/// scan's formulas are OCR-corrupted; see DESIGN.md Sec. 2). All values are
+/// for C = 1 compromised node plus the compromised receiver, simple paths,
+/// N >= 5 nodes, in bits.
+
+/// Theorem 1 — fixed-length strategy F(l):
+///   l == 0            : 0 (sender handed straight to the receiver)
+///   l == 1 or l == 2  : ((N-2)/N) log2(N-2)      (the paper's "lengths 1 and
+///                       2 are identical" observation)
+///   l == 3            : ((N-3)/N) log2(N-2) + (1/N) log2(N-3)
+///   l >= 4            : ((N-l)/N) log2(N-2) + (1/N) log2(N-3)
+///                       + ((l-2)/N) H_mid(l)  with position ambiguity term
+///   H_mid(l) = log2(l-2)/(l-2) + ((l-3)/(l-2)) log2((N-4)(l-2)/(l-3)).
+/// Preconditions: N >= 5, l <= N-1.
+[[nodiscard]] double theorem1_fixed_length(std::uint32_t node_count,
+                                           path_length l);
+
+/// Theorem 2 — Crowds/Onion-Routing-II coin-flip lengths,
+/// Pr[L = l] = (1-pf) pf^(l-1) for l >= 1 (idealized untruncated tail; exact
+/// when the truncation mass beyond N-1 is negligible):
+///   moments p0 = 0, p1 = 1-pf, p2 = pf(1-pf), mean = 1/(1-pf).
+/// Preconditions: N >= 5, 0 <= pf < 1.
+[[nodiscard]] double theorem2_geometric(std::uint32_t node_count,
+                                        double forward_prob);
+
+/// Theorem 3 — uniform lengths U(a, b) with a >= 3: the degree depends only
+/// on the mean (a+b)/2 and equals the fixed-length value continued to real
+/// arguments. Also evaluates a < 3 exactly (general uniform).
+/// Preconditions: N >= 5, a <= b <= N-1.
+[[nodiscard]] double theorem3_uniform(std::uint32_t node_count, path_length a,
+                                      path_length b);
+
+/// Continuous-mean extension of Theorem 1 used by Theorem 3: the anonymity
+/// degree of *any* distribution with no mass below length 3 and mean `mean`.
+/// Preconditions: N >= 5, 3 <= mean <= N-1.
+[[nodiscard]] double fixed_length_continued(std::uint32_t node_count,
+                                            double mean);
+
+}  // namespace anonpath

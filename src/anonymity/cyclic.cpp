@@ -1,0 +1,103 @@
+#include "src/anonymity/cyclic.hpp"
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "src/anonymity/entropy.hpp"
+#include "src/anonymity/observation.hpp"
+#include "src/stats/contract.hpp"
+#include "src/stats/kahan.hpp"
+
+namespace anonpath {
+
+namespace {
+
+/// Enumerates all walks of the remaining length where each hop differs from
+/// the previous node (cycles otherwise free), invoking `emit` per walk.
+template <typename Emit>
+void enumerate_walks(route& r, node_id prev, path_length remaining,
+                     std::uint32_t node_count, const Emit& emit) {
+  if (remaining == 0) {
+    emit(r);
+    return;
+  }
+  for (node_id x = 0; x < node_count; ++x) {
+    if (x == prev) continue;
+    r.hops.push_back(x);
+    enumerate_walks(r, x, remaining - 1, node_count, emit);
+    r.hops.pop_back();
+  }
+}
+
+}  // namespace
+
+cyclic_brute_force_analyzer::cyclic_brute_force_analyzer(
+    system_params sys, std::vector<node_id> compromised,
+    const path_length_distribution& lengths) {
+  ANONPATH_EXPECTS(sys.valid());
+  ANONPATH_EXPECTS(sys.node_count <= 8);
+  ANONPATH_EXPECTS(lengths.max_length() <= 8);
+  ANONPATH_EXPECTS(compromised.size() == sys.compromised_count);
+
+  std::vector<bool> compromised_flag(sys.node_count, false);
+  for (node_id c : compromised) {
+    ANONPATH_EXPECTS(c < sys.node_count);
+    ANONPATH_EXPECTS(!compromised_flag[c]);
+    compromised_flag[c] = true;
+  }
+
+  const auto n = sys.node_count;
+
+  struct bucket {
+    observation obs;
+    std::vector<double> mass;
+  };
+  std::map<std::string, bucket> buckets;
+
+  for (node_id s = 0; s < n; ++s) {
+    for (path_length l = lengths.min_length(); l <= lengths.max_length(); ++l) {
+      const double pl = lengths.pmf(l);
+      if (pl <= 0.0) continue;
+      // Every no-immediate-repeat walk of length l has the same probability
+      // (N-1)^-l: the first hop avoids the sender, later hops avoid their
+      // predecessor — always N-1 choices.
+      const double walk_prob =
+          pl / (static_cast<double>(n) *
+                std::pow(static_cast<double>(n - 1), static_cast<double>(l)));
+      route r;
+      r.sender = s;
+      enumerate_walks(r, s, l, n, [&](const route& full) {
+        const observation obs = observe(full, compromised_flag);
+        auto [it, inserted] = buckets.try_emplace(obs.key());
+        if (inserted) {
+          it->second.obs = obs;
+          it->second.mass.assign(n, 0.0);
+        }
+        it->second.mass[full.sender] += walk_prob;
+      });
+    }
+  }
+
+  stats::kahan_sum degree_acc;
+  stats::kahan_sum total_acc;
+  events_.reserve(buckets.size());
+  for (auto& [key, b] : buckets) {
+    event_record rec;
+    rec.obs = std::move(b.obs);
+    stats::kahan_sum p_acc;
+    for (double m : b.mass) p_acc.add(m);
+    rec.probability = p_acc.value();
+    rec.posterior.resize(n);
+    for (node_id i = 0; i < n; ++i)
+      rec.posterior[i] = b.mass[i] / rec.probability;
+    rec.entropy_bits = entropy_bits(rec.posterior);
+    degree_acc.add(rec.probability * rec.entropy_bits);
+    total_acc.add(rec.probability);
+    events_.push_back(std::move(rec));
+  }
+  degree_ = degree_acc.value();
+  total_ = total_acc.value();
+}
+
+}  // namespace anonpath

@@ -1,0 +1,43 @@
+#include "src/anonymity/entropy.hpp"
+
+#include <cmath>
+
+#include "src/stats/contract.hpp"
+#include "src/stats/kahan.hpp"
+
+namespace anonpath {
+
+double safe_log2(double x) noexcept { return x > 0.0 ? std::log2(x) : 0.0; }
+
+double entropy_bits(std::span<const double> probabilities) {
+  stats::kahan_sum total;
+  for (double p : probabilities) {
+    ANONPATH_EXPECTS(p >= 0.0);
+    total.add(p);
+  }
+  const double z = total.value();
+  if (z <= 0.0) return 0.0;
+  stats::kahan_sum h;
+  for (double p : probabilities) {
+    if (p > 0.0) {
+      const double q = p / z;
+      h.add(-q * std::log2(q));
+    }
+  }
+  return h.value();
+}
+
+double two_level_entropy_bits(double special_weight, double other_weight_each,
+                              unsigned k) {
+  ANONPATH_EXPECTS(special_weight >= 0.0);
+  ANONPATH_EXPECTS(other_weight_each >= 0.0);
+  if (k == 0 || other_weight_each == 0.0) return 0.0;
+  const double kd = static_cast<double>(k);
+  if (special_weight == 0.0) return std::log2(kd);
+  const double total = special_weight + kd * other_weight_each;
+  const double pu = special_weight / total;
+  const double ps = other_weight_each / total;
+  return -pu * std::log2(pu) - kd * ps * std::log2(ps);
+}
+
+}  // namespace anonpath

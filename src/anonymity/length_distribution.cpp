@@ -1,0 +1,148 @@
+#include "src/anonymity/length_distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/contract.hpp"
+#include "src/stats/kahan.hpp"
+
+namespace anonpath {
+
+namespace {
+std::string format_double(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", x);
+  return buf;
+}
+}  // namespace
+
+path_length_distribution::path_length_distribution(std::vector<double> pmf,
+                                                   std::string label)
+    : pmf_(std::move(pmf)), label_(std::move(label)) {
+  ANONPATH_EXPECTS(!pmf_.empty());
+  stats::kahan_sum total;
+  for (double p : pmf_) {
+    ANONPATH_EXPECTS(p >= 0.0 && std::isfinite(p));
+    total.add(p);
+  }
+  const double z = total.value();
+  ANONPATH_EXPECTS(std::fabs(z - 1.0) < 1e-9);
+  for (double& p : pmf_) p /= z;  // exact renormalization
+
+  // Trim trailing zero mass so max_length() is tight; keep leading zeros so
+  // indices stay equal to lengths.
+  while (pmf_.size() > 1 && pmf_.back() == 0.0) pmf_.pop_back();
+
+  min_ = 0;
+  while (min_ + 1 < pmf_.size() && pmf_[min_] == 0.0) ++min_;
+  max_ = static_cast<path_length>(pmf_.size() - 1);
+
+  stats::kahan_sum mean_acc;
+  for (std::size_t l = 0; l < pmf_.size(); ++l)
+    mean_acc.add(static_cast<double>(l) * pmf_[l]);
+  mean_ = mean_acc.value();
+
+  stats::kahan_sum var_acc;
+  for (std::size_t l = 0; l < pmf_.size(); ++l) {
+    const double d = static_cast<double>(l) - mean_;
+    var_acc.add(d * d * pmf_[l]);
+  }
+  variance_ = var_acc.value();
+
+  cdf_.resize(pmf_.size());
+  stats::kahan_sum cum;
+  for (std::size_t l = 0; l < pmf_.size(); ++l) {
+    cum.add(pmf_[l]);
+    cdf_[l] = cum.value();
+  }
+  cdf_.back() = 1.0;
+}
+
+path_length_distribution path_length_distribution::fixed(path_length l) {
+  std::vector<double> pmf(static_cast<std::size_t>(l) + 1, 0.0);
+  pmf[l] = 1.0;
+  return path_length_distribution(std::move(pmf),
+                                  "F(" + std::to_string(l) + ")");
+}
+
+path_length_distribution path_length_distribution::uniform(path_length a,
+                                                           path_length b) {
+  ANONPATH_EXPECTS(a <= b);
+  std::vector<double> pmf(static_cast<std::size_t>(b) + 1, 0.0);
+  const double p = 1.0 / static_cast<double>(b - a + 1);
+  for (path_length l = a; l <= b; ++l) pmf[l] = p;
+  return path_length_distribution(
+      std::move(pmf), "U(" + std::to_string(a) + "," + std::to_string(b) + ")");
+}
+
+path_length_distribution path_length_distribution::geometric(
+    double forward_prob, path_length min_len, path_length max_len) {
+  ANONPATH_EXPECTS(forward_prob >= 0.0 && forward_prob < 1.0);
+  ANONPATH_EXPECTS(min_len <= max_len);
+  std::vector<double> pmf(static_cast<std::size_t>(max_len) + 1, 0.0);
+  double w = 1.0;
+  stats::kahan_sum z;
+  for (path_length l = min_len; l <= max_len; ++l) {
+    pmf[l] = w;
+    z.add(w);
+    w *= forward_prob;
+  }
+  for (double& p : pmf) p /= z.value();
+  return path_length_distribution(std::move(pmf),
+                                  "Geom(" + format_double(forward_prob) + "," +
+                                      std::to_string(min_len) + ")");
+}
+
+path_length_distribution path_length_distribution::two_point(path_length a,
+                                                             double weight_a,
+                                                             path_length b) {
+  ANONPATH_EXPECTS(weight_a >= 0.0 && weight_a <= 1.0);
+  const path_length hi = std::max(a, b);
+  std::vector<double> pmf(static_cast<std::size_t>(hi) + 1, 0.0);
+  pmf[a] += weight_a;
+  pmf[b] += 1.0 - weight_a;
+  return path_length_distribution(std::move(pmf),
+                                  "TwoPoint(" + std::to_string(a) + ":" +
+                                      format_double(weight_a) + "," +
+                                      std::to_string(b) + ")");
+}
+
+path_length_distribution path_length_distribution::poisson(double lambda,
+                                                           path_length max_len) {
+  ANONPATH_EXPECTS(lambda > 0.0);
+  std::vector<double> pmf(static_cast<std::size_t>(max_len) + 1, 0.0);
+  double w = std::exp(-lambda);
+  stats::kahan_sum z;
+  for (path_length l = 0; l <= max_len; ++l) {
+    pmf[l] = w;
+    z.add(w);
+    w *= lambda / static_cast<double>(l + 1);
+  }
+  for (double& p : pmf) p /= z.value();
+  return path_length_distribution(std::move(pmf),
+                                  "Poisson(" + format_double(lambda) + ")");
+}
+
+path_length_distribution path_length_distribution::from_pmf(
+    std::vector<double> pmf) {
+  return path_length_distribution(std::move(pmf), "Custom");
+}
+
+double path_length_distribution::pmf(path_length l) const noexcept {
+  return l < pmf_.size() ? pmf_[l] : 0.0;
+}
+
+double path_length_distribution::tail_mass(path_length l) const noexcept {
+  if (l == 0) return 1.0;
+  if (l >= pmf_.size()) return 0.0;
+  return 1.0 - cdf_[l - 1];
+}
+
+path_length path_length_distribution::sample(stats::rng& gen) const {
+  const double u = gen.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<path_length>(it == cdf_.end() ? cdf_.size() - 1
+                                                   : it - cdf_.begin());
+}
+
+}  // namespace anonpath

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/anonymity/types.hpp"
+#include "src/stats/rng.hpp"
+
+namespace anonpath {
+
+/// A probability distribution over rerouting-path lengths (paper Sec. 3.2,
+/// the "Pr[L = l], A <= l <= B" object the whole study optimizes over).
+/// Immutable after construction; invariant: pmf entries non-negative and
+/// summing to 1 within 1e-9.
+///
+/// Factories cover every strategy family the paper discusses:
+///   * fixed(l)            — Onion Routing I (l=5), Freedom (l=3), Anonymizer (l=1)
+///   * uniform(a, b)       — the U(A,B) family of Sec. 6
+///   * geometric(...)      — Crowds / Onion Routing II coin-flip forwarding
+///   * two_point / custom  — building blocks the optimizer emits
+class path_length_distribution {
+ public:
+  /// Degenerate distribution: always exactly `l` intermediate nodes.
+  [[nodiscard]] static path_length_distribution fixed(path_length l);
+
+  /// Uniform over the integer interval [a, b] (paper's U(A,B)).
+  /// Precondition: a <= b.
+  [[nodiscard]] static path_length_distribution uniform(path_length a,
+                                                        path_length b);
+
+  /// Crowds-style coin-flip lengths: starting at `min_len`, each additional
+  /// hop happens with probability `forward_prob`, truncated at `max_len`
+  /// and renormalized. Pr[L = min_len + k] ∝ forward_prob^k.
+  /// Preconditions: 0 <= forward_prob < 1, min_len <= max_len.
+  [[nodiscard]] static path_length_distribution geometric(double forward_prob,
+                                                          path_length min_len,
+                                                          path_length max_len);
+
+  /// Two-point distribution: P(a) = weight_a, P(b) = 1 - weight_a.
+  /// Preconditions: 0 <= weight_a <= 1. a and b may be equal.
+  [[nodiscard]] static path_length_distribution two_point(path_length a,
+                                                          double weight_a,
+                                                          path_length b);
+
+  /// Poisson(lambda) truncated to [0, max_len] and renormalized; a natural
+  /// "concentrated variable-length" comparator for the ablation benches.
+  /// Preconditions: lambda > 0.
+  [[nodiscard]] static path_length_distribution poisson(double lambda,
+                                                        path_length max_len);
+
+  /// Arbitrary pmf with implicit support {0, 1, ..., pmf.size()-1}. Entries
+  /// must be non-negative and sum to 1 within 1e-9 (renormalized exactly).
+  [[nodiscard]] static path_length_distribution from_pmf(std::vector<double> pmf);
+
+  /// Pr[L = l]; zero outside the stored support.
+  [[nodiscard]] double pmf(path_length l) const noexcept;
+
+  /// Smallest / largest length with positive probability.
+  [[nodiscard]] path_length min_length() const noexcept { return min_; }
+  [[nodiscard]] path_length max_length() const noexcept { return max_; }
+
+  /// E[L].
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Var[L].
+  [[nodiscard]] double variance() const noexcept { return variance_; }
+
+  /// P(L >= l).
+  [[nodiscard]] double tail_mass(path_length l) const noexcept;
+
+  /// Draws one length.
+  [[nodiscard]] path_length sample(stats::rng& gen) const;
+
+  /// The dense pmf vector over 0..max_length().
+  [[nodiscard]] const std::vector<double>& dense_pmf() const noexcept {
+    return pmf_;
+  }
+
+  /// Human-readable label, e.g. "F(5)", "U(2,8)", "Geom(0.75,1)".
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+
+ private:
+  path_length_distribution(std::vector<double> pmf, std::string label);
+
+  std::vector<double> pmf_;   // index = length, dense from 0
+  std::vector<double> cdf_;   // inclusive cumulative sums for sampling
+  path_length min_ = 0;
+  path_length max_ = 0;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+  std::string label_;
+};
+
+}  // namespace anonpath

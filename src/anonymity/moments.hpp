@@ -1,0 +1,50 @@
+#pragma once
+
+#include "src/anonymity/length_distribution.hpp"
+
+namespace anonpath {
+
+/// The four scalars through which — and only through which — the anonymity
+/// degree of a C=1 system depends on the path-length distribution (the
+/// structural reduction derived in DESIGN.md Sec. 2.1):
+///
+///   p0 = Pr[L=0], p1 = Pr[L=1], p2 = Pr[L=2], mean = E[L].
+///
+/// The derived tail masses m1, m2, m3 and the mid-path weight
+/// kappa = sum_{l>=3} Pr[L=l](l-3) are functions of these four. This is what
+/// proves the paper's Theorem-3 observation (uniform with lower bound >= 3
+/// behaves exactly like a fixed length at the same mean) and what collapses
+/// the path-length optimization (paper Sec. 5.4) to three dimensions.
+struct moment_signature {
+  double p0 = 0.0;    ///< Pr[L = 0]
+  double p1 = 0.0;    ///< Pr[L = 1]
+  double p2 = 0.0;    ///< Pr[L = 2]
+  double mean = 0.0;  ///< E[L]
+
+  /// P(L >= 1).
+  [[nodiscard]] double m1() const noexcept { return 1.0 - p0; }
+  /// P(L >= 2).
+  [[nodiscard]] double m2() const noexcept { return 1.0 - p0 - p1; }
+  /// P(L >= 3).
+  [[nodiscard]] double m3() const noexcept { return 1.0 - p0 - p1 - p2; }
+  /// sum_{l>=3} Pr[L=l] (l-3)  =  mean - p1 - 2 p2 - 3 m3().
+  [[nodiscard]] double kappa() const noexcept {
+    return mean - p1 - 2.0 * p2 - 3.0 * m3();
+  }
+
+  /// True when the signature is realizable by a distribution supported on
+  /// [0, max_len]: probabilities in range and the >=3 tail mean within
+  /// [3, max_len] (up to `tol`).
+  [[nodiscard]] bool feasible(double max_len, double tol = 1e-9) const noexcept;
+};
+
+/// Extracts the signature of a concrete distribution.
+[[nodiscard]] moment_signature signature_of(const path_length_distribution& d);
+
+/// Constructs a concrete distribution realizing a feasible signature: the
+/// >=3 tail mass is placed on the two integers bracketing its conditional
+/// mean. Preconditions: sig.feasible(max_len).
+[[nodiscard]] path_length_distribution realize_signature(
+    const moment_signature& sig, path_length max_len);
+
+}  // namespace anonpath

@@ -1,0 +1,38 @@
+#include "src/anonymity/monte_carlo.hpp"
+
+#include "src/anonymity/entropy.hpp"
+#include "src/anonymity/observation.hpp"
+#include "src/anonymity/posterior.hpp"
+#include "src/stats/contract.hpp"
+#include "src/stats/rng.hpp"
+#include "src/stats/summary.hpp"
+
+namespace anonpath {
+
+mc_estimate estimate_anonymity_degree(const system_params& sys,
+                                      const std::vector<node_id>& compromised,
+                                      const path_length_distribution& lengths,
+                                      std::uint64_t samples,
+                                      std::uint64_t seed) {
+  ANONPATH_EXPECTS(samples > 0);
+  const posterior_engine engine(sys, compromised, lengths);
+  std::vector<bool> flags(sys.node_count, false);
+  for (node_id c : compromised) flags[c] = true;
+
+  stats::rng gen(seed);
+  stats::running_summary acc;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const route r = sample_route(sys.node_count, lengths, path_model::simple, gen);
+    const observation obs = observe(r, flags);
+    const auto post = engine.sender_posterior(obs);
+    acc.add(entropy_bits(post));
+  }
+
+  mc_estimate out;
+  out.degree = acc.mean();
+  out.std_error = acc.std_error();
+  out.samples = samples;
+  return out;
+}
+
+}  // namespace anonpath

@@ -1,0 +1,93 @@
+#include "src/anonymity/observation.hpp"
+
+#include <stdexcept>
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath {
+
+std::string observation::key() const {
+  std::string out;
+  out.reserve(reports.size() * 16 + 32);
+  if (origin) {
+    out += "O";
+    out += std::to_string(*origin);
+  }
+  for (const auto& r : reports) {
+    out += "|";
+    out += std::to_string(r.reporter);
+    out += ",";
+    out += std::to_string(r.predecessor);
+    out += ",";
+    out += std::to_string(r.successor);
+  }
+  out += "|R";
+  out += std::to_string(receiver_predecessor);
+  return out;
+}
+
+observation observe(const route& r, const std::vector<bool>& compromised) {
+  ANONPATH_EXPECTS(r.sender < compromised.size());
+  observation obs;
+  if (compromised[r.sender]) obs.origin = r.sender;
+  const auto l = r.length();
+  for (path_length i = 0; i < l; ++i) {
+    const node_id here = r.hops[i];
+    ANONPATH_EXPECTS(here < compromised.size());
+    if (compromised[here]) {
+      hop_report rep;
+      rep.reporter = here;
+      rep.predecessor = (i == 0) ? r.sender : r.hops[i - 1];
+      rep.successor = (i + 1 == l) ? receiver_node : r.hops[i + 1];
+      obs.reports.push_back(rep);
+    }
+  }
+  obs.receiver_predecessor = (l == 0) ? r.sender : r.hops[l - 1];
+  return obs;
+}
+
+std::vector<path_fragment> assemble_fragments(
+    const observation& obs, const std::vector<bool>& compromised) {
+  const auto is_compromised = [&](node_id v) {
+    return v != receiver_node && v < compromised.size() && compromised[v];
+  };
+
+  std::vector<path_fragment> fragments;
+  std::size_t i = 0;
+  while (i < obs.reports.size()) {
+    path_fragment frag;
+    frag.nodes.push_back(obs.reports[i].predecessor);
+    // Extend through consecutive compromised positions: when report i's
+    // successor is itself compromised, the very next report (time order)
+    // must be that node observing reporter i as its predecessor.
+    for (;;) {
+      const auto& rep = obs.reports[i];
+      frag.nodes.push_back(rep.reporter);
+      if (!is_compromised(rep.successor)) {
+        frag.nodes.push_back(rep.successor);
+        ++i;
+        break;
+      }
+      if (i + 1 >= obs.reports.size())
+        throw std::invalid_argument(
+            "observation: successor is compromised but its report is missing");
+      const auto& next = obs.reports[i + 1];
+      if (next.reporter != rep.successor || next.predecessor != rep.reporter)
+        throw std::invalid_argument(
+            "observation: reports do not chain consistently");
+      ++i;
+    }
+    // The interior boundary (pred of the first compromised stretch) must be
+    // honest: a compromised predecessor would itself have reported and been
+    // chained into the previous fragment.
+    if (is_compromised(frag.nodes.front()) &&
+        !(fragments.empty() && obs.origin &&
+          frag.nodes.front() == *obs.origin))
+      throw std::invalid_argument(
+          "observation: fragment predecessor is compromised but silent");
+    fragments.push_back(std::move(frag));
+  }
+  return fragments;
+}
+
+}  // namespace anonpath

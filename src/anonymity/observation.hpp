@@ -1,0 +1,61 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/anonymity/types.hpp"
+
+namespace anonpath {
+
+/// One tuple reported by an adversary agent at a compromised node on the
+/// path (paper Sec. 4, formula (2)): the node saw the message arrive from
+/// `predecessor` and forwarded it to `successor` (`receiver_node` when the
+/// next stop is R). Reports are kept in traversal (time) order.
+struct hop_report {
+  node_id reporter = 0;     ///< the compromised node
+  node_id predecessor = 0;  ///< immediate predecessor on the path
+  node_id successor = 0;    ///< immediate successor (may be receiver_node)
+
+  friend bool operator==(const hop_report&, const hop_report&) = default;
+};
+
+/// Everything the adversary learns about one message: the time-ordered hop
+/// reports from compromised nodes, the receiver's own report of its
+/// predecessor, and — when the sender itself is compromised — the origin.
+/// Compromised nodes that saw nothing report so implicitly (the adversary
+/// knows the compromised set).
+struct observation {
+  std::optional<node_id> origin;       ///< set iff the sender is compromised
+  std::vector<hop_report> reports;     ///< time-ordered
+  node_id receiver_predecessor = 0;    ///< v = x_l (== sender when l == 0)
+
+  friend bool operator==(const observation&, const observation&) = default;
+
+  /// Canonical string key for grouping identical observations (used by the
+  /// brute-force analyzer to build the exact event space).
+  [[nodiscard]] std::string key() const;
+};
+
+/// Simulates the adversary's collection step: given the ground-truth route
+/// and the sorted flag-vector of compromised nodes, produces exactly the
+/// observation the paper's threat model grants the adversary.
+/// `compromised` is indexed by node id (size >= N).
+[[nodiscard]] observation observe(const route& r,
+                                  const std::vector<bool>& compromised);
+
+/// A maximal known-contiguous stretch of the path assembled from chained
+/// reports: [pred, d_1, ..., d_k, succ] where the d_i are compromised
+/// reporters at consecutive positions. `nodes.back()` may be receiver_node.
+struct path_fragment {
+  std::vector<node_id> nodes;
+};
+
+/// Chains time-ordered hop reports into fragments. Throws
+/// std::invalid_argument if the reports are mutually inconsistent (e.g. a
+/// report's successor is compromised but the chained report is missing) —
+/// observations produced by `observe` are always consistent.
+[[nodiscard]] std::vector<path_fragment> assemble_fragments(
+    const observation& obs, const std::vector<bool>& compromised);
+
+}  // namespace anonpath

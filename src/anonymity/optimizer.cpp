@@ -1,0 +1,191 @@
+#include "src/anonymity/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath {
+
+namespace {
+
+/// Objective wrapper: H* of a signature, -inf when infeasible.
+double objective(const system_params& sys, const moment_signature& sig,
+                 double max_len) {
+  if (!sig.feasible(max_len)) return -std::numeric_limits<double>::infinity();
+  return anonymity_degree_from_moments(sys, sig);
+}
+
+/// Coordinate pattern search over (p0, p1, p2) at fixed mean, shrinking the
+/// step until convergence. Robust for this small smooth problem.
+moment_signature refine(const system_params& sys, moment_signature best,
+                        double mean, double max_len, double step) {
+  double best_val = objective(sys, best, max_len);
+  while (step > 1e-10) {
+    bool improved = false;
+    for (int dim = 0; dim < 3; ++dim) {
+      for (double dir : {+1.0, -1.0}) {
+        moment_signature cand = best;
+        double* coord = dim == 0 ? &cand.p0 : dim == 1 ? &cand.p1 : &cand.p2;
+        *coord = std::clamp(*coord + dir * step, 0.0, 1.0);
+        cand.mean = mean;
+        const double val = objective(sys, cand, max_len);
+        if (val > best_val) {
+          best = cand;
+          best_val = val;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) step *= 0.5;
+  }
+  return best;
+}
+
+}  // namespace
+
+optimization_result optimize_for_mean(const system_params& sys,
+                                      double mean_target, path_length max_len,
+                                      int grid) {
+  ANONPATH_EXPECTS(grid >= 8);
+  ANONPATH_EXPECTS(mean_target >= 0.0);
+  ANONPATH_EXPECTS(mean_target <= static_cast<double>(max_len));
+  ANONPATH_EXPECTS(max_len <= sys.node_count - 1);
+
+  const double ml = static_cast<double>(max_len);
+  moment_signature best;
+  double best_val = -std::numeric_limits<double>::infinity();
+
+  // Coarse grid over the (p0, p1, p2) simplex.
+  for (int i0 = 0; i0 <= grid; ++i0) {
+    const double p0 = static_cast<double>(i0) / grid;
+    for (int i1 = 0; i0 + i1 <= grid; ++i1) {
+      const double p1 = static_cast<double>(i1) / grid;
+      for (int i2 = 0; i0 + i1 + i2 <= grid; ++i2) {
+        const double p2 = static_cast<double>(i2) / grid;
+        const moment_signature sig{p0, p1, p2, mean_target};
+        const double val = objective(sys, sig, ml);
+        if (val > best_val) {
+          best_val = val;
+          best = sig;
+        }
+      }
+    }
+  }
+  // Degenerate targets (e.g. mean 0) may only be feasible at corners missed
+  // by the grid; seed explicitly.
+  for (const moment_signature seed :
+       {moment_signature{1.0, 0.0, 0.0, mean_target},
+        moment_signature{0.0, 1.0, 0.0, mean_target},
+        moment_signature{0.0, 0.0, 1.0, mean_target},
+        moment_signature{0.0, 0.0, 0.0, mean_target}}) {
+    const double val = objective(sys, seed, ml);
+    if (val > best_val) {
+      best_val = val;
+      best = seed;
+    }
+  }
+  ANONPATH_ENSURES(std::isfinite(best_val));
+
+  best = refine(sys, best, mean_target, ml, 1.0 / grid);
+
+  optimization_result out{best, realize_signature(best, max_len),
+                          objective(sys, best, ml)};
+  return out;
+}
+
+optimization_result optimize_unconstrained(const system_params& sys,
+                                           path_length max_len) {
+  ANONPATH_EXPECTS(max_len <= sys.node_count - 1);
+  optimization_result best{
+      moment_signature{}, path_length_distribution::fixed(0),
+      -std::numeric_limits<double>::infinity()};
+  // The objective is smooth in the mean; sweep integer means then refine
+  // the winner's neighborhood at finer mean resolution.
+  for (path_length m = 0; m <= max_len; ++m) {
+    auto cand = optimize_for_mean(sys, static_cast<double>(m), max_len, 24);
+    if (cand.degree > best.degree) best = std::move(cand);
+  }
+  const double center = best.signature.mean;
+  for (double dm = -0.9; dm <= 0.9; dm += 0.1) {
+    const double mean = center + dm;
+    if (mean < 0.0 || mean > static_cast<double>(max_len)) continue;
+    auto cand = optimize_for_mean(sys, mean, max_len, 24);
+    if (cand.degree > best.degree) best = std::move(cand);
+  }
+  return best;
+}
+
+optimization_result best_uniform_for_mean(const system_params& sys,
+                                          double mean_target,
+                                          path_length max_len) {
+  const auto twice = static_cast<long long>(std::llround(2.0 * mean_target));
+  ANONPATH_EXPECTS(std::fabs(2.0 * mean_target - static_cast<double>(twice)) <
+                   1e-9);
+  optimization_result best{
+      moment_signature{}, path_length_distribution::fixed(0),
+      -std::numeric_limits<double>::infinity()};
+  for (long long a = 0; a <= twice / 2; ++a) {
+    const long long b = twice - a;
+    if (b > static_cast<long long>(max_len)) continue;
+    auto d = path_length_distribution::uniform(static_cast<path_length>(a),
+                                               static_cast<path_length>(b));
+    const double val = anonymity_degree(sys, d);
+    if (val > best.degree) {
+      best.signature = signature_of(d);
+      best.distribution = std::move(d);
+      best.degree = val;
+    }
+  }
+  ANONPATH_ENSURES(std::isfinite(best.degree));
+  return best;
+}
+
+optimization_result best_fixed(const system_params& sys, path_length max_len) {
+  ANONPATH_EXPECTS(max_len <= sys.node_count - 1);
+  optimization_result best{
+      moment_signature{}, path_length_distribution::fixed(0),
+      -std::numeric_limits<double>::infinity()};
+  for (path_length l = 0; l <= max_len; ++l) {
+    auto d = path_length_distribution::fixed(l);
+    const double val = anonymity_degree(sys, d);
+    if (val > best.degree) {
+      best.signature = signature_of(d);
+      best.distribution = std::move(d);
+      best.degree = val;
+    }
+  }
+  return best;
+}
+
+path_length_distribution random_mean_preserving_neighbor(
+    const path_length_distribution& d, stats::rng& gen, double step) {
+  ANONPATH_EXPECTS(step > 0.0);
+  auto pmf = d.dense_pmf();
+  const auto size = pmf.size();
+  if (size < 3) return d;
+  // Pick three distinct support points a < b < c. The move
+  //   (da, db, dc) = t * (c-b, -(c-a), b-a)
+  // preserves both total mass and mean for any t.
+  const auto a = static_cast<std::size_t>(gen.next_below(size - 2));
+  const auto b = a + 1 + static_cast<std::size_t>(gen.next_below(size - a - 2));
+  const auto c = b + 1 + static_cast<std::size_t>(gen.next_below(size - b - 1));
+  const double ca = static_cast<double>(c - a);
+  const double cb = static_cast<double>(c - b);
+  const double ba = static_cast<double>(b - a);
+  double t = (gen.next_double() * 2.0 - 1.0) * step;
+  // Clamp so all three entries stay non-negative.
+  if (t > 0.0) {
+    t = std::min(t, pmf[b] / ca);
+  } else {
+    t = std::max({t, -pmf[a] / cb, -pmf[c] / ba});
+  }
+  pmf[a] += t * cb;
+  pmf[b] -= t * ca;
+  pmf[c] += t * ba;
+  for (double& p : pmf) p = std::max(0.0, p);
+  return path_length_distribution::from_pmf(std::move(pmf));
+}
+
+}  // namespace anonpath

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "src/anonymity/analytic.hpp"
+#include "src/anonymity/length_distribution.hpp"
+#include "src/anonymity/moments.hpp"
+#include "src/anonymity/types.hpp"
+#include "src/stats/rng.hpp"
+
+namespace anonpath {
+
+/// Solution of the paper's optimization problem (Sec. 5.4, formulas
+/// (15)-(17)): a path-length distribution maximizing the anonymity degree.
+struct optimization_result {
+  moment_signature signature;            ///< optimal (p0, p1, p2, mean)
+  path_length_distribution distribution; ///< a concrete realization
+  double degree = 0.0;                   ///< H*(S) achieved, bits
+};
+
+/// Maximizes H*(S) over ALL length distributions supported on [0, max_len]
+/// with E[L] == mean_target (the Fig-6 "Optimization" curve). Exploits the
+/// structural reduction (DESIGN.md Sec. 2.1): H* depends on the
+/// distribution only through (p0, p1, p2, mean), so the search is an exact
+/// 3-dimensional grid + pattern-search refinement rather than a
+/// high-dimensional simplex program.
+///
+/// Preconditions: sys C=1 analytic preconditions; 0 <= mean_target <=
+/// max_len <= N-1; grid >= 8.
+[[nodiscard]] optimization_result optimize_for_mean(const system_params& sys,
+                                                    double mean_target,
+                                                    path_length max_len,
+                                                    int grid = 48);
+
+/// Maximizes H*(S) with the mean left free (support [0, max_len]).
+[[nodiscard]] optimization_result optimize_unconstrained(
+    const system_params& sys, path_length max_len);
+
+/// Best uniform strategy U(a, b) with (a+b)/2 == mean_target (the family the
+/// paper compares against). Requires 2*mean_target to be integral.
+[[nodiscard]] optimization_result best_uniform_for_mean(
+    const system_params& sys, double mean_target, path_length max_len);
+
+/// Best fixed-length strategy F(l), l in [0, max_len].
+[[nodiscard]] optimization_result best_fixed(const system_params& sys,
+                                             path_length max_len);
+
+/// Draws a random neighbor of `d` by a three-point mass move that preserves
+/// both normalization and the mean exactly (clamped to keep the pmf
+/// non-negative). Used by property tests to verify that no explicit pmf
+/// beats the moment-space optimum. `step` bounds the moved mass.
+[[nodiscard]] path_length_distribution random_mean_preserving_neighbor(
+    const path_length_distribution& d, stats::rng& gen, double step);
+
+}  // namespace anonpath

@@ -1,0 +1,45 @@
+#include "src/anonymity/path_sampler.hpp"
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath {
+
+route sample_simple_route(std::uint32_t node_count, node_id sender,
+                          path_length length, stats::rng& gen) {
+  ANONPATH_EXPECTS(sender < node_count);
+  ANONPATH_EXPECTS(length <= node_count - 1);
+  route r;
+  r.sender = sender;
+  r.hops = gen.sample_distinct(node_count, length, {sender});
+  return r;
+}
+
+route sample_complicated_route(std::uint32_t node_count, node_id sender,
+                               path_length length, stats::rng& gen) {
+  ANONPATH_EXPECTS(node_count >= 2);
+  ANONPATH_EXPECTS(sender < node_count);
+  route r;
+  r.sender = sender;
+  r.hops.reserve(length);
+  node_id prev = sender;
+  for (path_length i = 0; i < length; ++i) {
+    // Uniform over V \ {prev}: draw from N-1 values and skip past prev.
+    auto draw = static_cast<node_id>(gen.next_below(node_count - 1));
+    if (draw >= prev) ++draw;
+    r.hops.push_back(draw);
+    prev = draw;
+  }
+  return r;
+}
+
+route sample_route(std::uint32_t node_count,
+                   const path_length_distribution& lengths, path_model model,
+                   stats::rng& gen) {
+  const auto sender = static_cast<node_id>(gen.next_below(node_count));
+  const path_length l = lengths.sample(gen);
+  return model == path_model::simple
+             ? sample_simple_route(node_count, sender, l, gen)
+             : sample_complicated_route(node_count, sender, l, gen);
+}
+
+}  // namespace anonpath

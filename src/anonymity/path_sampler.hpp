@@ -1,0 +1,36 @@
+#pragma once
+
+#include "src/anonymity/length_distribution.hpp"
+#include "src/anonymity/types.hpp"
+#include "src/stats/rng.hpp"
+
+namespace anonpath {
+
+/// Path models of paper Sec. 3.2: simple paths (no node reused; what the
+/// analytic machinery assumes) and "complicated" paths (cycles allowed,
+/// Crowds-style hop-by-hop forwarding where only immediate self-loops are
+/// excluded).
+enum class path_model {
+  simple,       ///< intermediates are distinct and differ from the sender
+  complicated,  ///< each hop uniform over all nodes except the current one
+};
+
+/// Draws a uniformly random simple route of the given length from `sender`:
+/// an ordered sample of `length` distinct intermediates from V \ {sender}.
+/// Preconditions: sender < node_count, length <= node_count - 1.
+[[nodiscard]] route sample_simple_route(std::uint32_t node_count, node_id sender,
+                                        path_length length, stats::rng& gen);
+
+/// Draws a complicated (cycle-allowing) route: x_1 != sender, and each
+/// subsequent hop uniform over V \ {previous}. Precondition: node_count >= 2.
+[[nodiscard]] route sample_complicated_route(std::uint32_t node_count,
+                                             node_id sender, path_length length,
+                                             stats::rng& gen);
+
+/// Draws a full (sender, length, route) triple from the generative model:
+/// sender uniform over V, length from `lengths`, route per `model`.
+[[nodiscard]] route sample_route(std::uint32_t node_count,
+                                 const path_length_distribution& lengths,
+                                 path_model model, stats::rng& gen);
+
+}  // namespace anonpath

@@ -1,0 +1,201 @@
+#include "src/anonymity/posterior.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/contract.hpp"
+#include "src/stats/logspace.hpp"
+
+namespace anonpath {
+
+posterior_engine::posterior_engine(system_params sys,
+                                   std::vector<node_id> compromised,
+                                   path_length_distribution lengths)
+    : sys_(sys),
+      compromised_(std::move(compromised)),
+      lengths_(std::move(lengths)) {
+  ANONPATH_EXPECTS(sys_.valid());
+  ANONPATH_EXPECTS(compromised_.size() == sys_.compromised_count);
+  ANONPATH_EXPECTS(lengths_.max_length() <= sys_.node_count - 1);
+  compromised_flag_.assign(sys_.node_count, false);
+  for (node_id c : compromised_) {
+    ANONPATH_EXPECTS(c < sys_.node_count);
+    ANONPATH_EXPECTS(!compromised_flag_[c]);
+    compromised_flag_[c] = true;
+  }
+  const auto max_l = lengths_.max_length();
+  log_pl_.resize(max_l + 1);
+  log_paths_per_len_.resize(max_l + 1);
+  for (path_length l = 0; l <= max_l; ++l) {
+    const double p = lengths_.pmf(l);
+    log_pl_[l] = p > 0.0 ? std::log(p) : stats::log_zero();
+    log_paths_per_len_[l] =
+        stats::log_falling_factorial(sys_.node_count - 1, l);
+  }
+}
+
+posterior_engine::block_layout posterior_engine::layout_for(
+    const std::vector<path_fragment>& fragments, node_id v, node_id s) const {
+  block_layout lay;
+  if (s >= sys_.node_count || compromised_flag_[s]) return lay;  // inconsistent
+
+  // Assemble the ordered block list: [s], fragments..., terminal block.
+  std::vector<std::vector<node_id>> blocks;
+  blocks.push_back({s});
+  for (const auto& f : fragments) blocks.push_back(f.nodes);
+
+  const bool v_compromised = v < sys_.node_count && compromised_flag_[v];
+  if (v_compromised) {
+    // The receiver's predecessor reported; its fragment must already end the
+    // path: last fragment = [..., v, receiver_node].
+    if (fragments.empty()) return lay;
+    const auto& last = fragments.back().nodes;
+    if (last.size() < 2 || last.back() != receiver_node ||
+        last[last.size() - 2] != v)
+      return lay;
+  } else {
+    // No fragment may claim to end the path when v is honest.
+    if (!fragments.empty() && fragments.back().nodes.back() == receiver_node)
+      return lay;
+    blocks.push_back({v, receiver_node});
+  }
+
+  // Forced merges: equal boundary nodes are the same path occurrence on a
+  // simple path.
+  std::vector<std::vector<node_id>> merged;
+  merged.push_back(blocks.front());
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    auto& prev = merged.back();
+    const auto& cur = blocks[i];
+    if (prev.back() != receiver_node && prev.back() == cur.front()) {
+      prev.insert(prev.end(), cur.begin() + 1, cur.end());
+    } else {
+      merged.push_back(cur);
+    }
+  }
+
+  // Distinctness across all block nodes (simple path); count honest
+  // observed nodes for the pool size.
+  std::vector<node_id> seen;
+  long long honest_observed = 0;
+  long long span = 0;
+  for (const auto& b : merged) {
+    for (node_id x : b) {
+      ++span;
+      if (x == receiver_node) continue;
+      if (x >= sys_.node_count) return lay;
+      if (std::find(seen.begin(), seen.end(), x) != seen.end()) return lay;
+      seen.push_back(x);
+      if (!compromised_flag_[x]) ++honest_observed;
+    }
+  }
+
+  lay.consistent = true;
+  lay.span_total = span;
+  lay.gap_count = static_cast<long long>(merged.size()) - 1;
+  lay.pool_size = static_cast<long long>(sys_.node_count) -
+                  static_cast<long long>(sys_.compromised_count) -
+                  honest_observed;
+  return lay;
+}
+
+double posterior_engine::log_likelihood_from_layout(
+    const block_layout& lay) const {
+  if (!lay.consistent) return stats::log_zero();
+  double acc = stats::log_zero();
+  const auto max_l = lengths_.max_length();
+  for (path_length l = lengths_.min_length(); l <= max_l; ++l) {
+    if (log_pl_[l] == stats::log_zero()) continue;
+    const long long t = static_cast<long long>(l) + 2 - lay.span_total;
+    if (t < 0) continue;
+    if (lay.gap_count == 0 && t != 0) continue;
+    if (t > lay.pool_size) continue;
+    double log_count = stats::log_falling_factorial(lay.pool_size, t);
+    if (lay.gap_count >= 1)
+      log_count += stats::log_binomial(t + lay.gap_count - 1, lay.gap_count - 1);
+    acc = stats::log_add_exp(acc,
+                             log_pl_[l] + log_count - log_paths_per_len_[l]);
+  }
+  return acc;
+}
+
+double posterior_engine::log_likelihood(const observation& obs,
+                                        node_id s) const {
+  if (obs.origin) {
+    // A compromised sender is observed directly; only that hypothesis has
+    // positive likelihood (magnitude does not matter for the posterior).
+    return s == *obs.origin ? 0.0 : stats::log_zero();
+  }
+  const auto fragments = assemble_fragments(obs, compromised_flag_);
+  return log_likelihood_from_layout(
+      layout_for(fragments, obs.receiver_predecessor, s));
+}
+
+std::vector<double> posterior_engine::sender_posterior_reference(
+    const observation& obs) const {
+  const auto n = sys_.node_count;
+  std::vector<double> post(n, 0.0);
+  if (obs.origin) {
+    post[*obs.origin] = 1.0;
+    return post;
+  }
+  const auto fragments = assemble_fragments(obs, compromised_flag_);
+  std::vector<double> logw(n, stats::log_zero());
+  for (node_id s = 0; s < n; ++s) {
+    logw[s] = log_likelihood_from_layout(
+        layout_for(fragments, obs.receiver_predecessor, s));
+  }
+  const double z = stats::log_sum_exp(logw);
+  ANONPATH_ENSURES(std::isfinite(z));
+  for (node_id s = 0; s < n; ++s) post[s] = std::exp(logw[s] - z);
+  return post;
+}
+
+std::vector<double> posterior_engine::sender_posterior(
+    const observation& obs) const {
+  const auto n = sys_.node_count;
+  std::vector<double> post(n, 0.0);
+  if (obs.origin) {
+    post[*obs.origin] = 1.0;
+    return post;
+  }
+  const auto fragments = assemble_fragments(obs, compromised_flag_);
+  const node_id v = obs.receiver_predecessor;
+
+  // Likelihood classes: (a) the first fragment's predecessor (may be the
+  // sender at position 0); (b) v itself (direct-send hypothesis); (c) any
+  // node appearing in a block (zero — duplicate occurrence); (d) all other
+  // honest nodes share one generic likelihood.
+  std::vector<char> special(n, 0);
+  for (node_id c : compromised_) special[c] = 1;
+  for (const auto& f : fragments)
+    for (node_id x : f.nodes)
+      if (x != receiver_node && x < n) special[x] = 1;
+  if (v < n) special[v] = 1;
+
+  std::vector<double> logw(n, stats::log_zero());
+  double generic = stats::log_zero();
+  bool generic_done = false;
+  for (node_id s = 0; s < n; ++s) {
+    if (special[s]) continue;
+    if (!generic_done) {
+      generic = log_likelihood_from_layout(layout_for(fragments, v, s));
+      generic_done = true;
+    }
+    logw[s] = generic;
+  }
+  // Special candidates evaluated individually (first-fragment predecessor,
+  // v, and observed nodes which come out inconsistent).
+  for (node_id s = 0; s < n; ++s) {
+    if (!special[s]) continue;
+    if (compromised_flag_[s]) continue;  // no origin report => not the sender
+    logw[s] = log_likelihood_from_layout(layout_for(fragments, v, s));
+  }
+
+  const double z = stats::log_sum_exp(logw);
+  ANONPATH_ENSURES(std::isfinite(z));
+  for (node_id s = 0; s < n; ++s) post[s] = std::exp(logw[s] - z);
+  return post;
+}
+
+}  // namespace anonpath

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <vector>
+
+#include "src/anonymity/length_distribution.hpp"
+#include "src/anonymity/observation.hpp"
+#include "src/anonymity/types.hpp"
+
+namespace anonpath {
+
+/// Exact Bayesian sender inference for an arbitrary number of compromised
+/// nodes (paper Sec. 4, Eq. (3)/(7)/(8)), for simple (cycle-free) rerouting
+/// paths on a clique.
+///
+/// The adversary's reports chain into path fragments; for a hypothesis
+/// (sender s, length l) the number of consistent paths factorizes into a
+/// composition count for the unobserved gaps times a falling factorial for
+/// their contents (DESIGN.md Sec. 2.2), evaluated in log space:
+///
+///   count(s, l) = C(T + g - 1, g - 1) * (|U|)_T
+///
+/// with T unobserved slots, g gaps between merged observation blocks, and U
+/// the pool of unobserved honest nodes.
+class posterior_engine {
+ public:
+  /// Preconditions: sys.valid(); `compromised` lists distinct node ids
+  /// < node_count, |compromised| == sys.compromised_count; distribution
+  /// support fits simple paths (max_length <= N-1).
+  posterior_engine(system_params sys, std::vector<node_id> compromised,
+                   path_length_distribution lengths);
+
+  /// Posterior Pr(S = i | obs) over all N nodes. Uses the class-collapsed
+  /// fast path (identical likelihood for all unobserved candidates).
+  [[nodiscard]] std::vector<double> sender_posterior(
+      const observation& obs) const;
+
+  /// Slow reference implementation evaluating every candidate from scratch;
+  /// used by tests to validate the fast path.
+  [[nodiscard]] std::vector<double> sender_posterior_reference(
+      const observation& obs) const;
+
+  /// ln Pr(obs | S = s); -infinity when inconsistent. Exact (no dropped
+  /// s-independent factors), so values are comparable across observations.
+  [[nodiscard]] double log_likelihood(const observation& obs, node_id s) const;
+
+  [[nodiscard]] const system_params& system() const noexcept { return sys_; }
+  [[nodiscard]] const std::vector<node_id>& compromised() const noexcept {
+    return compromised_;
+  }
+  [[nodiscard]] const path_length_distribution& lengths() const noexcept {
+    return lengths_;
+  }
+
+ private:
+  system_params sys_;
+  std::vector<node_id> compromised_;
+  std::vector<bool> compromised_flag_;
+  path_length_distribution lengths_;
+  std::vector<double> log_pl_;              // ln pmf per length
+  std::vector<double> log_paths_per_len_;   // ln (N-1)_l per length
+
+  struct block_layout {
+    bool consistent = false;
+    long long span_total = 0;   // occupied extended-path slots
+    long long gap_count = 0;    // number of gaps between blocks
+    long long pool_size = 0;    // |U| unobserved honest nodes
+  };
+
+  /// Builds the merged block layout for hypothesis sender `s`.
+  [[nodiscard]] block_layout layout_for(
+      const std::vector<path_fragment>& fragments, node_id v, node_id s) const;
+
+  /// ln Pr(obs | s) given a prebuilt layout.
+  [[nodiscard]] double log_likelihood_from_layout(const block_layout& lay) const;
+};
+
+}  // namespace anonpath

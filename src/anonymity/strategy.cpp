@@ -1,0 +1,57 @@
+#include "src/anonymity/strategy.hpp"
+
+namespace anonpath::protocols {
+
+protocol_spec anonymizer() {
+  return {"Anonymizer", path_length_distribution::fixed(1),
+          routing_mode::source_routed};
+}
+
+protocol_spec lpwa() {
+  return {"LPWA", path_length_distribution::fixed(1),
+          routing_mode::source_routed};
+}
+
+protocol_spec freedom() {
+  return {"Freedom", path_length_distribution::fixed(3),
+          routing_mode::source_routed};
+}
+
+protocol_spec onion_routing_v1() {
+  return {"OnionRouting-I", path_length_distribution::fixed(5),
+          routing_mode::source_routed};
+}
+
+protocol_spec onion_routing_v2(double forward_prob, path_length max_len) {
+  return {"OnionRouting-II",
+          path_length_distribution::geometric(forward_prob, 1, max_len),
+          routing_mode::hop_by_hop};
+}
+
+protocol_spec crowds(double forward_prob, path_length max_len) {
+  return {"Crowds", path_length_distribution::geometric(forward_prob, 1, max_len),
+          routing_mode::hop_by_hop};
+}
+
+protocol_spec hordes(double forward_prob, path_length max_len) {
+  return {"Hordes", path_length_distribution::geometric(forward_prob, 1, max_len),
+          routing_mode::hop_by_hop};
+}
+
+protocol_spec pipenet() {
+  return {"PipeNet", path_length_distribution::uniform(3, 4),
+          routing_mode::source_routed};
+}
+
+std::vector<protocol_spec> survey(path_length max_len) {
+  return {anonymizer(),
+          lpwa(),
+          freedom(),
+          onion_routing_v1(),
+          onion_routing_v2(0.75, max_len),
+          crowds(0.75, max_len),
+          hordes(0.75, max_len),
+          pipenet()};
+}
+
+}  // namespace anonpath::protocols

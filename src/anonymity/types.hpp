@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace anonpath {
+
+/// Identifier of a participant node. Nodes are 0 .. N-1; the receiver is an
+/// external party (the paper keeps it outside the N collaborating nodes) and
+/// is denoted by the sentinel `receiver_node`.
+using node_id = std::uint32_t;
+
+/// Sentinel id for the (always-compromised) receiver R.
+inline constexpr node_id receiver_node = 0xFFFFFFFFu;
+
+/// Path length = number of intermediate nodes between sender and receiver
+/// (paper Sec. 3.1). Length 0 means the sender delivers directly to R.
+using path_length = std::uint32_t;
+
+/// Static parameters of a rerouting-based anonymous communication system
+/// (paper Sec. 3.1 / Sec. 4): N collaborating nodes of which C are
+/// compromised; the receiver is compromised in addition.
+struct system_params {
+  std::uint32_t node_count = 0;        ///< N, total nodes (receiver excluded)
+  std::uint32_t compromised_count = 0; ///< C, compromised among the N
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return node_count >= 2 && compromised_count <= node_count;
+  }
+};
+
+/// A rerouting path: sender, then the ordered intermediate nodes. The
+/// receiver is implicit at the end.
+struct route {
+  node_id sender = 0;
+  std::vector<node_id> hops;  ///< x_1 .. x_l, possibly empty (direct send)
+
+  [[nodiscard]] path_length length() const noexcept {
+    return static_cast<path_length>(hops.size());
+  }
+};
+
+}  // namespace anonpath

@@ -1,0 +1,22 @@
+#include "src/crypto/correlation.hpp"
+
+namespace anonpath::crypto {
+
+bool payloads_correlate(std::span<const std::byte> a,
+                        std::span<const std::byte> b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+double payload_similarity(std::span<const std::byte> a,
+                          std::span<const std::byte> b) noexcept {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] == b[i]) ++same;
+  return static_cast<double>(same) / static_cast<double>(a.size());
+}
+
+}  // namespace anonpath::crypto

@@ -1,0 +1,89 @@
+#include "src/crypto/onion.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/crypto/prng_cipher.hpp"
+#include "src/stats/contract.hpp"
+#include "src/stats/rng.hpp"
+
+namespace anonpath::crypto {
+
+namespace {
+
+/// Sentinel "next hop" inside the receiver's own layer: end of route.
+constexpr node_id terminal_marker = 0xFFFFFFFEu;
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(const std::vector<std::byte>& in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(in[i])) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+key_registry::key_registry(std::uint64_t master_seed, std::uint32_t node_count)
+    : master_(master_seed), count_(node_count) {}
+
+std::uint64_t key_registry::key_of(node_id node) const {
+  ANONPATH_EXPECTS(node < count_ || node == receiver_node);
+  std::uint64_t s = master_ ^ (static_cast<std::uint64_t>(node) + 1) * 0xd1b54a32d192ed03ULL;
+  return stats::splitmix64(s);
+}
+
+onion_envelope wrap_onion(const route& r, std::vector<std::byte> payload,
+                          const key_registry& keys, std::uint64_t nonce) {
+  // Innermost layer: encrypted to the receiver, carrying the terminal marker.
+  std::vector<std::byte> current;
+  put_u32(current, terminal_marker);
+  current.insert(current.end(), payload.begin(), payload.end());
+  prng_cipher(keys.key_of(receiver_node)).apply(current, nonce);
+
+  // Wrap outward: the layer handed to hop i tells it hop i+1 (or R).
+  for (std::size_t i = r.hops.size(); i-- > 0;) {
+    const node_id self = r.hops[i];
+    const node_id next = (i + 1 < r.hops.size()) ? r.hops[i + 1] : receiver_node;
+    std::vector<std::byte> layer;
+    layer.reserve(current.size() + 4);
+    put_u32(layer, next);
+    layer.insert(layer.end(), current.begin(), current.end());
+    prng_cipher(keys.key_of(self)).apply(layer, nonce);
+    current = std::move(layer);
+  }
+  return onion_envelope{std::move(current)};
+}
+
+peel_result peel_onion(node_id self, const onion_envelope& env,
+                       const key_registry& keys, std::uint64_t nonce) {
+  if (env.data.size() < 4)
+    throw std::invalid_argument("onion: envelope too short");
+  std::vector<std::byte> clear = env.data;
+  prng_cipher(keys.key_of(self)).apply(clear, nonce);
+  const std::uint32_t next = get_u32(clear);
+  if (next == terminal_marker)
+    throw std::invalid_argument("onion: receiver layer peeled at a relay");
+  peel_result out;
+  out.next = next;
+  out.inner.data.assign(clear.begin() + 4, clear.end());
+  return out;
+}
+
+std::vector<std::byte> open_at_receiver(const onion_envelope& env,
+                                        const key_registry& keys,
+                                        std::uint64_t nonce) {
+  if (env.data.size() < 4)
+    throw std::invalid_argument("onion: envelope too short");
+  std::vector<std::byte> clear = env.data;
+  prng_cipher(keys.key_of(receiver_node)).apply(clear, nonce);
+  if (get_u32(clear) != terminal_marker)
+    throw std::invalid_argument("onion: not a receiver-terminal envelope");
+  return {clear.begin() + 4, clear.end()};
+}
+
+}  // namespace anonpath::crypto

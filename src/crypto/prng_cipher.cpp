@@ -1,0 +1,25 @@
+#include "src/crypto/prng_cipher.hpp"
+
+#include "src/stats/rng.hpp"
+
+namespace anonpath::crypto {
+
+void prng_cipher::apply(std::span<std::byte> data, std::uint64_t nonce) const noexcept {
+  std::uint64_t state = key_ ^ (nonce * 0x9e3779b97f4a7c15ULL);
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint64_t ks = stats::splitmix64(state);
+    for (int b = 0; b < 8 && i < data.size(); ++b, ++i) {
+      data[i] ^= static_cast<std::byte>((ks >> (8 * b)) & 0xFF);
+    }
+  }
+}
+
+std::vector<std::byte> prng_cipher::transform(std::span<const std::byte> data,
+                                              std::uint64_t nonce) const {
+  std::vector<std::byte> out(data.begin(), data.end());
+  apply(out, nonce);
+  return out;
+}
+
+}  // namespace anonpath::crypto

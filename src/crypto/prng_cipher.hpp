@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace anonpath::crypto {
+
+/// Toy symmetric stream cipher: a SplitMix64 keystream XORed over the
+/// payload, keyed by (key, nonce).
+///
+/// NOT cryptographically secure — it is a *simulation substrate* standing in
+/// for the layered encryption of Chaum mixes / onion routing (DESIGN.md,
+/// substitutions table). What the reproduction needs from it is exactly what
+/// it provides: each re-encryption changes every byte of the ciphertext, so
+/// an observer cannot correlate a message across hops by payload bytes
+/// (the property the paper's worst-case adversary is *granted* anyway).
+class prng_cipher {
+ public:
+  explicit prng_cipher(std::uint64_t key) noexcept : key_(key) {}
+
+  /// XOR-encrypts `data` in place under (key, nonce). Involutory:
+  /// applying it twice with the same nonce restores the plaintext.
+  void apply(std::span<std::byte> data, std::uint64_t nonce) const noexcept;
+
+  /// Convenience: returns a transformed copy.
+  [[nodiscard]] std::vector<std::byte> transform(std::span<const std::byte> data,
+                                                 std::uint64_t nonce) const;
+
+  [[nodiscard]] std::uint64_t key() const noexcept { return key_; }
+
+ private:
+  std::uint64_t key_;
+};
+
+}  // namespace anonpath::crypto

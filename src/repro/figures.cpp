@@ -1,0 +1,197 @@
+#include "src/repro/figures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/anonymity/analytic.hpp"
+#include "src/anonymity/length_distribution.hpp"
+#include "src/anonymity/optimizer.hpp"
+#include "src/stats/contract.hpp"
+
+namespace anonpath::repro {
+
+namespace {
+
+labeled_series fixed_length_series(const system_params& sys, path_length lo,
+                                   path_length hi) {
+  labeled_series s;
+  s.label = "F(l)";
+  for (path_length l = lo; l <= hi; ++l) {
+    s.points.push_back({static_cast<double>(l),
+                        anonymity_degree(sys, path_length_distribution::fixed(l))});
+  }
+  return s;
+}
+
+/// U(a, a+width) curve as a function of the width (Figure 4 x-axis).
+labeled_series uniform_width_series(const system_params& sys, path_length a,
+                                    path_length max_width) {
+  labeled_series s;
+  s.label = "U(" + std::to_string(a) + "," + std::to_string(a) + "+L)";
+  const path_length cap = sys.node_count - 1;  // simple paths: b <= N-1
+  for (path_length w = 0; w <= max_width && a + w <= cap; ++w) {
+    s.points.push_back(
+        {static_cast<double>(w),
+         anonymity_degree(sys, path_length_distribution::uniform(
+                                   a, static_cast<path_length>(a + w)))});
+  }
+  return s;
+}
+
+/// U(a, 2L-a) curve as a function of the mean L (Figure 5 x-axis).
+labeled_series uniform_mean_series(const system_params& sys, path_length a,
+                                   path_length max_mean) {
+  labeled_series s;
+  s.label = "U(" + std::to_string(a) + ",2L-" + std::to_string(a) + ")";
+  const path_length cap = sys.node_count - 1;
+  for (path_length mean = a; mean <= max_mean; ++mean) {
+    const long long b = 2LL * mean - a;
+    if (b > static_cast<long long>(cap)) break;
+    s.points.push_back(
+        {static_cast<double>(mean),
+         anonymity_degree(sys, path_length_distribution::uniform(
+                                   a, static_cast<path_length>(b)))});
+  }
+  return s;
+}
+
+}  // namespace
+
+figure fig3a(const system_params& sys) {
+  figure f;
+  f.id = "fig3a";
+  f.title = "Anonymity Degree vs Path Length (fixed-length strategy)";
+  f.series.push_back(fixed_length_series(sys, 0, sys.node_count - 1));
+  return f;
+}
+
+figure fig3b(const system_params& sys) {
+  figure f;
+  f.id = "fig3b";
+  f.title = "Anonymity Degree vs Path Length, short-path region";
+  f.series.push_back(fixed_length_series(sys, 1, 4));
+  return f;
+}
+
+figure fig4(const system_params& sys, char panel) {
+  figure f;
+  f.title = "Anonymity Degree vs Expectation of Path Length (equal variance)";
+  switch (panel) {
+    case 'a':
+      f.id = "fig4a";
+      for (path_length a : {4u, 6u, 10u})
+        f.series.push_back(uniform_width_series(sys, a, 100));
+      break;
+    case 'b':
+      f.id = "fig4b";
+      for (path_length a : {25u, 40u})
+        f.series.push_back(uniform_width_series(sys, a, 80));
+      break;
+    case 'c':
+      f.id = "fig4c";
+      for (path_length a : {51u, 60u, 70u})
+        f.series.push_back(uniform_width_series(sys, a, 50));
+      break;
+    case 'd':
+      f.id = "fig4d";
+      for (path_length a : {0u, 1u, 6u})
+        f.series.push_back(uniform_width_series(sys, a, 100));
+      break;
+    default:
+      throw std::invalid_argument("fig4: panel must be a..d");
+  }
+  return f;
+}
+
+figure fig5(const system_params& sys, char panel) {
+  figure f;
+  f.title = "Anonymity Degree vs Variance of Path Length (equal mean)";
+  const auto add_uniforms = [&](std::initializer_list<unsigned> lowers,
+                                path_length max_mean) {
+    // Simple paths cap at N-1 intermediates; clip the published x-range for
+    // smaller systems.
+    max_mean = std::min(max_mean, static_cast<path_length>(sys.node_count - 1));
+    f.series.push_back(fixed_length_series(sys, 0, max_mean));
+    for (unsigned a : lowers)
+      f.series.push_back(uniform_mean_series(sys, a, max_mean));
+  };
+  switch (panel) {
+    case 'a':
+      f.id = "fig5a";
+      add_uniforms({4u, 6u, 10u}, 50);
+      break;
+    case 'b':
+      f.id = "fig5b";
+      add_uniforms({25u, 40u}, 62);
+      break;
+    case 'c':
+      f.id = "fig5c";
+      add_uniforms({51u, 70u}, 75);
+      break;
+    case 'd':
+      f.id = "fig5d";
+      add_uniforms({1u, 2u, 6u}, 50);
+      break;
+    default:
+      throw std::invalid_argument("fig5: panel must be a..d");
+  }
+  return f;
+}
+
+figure fig6(const system_params& sys, path_length max_mean) {
+  ANONPATH_EXPECTS(max_mean <= sys.node_count - 1);
+  figure f;
+  f.id = "fig6";
+  f.title = "Anonymity Degree vs Optimal Path Length Distribution";
+  f.series.push_back(fixed_length_series(sys, 1, max_mean));
+
+  labeled_series u22;
+  u22.label = "U(2,2L-2)";
+  for (path_length mean = 2; mean <= max_mean; ++mean) {
+    const long long b = 2LL * mean - 2;
+    if (b > static_cast<long long>(sys.node_count - 1)) break;
+    u22.points.push_back(
+        {static_cast<double>(mean),
+         anonymity_degree(sys, path_length_distribution::uniform(
+                                   2, static_cast<path_length>(b)))});
+  }
+  f.series.push_back(std::move(u22));
+
+  labeled_series opt;
+  opt.label = "Optimization";
+  const auto cap = static_cast<path_length>(sys.node_count - 1);
+  for (path_length mean = 1; mean <= max_mean; ++mean) {
+    const auto r = optimize_for_mean(sys, static_cast<double>(mean), cap);
+    opt.points.push_back({static_cast<double>(mean), r.degree});
+  }
+  f.series.push_back(std::move(opt));
+  return f;
+}
+
+void print_figure(const figure& f, std::ostream& os) {
+  os << "# " << f.id << ": " << f.title << "\n";
+  for (const auto& s : f.series) {
+    os << "# series: " << s.label << "\n";
+    os << "x," << s.label << "\n";
+    for (const auto& p : s.points) os << p.x << "," << p.y << "\n";
+  }
+  os << "\n";
+}
+
+series_point series_max(const labeled_series& s) {
+  ANONPATH_EXPECTS(!s.points.empty());
+  return *std::max_element(
+      s.points.begin(), s.points.end(),
+      [](const series_point& a, const series_point& b) { return a.y < b.y; });
+}
+
+double series_value_at(const labeled_series& s, double x) {
+  for (const auto& p : s.points) {
+    if (std::fabs(p.x - x) < 1e-9) return p.y;
+  }
+  throw std::out_of_range("series_value_at: x not sampled in series " + s.label);
+}
+
+}  // namespace anonpath::repro

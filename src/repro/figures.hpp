@@ -1,0 +1,62 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/anonymity/types.hpp"
+
+namespace anonpath::repro {
+
+/// One (x, y) sample of a published curve.
+struct series_point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// One named curve of a figure.
+struct labeled_series {
+  std::string label;
+  std::vector<series_point> points;
+};
+
+/// A full figure: id ("fig3a"), caption, and its curves. All reproduction
+/// benches print these; figure tests assert the paper's claims on them.
+struct figure {
+  std::string id;
+  std::string title;
+  std::vector<labeled_series> series;
+};
+
+/// Figure 3(a): anonymity degree vs fixed path length l in [0, N-1]
+/// (paper: N=100, C=1; peak at l=51, long-path effect beyond).
+[[nodiscard]] figure fig3a(const system_params& sys);
+
+/// Figure 3(b): magnified short-path region l in [1, 4] (short-path effect:
+/// F(1) == F(2) > F(3), F(4) above all of them).
+[[nodiscard]] figure fig3b(const system_params& sys);
+
+/// Figure 4 panels (a)-(d): H* vs interval width L for U(A, A+L) families
+/// with equal variance at equal L. `panel` in {'a','b','c','d'}.
+[[nodiscard]] figure fig4(const system_params& sys, char panel);
+
+/// Figure 5 panels (a)-(d): H* vs mean L at equal mean, varying variance:
+/// F(L) against U(a, 2L-a). `panel` in {'a','b','c','d'}.
+[[nodiscard]] figure fig5(const system_params& sys, char panel);
+
+/// Figure 6: F(L), U(2, 2L-2) and the mean-constrained optimum, L in
+/// [1, max_mean].
+[[nodiscard]] figure fig6(const system_params& sys, path_length max_mean);
+
+/// Prints a figure as commented CSV blocks (one block per series), the
+/// format every reproduction bench emits.
+void print_figure(const figure& f, std::ostream& os);
+
+/// Convenience: the largest y in a series (tests use this for peak checks).
+[[nodiscard]] series_point series_max(const labeled_series& s);
+
+/// Linear interpolation lookup of y at x (exact match expected for integer
+/// grids; throws std::out_of_range when x is outside the series).
+[[nodiscard]] double series_value_at(const labeled_series& s, double x);
+
+}  // namespace anonpath::repro

@@ -1,0 +1,62 @@
+#include "src/sim/adversary.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath::sim {
+
+adversary_monitor::adversary_monitor(std::vector<bool> compromised)
+    : compromised_(std::move(compromised)) {
+  ANONPATH_EXPECTS(!compromised_.empty());
+}
+
+void adversary_monitor::note_origin(std::uint64_t msg, node_id sender) {
+  ANONPATH_EXPECTS(sender < compromised_.size() && compromised_[sender]);
+  log_[msg].origin = sender;
+}
+
+void adversary_monitor::note_relay(std::uint64_t msg, sim_time at,
+                                   node_id reporter, node_id predecessor,
+                                   node_id successor) {
+  ANONPATH_EXPECTS(reporter < compromised_.size() && compromised_[reporter]);
+  log_[msg].captures.push_back(capture{at, {reporter, predecessor, successor}});
+}
+
+void adversary_monitor::note_receipt(std::uint64_t msg, sim_time /*at*/,
+                                     node_id predecessor) {
+  log_[msg].receiver_predecessor = predecessor;
+}
+
+bool adversary_monitor::complete(std::uint64_t msg) const {
+  const auto it = log_.find(msg);
+  return it != log_.end() && it->second.receiver_predecessor.has_value();
+}
+
+observation adversary_monitor::assemble(std::uint64_t msg) const {
+  const auto it = log_.find(msg);
+  if (it == log_.end() || !it->second.receiver_predecessor)
+    throw std::out_of_range("adversary: message not (fully) observed");
+  const auto& pm = it->second;
+
+  observation obs;
+  obs.origin = pm.origin;
+  std::vector<capture> sorted = pm.captures;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const capture& a, const capture& b) { return a.at < b.at; });
+  obs.reports.reserve(sorted.size());
+  for (const auto& c : sorted) obs.reports.push_back(c.report);
+  obs.receiver_predecessor = *pm.receiver_predecessor;
+  return obs;
+}
+
+std::vector<std::uint64_t> adversary_monitor::delivered_messages() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(log_.size());
+  for (const auto& [id, pm] : log_)
+    if (pm.receiver_predecessor) out.push_back(id);
+  return out;
+}
+
+}  // namespace anonpath::sim

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/anonymity/observation.hpp"
+#include "src/anonymity/types.hpp"
+#include "src/sim/event_queue.hpp"
+
+namespace anonpath::sim {
+
+/// The adversary's collection apparatus (paper Sec. 4): agents at
+/// compromised nodes report (time, predecessor, successor) for every
+/// message they relay; the compromised receiver reports its predecessor;
+/// a compromised *sender* is observed originating. The monitor fuses these
+/// per message id (the paper's correlation assumption) and reconstructs the
+/// exact `observation` objects the inference engines consume, sorting
+/// reports by capture time — the simulator never leaks ground-truth order.
+class adversary_monitor {
+ public:
+  /// `compromised` is the flag vector indexed by node id.
+  explicit adversary_monitor(std::vector<bool> compromised);
+
+  /// Called by a compromised node when it *originates* a message.
+  void note_origin(std::uint64_t msg, node_id sender);
+
+  /// Called by a compromised relay when it forwards a message.
+  void note_relay(std::uint64_t msg, sim_time at, node_id reporter,
+                  node_id predecessor, node_id successor);
+
+  /// Called by the (always compromised) receiver on delivery.
+  void note_receipt(std::uint64_t msg, sim_time at, node_id predecessor);
+
+  /// True once the receiver has reported the message.
+  [[nodiscard]] bool complete(std::uint64_t msg) const;
+
+  /// Reconstructs the observation for a delivered message: relay reports
+  /// sorted by capture time, then the receiver's predecessor. Throws
+  /// std::out_of_range for unknown/incomplete messages.
+  [[nodiscard]] observation assemble(std::uint64_t msg) const;
+
+  /// All message ids with a completed observation.
+  [[nodiscard]] std::vector<std::uint64_t> delivered_messages() const;
+
+  [[nodiscard]] const std::vector<bool>& compromised() const noexcept {
+    return compromised_;
+  }
+
+ private:
+  struct capture {
+    sim_time at = 0.0;
+    hop_report report;
+  };
+  struct per_message {
+    std::optional<node_id> origin;
+    std::vector<capture> captures;
+    std::optional<node_id> receiver_predecessor;
+  };
+  std::vector<bool> compromised_;
+  std::map<std::uint64_t, per_message> log_;
+};
+
+}  // namespace anonpath::sim

@@ -1,0 +1,36 @@
+#include "src/sim/event_queue.hpp"
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath::sim {
+
+void event_queue::schedule_at(sim_time at, std::function<void()> action) {
+  ANONPATH_EXPECTS(at >= now_);
+  heap_.push(entry{at, seq_++, std::move(action)});
+}
+
+void event_queue::schedule_in(sim_time delay, std::function<void()> action) {
+  ANONPATH_EXPECTS(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool event_queue::run_next() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; the entry must be moved out via a copy of
+  // the handle before pop. Extract with const_cast-free two-step.
+  entry e = heap_.top();
+  heap_.pop();
+  now_ = e.at;
+  e.action();
+  return true;
+}
+
+bool event_queue::run_until_empty(std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  while (run_next()) {
+    if (++fired >= max_events && !heap_.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace anonpath::sim

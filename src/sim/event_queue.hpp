@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace anonpath::sim {
+
+/// Simulated time in seconds.
+using sim_time = double;
+
+/// Minimal discrete-event scheduler: events execute in timestamp order;
+/// ties break by insertion order (FIFO), which keeps runs deterministic.
+class event_queue {
+ public:
+  /// Schedules `action` at absolute time `at` (>= now()).
+  void schedule_at(sim_time at, std::function<void()> action);
+
+  /// Schedules `action` `delay` seconds from now. Precondition: delay >= 0.
+  void schedule_in(sim_time delay, std::function<void()> action);
+
+  /// Executes the earliest pending event, advancing the clock to it.
+  /// Returns false when the queue is empty.
+  bool run_next();
+
+  /// Drains the queue; stops (and returns false) if `max_events` fire
+  /// without exhausting it — a runaway-protocol guard.
+  bool run_until_empty(std::uint64_t max_events = 100'000'000);
+
+  [[nodiscard]] sim_time now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+ private:
+  struct entry {
+    sim_time at;
+    std::uint64_t seq;
+    std::function<void()> action;
+  };
+  struct later {
+    bool operator()(const entry& a, const entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<entry, std::vector<entry>, later> heap_;
+  sim_time now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace anonpath::sim

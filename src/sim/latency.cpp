@@ -1,0 +1,16 @@
+#include "src/sim/latency.hpp"
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath::sim {
+
+latency_model::latency_model(latency_params params, stats::rng gen)
+    : params_(params), gen_(gen) {
+  ANONPATH_EXPECTS(params_.valid());
+}
+
+sim_time latency_model::link_delay() {
+  return params_.base + params_.jitter * gen_.next_double();
+}
+
+}  // namespace anonpath::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "src/sim/event_queue.hpp"
+#include "src/stats/rng.hpp"
+
+namespace anonpath::sim {
+
+/// Link-latency model for the clique transport: every hop costs a base
+/// propagation delay plus uniform jitter, and every relay adds a processing
+/// (store-and-forward / mix batching) delay. Times in seconds.
+struct latency_params {
+  double base = 0.020;        ///< per-link propagation floor
+  double jitter = 0.010;      ///< uniform extra in [0, jitter)
+  double processing = 0.005;  ///< per-relay handling cost
+
+  [[nodiscard]] bool valid() const noexcept {
+    return base >= 0.0 && jitter >= 0.0 && processing >= 0.0;
+  }
+};
+
+/// Samples per-hop link delays.
+class latency_model {
+ public:
+  /// Preconditions: params.valid().
+  latency_model(latency_params params, stats::rng gen);
+
+  /// One link traversal delay (base + jitter draw).
+  [[nodiscard]] sim_time link_delay();
+
+  /// Relay processing delay (deterministic).
+  [[nodiscard]] sim_time processing_delay() const noexcept {
+    return params_.processing;
+  }
+
+  [[nodiscard]] const latency_params& params() const noexcept { return params_; }
+
+ private:
+  latency_params params_;
+  stats::rng gen_;
+};
+
+}  // namespace anonpath::sim

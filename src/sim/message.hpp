@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/anonymity/types.hpp"
+#include "src/crypto/onion.hpp"
+
+namespace anonpath::sim {
+
+/// How a message is being routed through the network.
+enum class transport_kind {
+  onion,   ///< source-routed; relays peel layers (Onion Routing / Freedom)
+  crowds,  ///< hop-by-hop; relays flip the forwarding coin (Crowds / OR-II)
+};
+
+/// A message as it appears on one wire between two parties.
+///
+/// `id` is the correlation handle the paper's worst-case adversary is
+/// assumed to possess (Sec. 4: compromised nodes can tell that two captures
+/// are the same message). Honest parties never use it for routing.
+struct wire_message {
+  std::uint64_t id = 0;
+  transport_kind kind = transport_kind::onion;
+
+  /// Onion transport: the layered envelope for the next hop.
+  crypto::onion_envelope envelope;
+
+  /// Crowds transport: plaintext payload plus the coin parameter relays use.
+  std::vector<std::byte> payload;
+  double forward_prob = 0.0;
+};
+
+}  // namespace anonpath::sim

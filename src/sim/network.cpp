@@ -1,0 +1,63 @@
+#include "src/sim/network.hpp"
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath::sim {
+
+network::network(std::uint32_t node_count, latency_params params,
+                 std::uint64_t seed, double drop_probability)
+    : node_count_(node_count),
+      latency_(params, stats::rng(seed)),
+      drop_probability_(drop_probability),
+      drop_rng_(seed ^ 0x5bf03635f0a5b1c5ULL),
+      sinks_(node_count, nullptr) {
+  ANONPATH_EXPECTS(node_count >= 2);
+  ANONPATH_EXPECTS(drop_probability >= 0.0 && drop_probability < 1.0);
+}
+
+void network::register_node(node_id id, message_sink& sink) {
+  ANONPATH_EXPECTS(id < node_count_);
+  ANONPATH_EXPECTS(sinks_[id] == nullptr);
+  sinks_[id] = &sink;
+}
+
+void network::register_receiver(message_sink& sink) {
+  ANONPATH_EXPECTS(receiver_sink_ == nullptr);
+  receiver_sink_ = &sink;
+}
+
+void network::originate(node_id origin, sim_time at, std::uint64_t msg_id) {
+  ANONPATH_EXPECTS(origin < node_count_);
+  auto& trace = traces_[msg_id];
+  trace.origin = origin;
+  trace.sent_at = at;
+}
+
+void network::send(node_id from, node_id to, wire_message msg) {
+  ANONPATH_EXPECTS(from < node_count_);
+  ANONPATH_EXPECTS(to < node_count_ || to == receiver_node);
+  message_sink* sink =
+      to == receiver_node ? receiver_sink_ : sinks_[to];
+  ANONPATH_EXPECTS(sink != nullptr);
+
+  if (drop_probability_ > 0.0 && drop_rng_.next_bernoulli(drop_probability_)) {
+    ++dropped_;  // journey ends silently; the trace stays undelivered
+    return;
+  }
+
+  const sim_time delay = latency_.link_delay();
+  const std::uint64_t id = msg.id;
+  queue_.schedule_in(delay, [this, sink, from, to, id,
+                             m = std::move(msg)]() mutable {
+    auto& trace = traces_[id];
+    if (to == receiver_node) {
+      trace.delivered = true;
+      trace.delivered_at = queue_.now();
+    } else {
+      trace.visited.push_back(to);
+    }
+    sink->on_message(from, std::move(m));
+  });
+}
+
+}  // namespace anonpath::sim

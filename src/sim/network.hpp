@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/anonymity/types.hpp"
+#include "src/sim/event_queue.hpp"
+#include "src/sim/latency.hpp"
+#include "src/sim/message.hpp"
+
+namespace anonpath::sim {
+
+/// Interface of anything that can accept a message from the wire.
+class message_sink {
+ public:
+  virtual ~message_sink() = default;
+  /// `from` is the transport-level immediate sender (what a real node's
+  /// network stack would see). Exactly the paper's observability model.
+  virtual void on_message(node_id from, wire_message msg) = 0;
+};
+
+/// Ground-truth record of one message's journey, kept by the network fabric
+/// (the "physics" of the simulation — never visible to the adversary).
+struct message_trace {
+  node_id origin = 0;
+  std::vector<node_id> visited;   ///< nodes traversed after the origin
+  sim_time sent_at = 0.0;
+  sim_time delivered_at = 0.0;
+  bool delivered = false;
+};
+
+/// The clique transport of paper Sec. 3.1: every host can reach every other
+/// host directly; a hop costs a sampled link latency. Supports lossy links
+/// (failure injection): each transmission is dropped independently with
+/// `drop_probability`, in which case the message journey simply ends —
+/// exactly how a best-effort datagram network fails. Also the keeper of
+/// ground-truth traces for validation.
+class network {
+ public:
+  /// Preconditions: node_count >= 2, params.valid(),
+  /// 0 <= drop_probability < 1.
+  network(std::uint32_t node_count, latency_params params, std::uint64_t seed,
+          double drop_probability = 0.0);
+
+  /// Registers the sink for a relay node (exactly once per id).
+  void register_node(node_id id, message_sink& sink);
+
+  /// Registers the receiver endpoint R.
+  void register_receiver(message_sink& sink);
+
+  /// Starts a message journey at `origin` (records the trace start).
+  void originate(node_id origin, sim_time at, std::uint64_t msg_id);
+
+  /// Transmits `msg` from `from` to `to` (`receiver_node` for R) after a
+  /// sampled link delay. Preconditions: parties registered.
+  void send(node_id from, node_id to, wire_message msg);
+
+  [[nodiscard]] event_queue& queue() noexcept { return queue_; }
+  [[nodiscard]] std::uint32_t node_count() const noexcept { return node_count_; }
+
+  /// Ground truth for tests/metrics.
+  [[nodiscard]] const std::map<std::uint64_t, message_trace>& traces() const noexcept {
+    return traces_;
+  }
+
+  /// Transmissions lost to failure injection so far.
+  [[nodiscard]] std::uint64_t dropped_count() const noexcept { return dropped_; }
+
+ private:
+  std::uint32_t node_count_;
+  event_queue queue_;
+  latency_model latency_;
+  double drop_probability_;
+  stats::rng drop_rng_;
+  std::uint64_t dropped_ = 0;
+  std::vector<message_sink*> sinks_;
+  message_sink* receiver_sink_ = nullptr;
+  std::map<std::uint64_t, message_trace> traces_;
+};
+
+}  // namespace anonpath::sim

@@ -1,0 +1,21 @@
+#include "src/sim/receiver.hpp"
+
+namespace anonpath::sim {
+
+receiver_endpoint::receiver_endpoint(network& net,
+                                     const crypto::key_registry& keys,
+                                     adversary_monitor* monitor)
+    : net_(net), keys_(keys), monitor_(monitor) {}
+
+void receiver_endpoint::on_message(node_id from, wire_message msg) {
+  delivery d;
+  d.predecessor = from;
+  d.at = net_.queue().now();
+  d.payload = msg.kind == transport_kind::onion
+                  ? crypto::open_at_receiver(msg.envelope, keys_, msg.id)
+                  : msg.payload;
+  if (monitor_ != nullptr) monitor_->note_receipt(msg.id, d.at, from);
+  deliveries_.emplace(msg.id, std::move(d));
+}
+
+}  // namespace anonpath::sim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/crypto/onion.hpp"
+#include "src/sim/adversary.hpp"
+#include "src/sim/network.hpp"
+
+namespace anonpath::sim {
+
+/// The destination endpoint R. Always compromised per the paper's threat
+/// model: every delivery is reported to the adversary with the immediate
+/// predecessor. Onion payloads are opened (integrity check of the crypto
+/// substrate); Crowds payloads arrive in the clear.
+class receiver_endpoint final : public message_sink {
+ public:
+  receiver_endpoint(network& net, const crypto::key_registry& keys,
+                    adversary_monitor* monitor);
+
+  void on_message(node_id from, wire_message msg) override;
+
+  struct delivery {
+    node_id predecessor = 0;
+    sim_time at = 0.0;
+    std::vector<std::byte> payload;
+  };
+
+  [[nodiscard]] std::uint64_t delivered_count() const noexcept {
+    return deliveries_.size();
+  }
+  [[nodiscard]] const std::map<std::uint64_t, delivery>& deliveries() const noexcept {
+    return deliveries_;
+  }
+
+ private:
+  network& net_;
+  const crypto::key_registry& keys_;
+  adversary_monitor* monitor_;
+  std::map<std::uint64_t, delivery> deliveries_;
+};
+
+}  // namespace anonpath::sim

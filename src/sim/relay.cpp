@@ -1,0 +1,62 @@
+#include "src/sim/relay.hpp"
+
+namespace anonpath::sim {
+
+onion_relay::onion_relay(node_id self, network& net,
+                         const crypto::key_registry& keys,
+                         double processing_delay, bool compromised,
+                         adversary_monitor* monitor)
+    : self_(self),
+      net_(net),
+      keys_(keys),
+      processing_delay_(processing_delay),
+      compromised_(compromised),
+      monitor_(monitor) {}
+
+void onion_relay::on_message(node_id from, wire_message msg) {
+  const auto peeled = crypto::peel_onion(self_, msg.envelope, keys_, msg.id);
+  if (compromised_ && monitor_ != nullptr) {
+    monitor_->note_relay(msg.id, net_.queue().now(), self_, from, peeled.next);
+  }
+  ++forwarded_;
+  wire_message out;
+  out.id = msg.id;
+  out.kind = transport_kind::onion;
+  out.envelope = peeled.inner;
+  const node_id next = peeled.next;
+  net_.queue().schedule_in(processing_delay_,
+                           [this, next, m = std::move(out)]() mutable {
+                             net_.send(self_, next, std::move(m));
+                           });
+}
+
+crowds_relay::crowds_relay(node_id self, network& net, double processing_delay,
+                           bool compromised, adversary_monitor* monitor,
+                           stats::rng gen)
+    : self_(self),
+      net_(net),
+      processing_delay_(processing_delay),
+      compromised_(compromised),
+      monitor_(monitor),
+      gen_(gen) {}
+
+void crowds_relay::on_message(node_id from, wire_message msg) {
+  // Flip the coin: forward to another node with probability forward_prob,
+  // otherwise submit to the receiver.
+  node_id next = receiver_node;
+  if (gen_.next_bernoulli(msg.forward_prob)) {
+    auto draw = static_cast<node_id>(gen_.next_below(net_.node_count() - 1));
+    if (draw >= self_) ++draw;
+    next = draw;
+  }
+  if (compromised_ && monitor_ != nullptr) {
+    monitor_->note_relay(msg.id, net_.queue().now(), self_, from, next);
+  }
+  const node_id target = next;
+  net_.queue().schedule_in(processing_delay_,
+                           [this, target, m = std::move(msg)]() mutable {
+                             net_.send(self_, target, std::move(m));
+                           });
+}
+
+}  // namespace anonpath::sim

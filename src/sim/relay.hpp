@@ -1,0 +1,59 @@
+#pragma once
+
+#include "src/crypto/onion.hpp"
+#include "src/sim/adversary.hpp"
+#include "src/sim/network.hpp"
+#include "src/stats/rng.hpp"
+
+namespace anonpath::sim {
+
+/// A source-routed relay (Onion Routing / Freedom / PipeNet style): peels
+/// its onion layer, learns only predecessor and successor, forwards after a
+/// processing delay. If compromised, its adversary agent files the paper's
+/// (t, pred, succ) tuple.
+class onion_relay final : public message_sink {
+ public:
+  onion_relay(node_id self, network& net, const crypto::key_registry& keys,
+              double processing_delay, bool compromised,
+              adversary_monitor* monitor);
+
+  void on_message(node_id from, wire_message msg) override;
+
+  [[nodiscard]] node_id id() const noexcept { return self_; }
+  [[nodiscard]] std::uint64_t forwarded_count() const noexcept {
+    return forwarded_;
+  }
+
+ private:
+  node_id self_;
+  network& net_;
+  const crypto::key_registry& keys_;
+  double processing_delay_;
+  bool compromised_;
+  adversary_monitor* monitor_;
+  std::uint64_t forwarded_ = 0;
+};
+
+/// A hop-by-hop relay (Crowds / Onion Routing II / Hordes style): flips the
+/// forwarding coin carried in the message; forwards to a uniform random
+/// other node or delivers to the receiver. Payload travels unchanged — which
+/// is precisely why Crowds messages are trivially correlatable.
+class crowds_relay final : public message_sink {
+ public:
+  crowds_relay(node_id self, network& net, double processing_delay,
+               bool compromised, adversary_monitor* monitor, stats::rng gen);
+
+  void on_message(node_id from, wire_message msg) override;
+
+  [[nodiscard]] node_id id() const noexcept { return self_; }
+
+ private:
+  node_id self_;
+  network& net_;
+  double processing_delay_;
+  bool compromised_;
+  adversary_monitor* monitor_;
+  stats::rng gen_;
+};
+
+}  // namespace anonpath::sim

@@ -1,0 +1,30 @@
+#include "src/sim/workload.hpp"
+
+#include <cmath>
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath::sim {
+
+std::vector<arrival> poisson_workload(std::uint32_t node_count, double rate,
+                                      std::uint32_t count, stats::rng& gen) {
+  ANONPATH_EXPECTS(rate > 0.0);
+  ANONPATH_EXPECTS(count > 0);
+  ANONPATH_EXPECTS(node_count >= 1);
+  std::vector<arrival> out;
+  out.reserve(count);
+  sim_time t = 0.0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    // Exponential inter-arrival via inverse CDF; guard against log(0).
+    const double u = std::max(gen.next_double(), 1e-300);
+    t += -std::log(u) / rate;
+    arrival a;
+    a.at = t;
+    a.sender = static_cast<node_id>(gen.next_below(node_count));
+    a.msg_id = i + 1;  // ids start at 1; 0 reserved as "unset"
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace anonpath::sim

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/anonymity/types.hpp"
+#include "src/sim/event_queue.hpp"
+#include "src/stats/rng.hpp"
+
+namespace anonpath::sim {
+
+/// One planned message submission.
+struct arrival {
+  sim_time at = 0.0;
+  node_id sender = 0;
+  std::uint64_t msg_id = 0;
+};
+
+/// Poisson-process traffic: exponential inter-arrival times at `rate`
+/// messages/second, senders uniform over the N nodes (the paper's uniform
+/// sender prior made operational).
+///
+/// Preconditions: rate > 0, count > 0, node_count >= 1.
+[[nodiscard]] std::vector<arrival> poisson_workload(std::uint32_t node_count,
+                                                    double rate,
+                                                    std::uint32_t count,
+                                                    stats::rng& gen);
+
+}  // namespace anonpath::sim

@@ -1,0 +1,114 @@
+#include "src/stats/chi_square.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "src/stats/contract.hpp"
+#include "src/stats/kahan.hpp"
+
+namespace anonpath::stats {
+
+namespace {
+
+// Regularized lower incomplete gamma P(a, x) by power series (x < a + 1).
+double gamma_p_series(double a, double x) {
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int n = 1; n < 500; ++n) {
+    term *= x / (a + n);
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-16) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Regularized upper incomplete gamma Q(a, x) by Lentz continued fraction
+// (x >= a + 1).
+double gamma_q_cont_fraction(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-16) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double chi_square_upper_tail(double x, int k) {
+  ANONPATH_EXPECTS(x >= 0.0);
+  ANONPATH_EXPECTS(k >= 1);
+  const double a = 0.5 * static_cast<double>(k);
+  const double hx = 0.5 * x;
+  if (hx == 0.0) return 1.0;
+  if (hx < a + 1.0) return 1.0 - gamma_p_series(a, hx);
+  return gamma_q_cont_fraction(a, hx);
+}
+
+chi_square_result chi_square_goodness_of_fit(
+    std::span<const std::uint64_t> observed, std::span<const double> expected_probs,
+    double min_expected) {
+  ANONPATH_EXPECTS(observed.size() == expected_probs.size());
+  ANONPATH_EXPECTS(observed.size() > 1);
+
+  kahan_sum total_count;
+  for (auto o : observed) total_count.add(static_cast<double>(o));
+  const double n = total_count.value();
+  ANONPATH_EXPECTS(n > 0.0);
+
+  // Pool adjacent bins until each pooled bin has enough expected mass.
+  std::vector<double> pooled_exp;
+  std::vector<double> pooled_obs;
+  double acc_exp = 0.0;
+  double acc_obs = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    acc_exp += expected_probs[i] * n;
+    acc_obs += static_cast<double>(observed[i]);
+    if (acc_exp >= min_expected) {
+      pooled_exp.push_back(acc_exp);
+      pooled_obs.push_back(acc_obs);
+      acc_exp = acc_obs = 0.0;
+    }
+  }
+  if (acc_exp > 0.0 || acc_obs > 0.0) {
+    if (!pooled_exp.empty()) {
+      pooled_exp.back() += acc_exp;
+      pooled_obs.back() += acc_obs;
+    } else {
+      pooled_exp.push_back(acc_exp);
+      pooled_obs.push_back(acc_obs);
+    }
+  }
+
+  chi_square_result result;
+  if (pooled_exp.size() < 2) {
+    // Degenerate: everything pooled into one bin, nothing to test.
+    result.degrees_of_freedom = 0;
+    result.p_value = 1.0;
+    return result;
+  }
+
+  kahan_sum stat;
+  for (std::size_t i = 0; i < pooled_exp.size(); ++i) {
+    const double d = pooled_obs[i] - pooled_exp[i];
+    stat.add(d * d / pooled_exp[i]);
+  }
+  result.statistic = stat.value();
+  result.degrees_of_freedom = static_cast<int>(pooled_exp.size()) - 1;
+  result.p_value = chi_square_upper_tail(result.statistic, result.degrees_of_freedom);
+  return result;
+}
+
+}  // namespace anonpath::stats

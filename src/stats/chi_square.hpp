@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace anonpath::stats {
+
+/// Result of a chi-square goodness-of-fit test.
+struct chi_square_result {
+  double statistic = 0.0;   ///< sum (obs - exp)^2 / exp over used bins
+  int degrees_of_freedom = 0;
+  double p_value = 1.0;     ///< upper-tail probability of the statistic
+};
+
+/// Pearson chi-square goodness-of-fit between observed counts and expected
+/// probabilities. Bins with expected count below `min_expected` are pooled
+/// into the following bin to keep the asymptotic approximation valid.
+/// Preconditions: sizes match and are > 1; probabilities sum to ~1.
+[[nodiscard]] chi_square_result chi_square_goodness_of_fit(
+    std::span<const std::uint64_t> observed, std::span<const double> expected_probs,
+    double min_expected = 5.0);
+
+/// Upper-tail probability P(X >= x) for a chi-square distribution with k
+/// degrees of freedom, via the regularized incomplete gamma function
+/// (series + continued fraction, self-contained). Preconditions: x >= 0, k >= 1.
+[[nodiscard]] double chi_square_upper_tail(double x, int k);
+
+}  // namespace anonpath::stats

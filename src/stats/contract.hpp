@@ -1,0 +1,43 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace anonpath {
+
+/// Thrown when a precondition or postcondition stated by a public interface
+/// is violated. Follows Core Guidelines I.5/I.6: preconditions are stated and
+/// checked; a violation is a programming error surfaced as an exception so
+/// that tests can assert on it.
+class contract_violation : public std::logic_error {
+ public:
+  explicit contract_violation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line) {
+  throw contract_violation(std::string(kind) + " failed: " + cond + " at " +
+                           file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace anonpath
+
+/// Precondition check (Core Guidelines I.6). Always on: the checks guard
+/// cheap scalar conditions on public API boundaries.
+#define ANONPATH_EXPECTS(cond)                                            \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::anonpath::detail::contract_fail("precondition", #cond, __FILE__,  \
+                                        __LINE__);                        \
+  } while (false)
+
+/// Postcondition check (Core Guidelines I.8).
+#define ANONPATH_ENSURES(cond)                                            \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::anonpath::detail::contract_fail("postcondition", #cond, __FILE__, \
+                                        __LINE__);                        \
+  } while (false)

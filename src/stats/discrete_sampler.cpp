@@ -1,0 +1,64 @@
+#include "src/stats/discrete_sampler.hpp"
+
+#include <cmath>
+
+#include "src/stats/contract.hpp"
+#include "src/stats/kahan.hpp"
+
+namespace anonpath::stats {
+
+discrete_sampler::discrete_sampler(std::span<const double> weights) {
+  ANONPATH_EXPECTS(!weights.empty());
+  kahan_sum total;
+  for (double w : weights) {
+    ANONPATH_EXPECTS(w >= 0.0 && std::isfinite(w));
+    total.add(w);
+  }
+  ANONPATH_EXPECTS(total.value() > 0.0);
+
+  const std::size_t n = weights.size();
+  pmf_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) pmf_[i] = weights[i] / total.value();
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's algorithm: split scaled probabilities into "small" (< 1) and
+  // "large" (>= 1) worklists, pairing each small column with a large donor.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = pmf_[i] * static_cast<double>(n);
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are 1.0 up to rounding.
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+  for (std::uint32_t s : small) prob_[s] = 1.0;
+}
+
+std::size_t discrete_sampler::sample(rng& gen) const {
+  const std::size_t col = static_cast<std::size_t>(gen.next_below(prob_.size()));
+  return gen.next_double() < prob_[col] ? col : alias_[col];
+}
+
+double discrete_sampler::probability(std::size_t i) const {
+  ANONPATH_EXPECTS(i < pmf_.size());
+  return pmf_[i];
+}
+
+}  // namespace anonpath::stats

@@ -1,0 +1,36 @@
+#include "src/stats/histogram.hpp"
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath::stats {
+
+int_histogram::int_histogram(std::size_t size) : counts_(size, 0) {
+  ANONPATH_EXPECTS(size > 0);
+}
+
+void int_histogram::add(std::size_t value) {
+  ANONPATH_EXPECTS(value < counts_.size());
+  ++counts_[value];
+  ++total_;
+}
+
+std::uint64_t int_histogram::count(std::size_t bin) const {
+  ANONPATH_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double int_histogram::frequency(std::size_t bin) const {
+  ANONPATH_EXPECTS(bin < counts_.size());
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+double int_histogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    acc += static_cast<double>(i) * static_cast<double>(counts_[i]);
+  return acc / static_cast<double>(total_);
+}
+
+}  // namespace anonpath::stats

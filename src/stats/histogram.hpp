@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace anonpath::stats {
+
+/// Dense integer histogram over [0, size). Used to validate path-length
+/// samplers against their analytic pmfs and to tabulate simulator traces.
+class int_histogram {
+ public:
+  /// Creates `size` zero-initialized bins. Precondition: size > 0.
+  explicit int_histogram(std::size_t size);
+
+  /// Increments the bin for `value`. Precondition: value < size().
+  void add(std::size_t value);
+
+  [[nodiscard]] std::size_t size() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Empirical probability of a bin (0 when the histogram is empty).
+  [[nodiscard]] double frequency(std::size_t bin) const;
+
+  /// Empirical mean of the recorded values (0 when empty).
+  [[nodiscard]] double mean() const noexcept;
+
+  /// All counts, bin-indexed.
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace anonpath::stats

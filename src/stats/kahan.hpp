@@ -1,0 +1,35 @@
+#pragma once
+
+namespace anonpath::stats {
+
+/// Kahan–Neumaier compensated accumulator. Long probability-weighted sums
+/// (entropy over thousands of event classes, Monte-Carlo averages) lose
+/// precision under naive summation; this keeps the error O(1) ulp.
+class kahan_sum {
+ public:
+  constexpr kahan_sum() noexcept = default;
+
+  constexpr void add(double x) noexcept {
+    const double t = sum_ + x;
+    if ((sum_ >= 0 ? sum_ : -sum_) >= (x >= 0 ? x : -x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  constexpr kahan_sum& operator+=(double x) noexcept {
+    add(x);
+    return *this;
+  }
+
+  /// Compensated total.
+  [[nodiscard]] constexpr double value() const noexcept { return sum_ + comp_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+}  // namespace anonpath::stats

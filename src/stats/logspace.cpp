@@ -1,0 +1,56 @@
+#include "src/stats/logspace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/stats/contract.hpp"
+#include "src/stats/kahan.hpp"
+
+namespace anonpath::stats {
+
+double log_zero() noexcept { return -std::numeric_limits<double>::infinity(); }
+
+double log_falling_factorial(long long n, long long k) {
+  ANONPATH_EXPECTS(n >= 0);
+  ANONPATH_EXPECTS(k >= 0 && k <= n);
+  if (k == 0) return 0.0;
+  // lgamma is exact enough here (n small in this codebase), but direct
+  // summation below ~64 terms is both faster and exact to 1 ulp per term.
+  if (k <= 64) {
+    kahan_sum acc;
+    for (long long i = 0; i < k; ++i)
+      acc.add(std::log(static_cast<double>(n - i)));
+    return acc.value();
+  }
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double log_binomial(long long n, long long k) {
+  ANONPATH_EXPECTS(n >= 0);
+  ANONPATH_EXPECTS(k >= 0 && k <= n);
+  const long long kk = std::min(k, n - k);
+  return log_falling_factorial(n, kk) - log_falling_factorial(kk, kk);
+}
+
+double log_add_exp(double a, double b) {
+  if (std::isinf(a) && a < 0) return b;
+  if (std::isinf(b) && b < 0) return a;
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double log_sum_exp(std::span<const double> xs) {
+  double hi = log_zero();
+  for (double x : xs) hi = std::max(hi, x);
+  if (std::isinf(hi) && hi < 0) return log_zero();
+  kahan_sum acc;
+  for (double x : xs) {
+    if (!(std::isinf(x) && x < 0)) acc.add(std::exp(x - hi));
+  }
+  return hi + std::log(acc.value());
+}
+
+}  // namespace anonpath::stats

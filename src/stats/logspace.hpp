@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+
+namespace anonpath::stats {
+
+/// Natural-log-domain helpers for combinatorial likelihoods whose linear-space
+/// values overflow double (falling factorials of ~100 terms and larger).
+
+/// ln of the falling factorial n * (n-1) * ... * (n-k+1) = n!/(n-k)!.
+/// Preconditions: n >= 0, 0 <= k <= n. Returns 0 for k == 0.
+[[nodiscard]] double log_falling_factorial(long long n, long long k);
+
+/// ln of the binomial coefficient C(n, k). Preconditions: n >= 0, 0 <= k <= n.
+[[nodiscard]] double log_binomial(long long n, long long k);
+
+/// Numerically stable ln(sum_i exp(x_i)). Empty input yields -infinity.
+/// Entries equal to -infinity are ignored.
+[[nodiscard]] double log_sum_exp(std::span<const double> xs);
+
+/// Stable ln(exp(a) + exp(b)); either side may be -infinity.
+[[nodiscard]] double log_add_exp(double a, double b);
+
+/// Negative infinity constant used as "log of zero probability".
+[[nodiscard]] double log_zero() noexcept;
+
+}  // namespace anonpath::stats

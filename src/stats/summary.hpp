@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+namespace anonpath::stats {
+
+/// Streaming mean/variance accumulator (Welford's algorithm), numerically
+/// stable for millions of Monte-Carlo samples. Provides normal-approximation
+/// confidence intervals for the mean.
+class running_summary {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Standard error of the mean; 0 when fewer than two samples.
+  [[nodiscard]] double std_error() const noexcept;
+
+  /// Half-width of the two-sided normal-approximation confidence interval
+  /// at the given z value (default z = 1.96 ~ 95%).
+  [[nodiscard]] double ci_half_width(double z = 1.96) const noexcept;
+
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merges another summary (parallel reduction), Chan et al. formula.
+  void merge(const running_summary& other) noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace anonpath::stats

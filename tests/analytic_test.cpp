@@ -1,0 +1,233 @@
+#include "src/anonymity/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/anonymity/closed_forms.hpp"
+#include "src/anonymity/length_distribution.hpp"
+#include "src/anonymity/moments.hpp"
+#include "src/stats/contract.hpp"
+
+namespace anonpath {
+namespace {
+
+constexpr system_params paper_system{100, 1};  // N=100, C=1 as in Sec. 6
+
+TEST(Analytic, DirectSendHasNoAnonymity) {
+  // H*_F(0) = 0: the receiver identifies the sender (paper Fig 3b remark).
+  EXPECT_DOUBLE_EQ(
+      anonymity_degree(paper_system, path_length_distribution::fixed(0)), 0.0);
+}
+
+TEST(Analytic, PaperAnchorLengthOneAndTwo) {
+  // Short-path effect: F(1) and F(2) have the *same* degree
+  // ((N-2)/N) log2(N-2) = 6.48242 bits at N=100.
+  const double h1 =
+      anonymity_degree(paper_system, path_length_distribution::fixed(1));
+  const double h2 =
+      anonymity_degree(paper_system, path_length_distribution::fixed(2));
+  EXPECT_NEAR(h1, 0.98 * std::log2(98.0), 1e-12);
+  EXPECT_NEAR(h1, h2, 1e-12);
+  EXPECT_NEAR(h1, 6.4824, 5e-4);  // value readable off the paper's Fig 3(b)
+}
+
+TEST(Analytic, PaperAnchorLengthThreeDipsBelowTwo) {
+  const double h2 =
+      anonymity_degree(paper_system, path_length_distribution::fixed(2));
+  const double h3 =
+      anonymity_degree(paper_system, path_length_distribution::fixed(3));
+  EXPECT_LT(h3, h2);
+  EXPECT_NEAR(h3, 0.97 * std::log2(98.0) + 0.01 * std::log2(97.0), 1e-12);
+}
+
+TEST(Analytic, PaperAnchorLengthFourJumpsAboveShorter) {
+  // Position ambiguity first appears at l = 4 (Fig 3b's high point ~6.502).
+  const double h4 =
+      anonymity_degree(paper_system, path_length_distribution::fixed(4));
+  for (path_length l = 1; l <= 3; ++l) {
+    EXPECT_GT(h4, anonymity_degree(paper_system,
+                                   path_length_distribution::fixed(l)));
+  }
+  EXPECT_NEAR(h4, 6.502, 5e-4);
+}
+
+TEST(Analytic, LongPathEffectPeakAt51) {
+  // Paper Fig 3(a): H* peaks at l = 51 for N=100, C=1, then decreases.
+  double best = -1;
+  path_length argmax = 0;
+  for (path_length l = 0; l <= 99; ++l) {
+    const double h =
+        anonymity_degree(paper_system, path_length_distribution::fixed(l));
+    if (h > best) {
+      best = h;
+      argmax = l;
+    }
+  }
+  EXPECT_EQ(argmax, 51u);
+  EXPECT_NEAR(best, 6.5384, 5e-4);
+  // Strictly decreasing beyond the peak (long-path effect).
+  double prev = best;
+  for (path_length l = 52; l <= 99; ++l) {
+    const double h =
+        anonymity_degree(paper_system, path_length_distribution::fixed(l));
+    EXPECT_LT(h, prev);
+    prev = h;
+  }
+}
+
+TEST(Analytic, UpperBoundLog2N) {
+  // Conclusion 4: H* < log2(N) for every strategy.
+  const double cap = max_anonymity_degree(paper_system);
+  EXPECT_DOUBLE_EQ(cap, std::log2(100.0));
+  for (path_length l = 0; l <= 99; ++l) {
+    EXPECT_LT(anonymity_degree(paper_system, path_length_distribution::fixed(l)),
+              cap);
+  }
+  EXPECT_LT(anonymity_degree(paper_system, path_length_distribution::uniform(0, 99)),
+            cap);
+}
+
+TEST(Analytic, BreakdownProbabilitiesSumToOne) {
+  for (const auto& d :
+       {path_length_distribution::fixed(0), path_length_distribution::fixed(1),
+        path_length_distribution::fixed(5), path_length_distribution::fixed(99),
+        path_length_distribution::uniform(0, 10),
+        path_length_distribution::uniform(3, 99),
+        path_length_distribution::geometric(0.8, 1, 99)}) {
+    const auto b = anonymity_breakdown(paper_system, d);
+    EXPECT_NEAR(b.total_probability(), 1.0, 1e-12) << d.label();
+    EXPECT_NEAR(b.degree,
+                b.p_absent * b.h_absent + b.p_last * b.h_last +
+                    b.p_penultimate * b.h_penultimate + b.p_mid * b.h_mid,
+                1e-12);
+  }
+}
+
+TEST(Analytic, BreakdownEventProbabilitiesMatchFormulas) {
+  const auto d = path_length_distribution::uniform(0, 10);
+  const auto b = anonymity_breakdown(paper_system, d);
+  const auto sig = signature_of(d);
+  const double n = 100.0;
+  EXPECT_NEAR(b.p_sender_compromised, 1.0 / n, 1e-12);
+  EXPECT_NEAR(b.p_absent, (n - 1.0 - sig.mean) / n, 1e-12);
+  EXPECT_NEAR(b.p_last, sig.m1() / n, 1e-12);
+  EXPECT_NEAR(b.p_penultimate, sig.m2() / n, 1e-12);
+  EXPECT_NEAR(b.p_mid, (sig.kappa() + sig.m3()) / n, 1e-12);
+}
+
+TEST(Analytic, MomentSufficiencyProperty) {
+  // Two very different distributions with identical (p0,p1,p2,mean) must
+  // have identical anonymity degree — the structural reduction.
+  const auto uniform = path_length_distribution::uniform(3, 11);   // mean 7
+  const auto fixed = path_length_distribution::fixed(7);           // mean 7
+  const auto two_pt = path_length_distribution::two_point(3, 0.5, 11);
+  const double hu = anonymity_degree(paper_system, uniform);
+  const double hf = anonymity_degree(paper_system, fixed);
+  const double ht = anonymity_degree(paper_system, two_pt);
+  EXPECT_NEAR(hu, hf, 1e-12);
+  EXPECT_NEAR(hu, ht, 1e-12);
+}
+
+TEST(Analytic, RequiresCEqualsOne) {
+  const system_params two_compromised{100, 2};
+  EXPECT_THROW((void)anonymity_degree(two_compromised,
+                                      path_length_distribution::fixed(3)),
+               contract_violation);
+}
+
+TEST(Analytic, RequiresSupportWithinSimplePathBound) {
+  EXPECT_THROW((void)anonymity_degree(system_params{10, 1},
+                                      path_length_distribution::fixed(10)),
+               contract_violation);
+}
+
+TEST(Analytic, RejectsTinySystems) {
+  EXPECT_THROW((void)anonymity_degree(system_params{4, 1},
+                                      path_length_distribution::fixed(2)),
+               contract_violation);
+}
+
+TEST(ClosedForms, Theorem1MatchesEngineEverywhere) {
+  for (std::uint32_t n : {5u, 6u, 10u, 50u, 100u, 250u}) {
+    const system_params sys{n, 1};
+    for (path_length l = 0; l <= n - 1; ++l) {
+      EXPECT_NEAR(theorem1_fixed_length(n, l),
+                  anonymity_degree(sys, path_length_distribution::fixed(l)),
+                  1e-11)
+          << "N=" << n << " l=" << l;
+    }
+  }
+}
+
+TEST(ClosedForms, Theorem2MatchesTruncatedGeometricForSmallMeans) {
+  // Idealized geometric formula vs exact truncated distribution: the
+  // truncation mass at N=100 is ~1e-12 for pf=0.75, so values agree tightly.
+  for (double pf : {0.25, 0.5, 0.75}) {
+    const auto d = path_length_distribution::geometric(pf, 1, 99);
+    EXPECT_NEAR(theorem2_geometric(100, pf), anonymity_degree(paper_system, d),
+                1e-6)
+        << "pf=" << pf;
+  }
+}
+
+TEST(ClosedForms, Theorem3UniformDependsOnlyOnMean) {
+  // For lower bound >= 3, U(a,b) == F((a+b)/2) exactly (paper observation 2).
+  EXPECT_NEAR(theorem3_uniform(100, 3, 11), theorem1_fixed_length(100, 7),
+              1e-12);
+  EXPECT_NEAR(theorem3_uniform(100, 10, 40), theorem1_fixed_length(100, 25),
+              1e-12);
+  // Half-integral mean: continued formula, must match engine on a two-point
+  // realization.
+  const double via_closed = theorem3_uniform(100, 3, 10);  // mean 6.5
+  const auto two_pt = path_length_distribution::two_point(6, 0.5, 7);
+  EXPECT_NEAR(via_closed, anonymity_degree(paper_system, two_pt), 1e-12);
+}
+
+TEST(ClosedForms, Theorem3GeneralUniformMatchesEngine) {
+  for (path_length a : {0u, 1u, 2u, 3u, 5u}) {
+    for (path_length b : {5u, 20u, 60u, 99u}) {
+      if (a > b) continue;
+      EXPECT_NEAR(theorem3_uniform(100, a, b),
+                  anonymity_degree(paper_system,
+                                   path_length_distribution::uniform(a, b)),
+                  1e-11)
+          << "U(" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(ClosedForms, GeometricDegradesGracefullyAtZeroForward) {
+  // pf = 0 means always exactly one hop: F(1).
+  EXPECT_NEAR(theorem2_geometric(100, 0.0), theorem1_fixed_length(100, 1),
+              1e-9);
+}
+
+// Parameterized sweep: fixed-length degree is a smooth single-peak curve in
+// the interior (no spurious oscillation) for several system sizes.
+class FixedLengthShape : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FixedLengthShape, SinglePeakInInterior) {
+  const std::uint32_t n = GetParam();
+  const system_params sys{n, 1};
+  int direction_changes = 0;
+  double prev = anonymity_degree(sys, path_length_distribution::fixed(4));
+  bool rising = true;
+  for (path_length l = 5; l <= n - 1; ++l) {
+    const double h = anonymity_degree(sys, path_length_distribution::fixed(l));
+    const bool now_rising = h >= prev;
+    if (now_rising != rising) {
+      ++direction_changes;
+      rising = now_rising;
+    }
+    prev = h;
+  }
+  // One rise->fall switch only (after the short-path region l <= 4).
+  EXPECT_LE(direction_changes, 1) << "N=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(SystemSizes, FixedLengthShape,
+                         ::testing::Values(20u, 50u, 100u, 200u));
+
+}  // namespace
+}  // namespace anonpath

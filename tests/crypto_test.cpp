@@ -1,0 +1,147 @@
+#include "src/crypto/onion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string_view>
+
+#include "src/crypto/correlation.hpp"
+#include "src/crypto/prng_cipher.hpp"
+
+namespace anonpath::crypto {
+namespace {
+
+std::vector<std::byte> bytes_of(std::string_view s) {
+  std::vector<std::byte> out;
+  for (char c : s) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+TEST(PrngCipher, RoundTrips) {
+  prng_cipher c(0xdeadbeef);
+  auto data = bytes_of("attack at dawn");
+  const auto original = data;
+  c.apply(data, 42);
+  EXPECT_NE(data, original);
+  c.apply(data, 42);
+  EXPECT_EQ(data, original);
+}
+
+TEST(PrngCipher, DifferentNoncesDiverge) {
+  prng_cipher c(1);
+  const auto plain = bytes_of("same plaintext, different nonce");
+  const auto a = c.transform(plain, 1);
+  const auto b = c.transform(plain, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(PrngCipher, DifferentKeysDiverge) {
+  const auto plain = bytes_of("same plaintext, different key");
+  const auto a = prng_cipher(1).transform(plain, 9);
+  const auto b = prng_cipher(2).transform(plain, 9);
+  EXPECT_NE(a, b);
+}
+
+TEST(Onion, PeelsAlongRouteAndOpensAtReceiver) {
+  const key_registry keys(0x1234, 16);
+  const route r{3, {5, 9, 1}};
+  const auto payload = bytes_of("GET /index.html");
+  auto env = wrap_onion(r, payload, keys, 1001);
+
+  auto hop1 = peel_onion(5, env, keys, 1001);
+  EXPECT_EQ(hop1.next, 9u);
+  auto hop2 = peel_onion(9, hop1.inner, keys, 1001);
+  EXPECT_EQ(hop2.next, 1u);
+  auto hop3 = peel_onion(1, hop2.inner, keys, 1001);
+  EXPECT_EQ(hop3.next, receiver_node);
+  EXPECT_EQ(open_at_receiver(hop3.inner, keys, 1001), payload);
+}
+
+TEST(Onion, SingleHopRoute) {
+  const key_registry keys(7, 8);
+  const route r{0, {4}};
+  const auto payload = bytes_of("x");
+  auto env = wrap_onion(r, payload, keys, 5);
+  auto hop = peel_onion(4, env, keys, 5);
+  EXPECT_EQ(hop.next, receiver_node);
+  EXPECT_EQ(open_at_receiver(hop.inner, keys, 5), payload);
+}
+
+TEST(Onion, DirectRouteIsReceiverTerminal) {
+  const key_registry keys(7, 8);
+  const route r{0, {}};
+  const auto payload = bytes_of("direct");
+  auto env = wrap_onion(r, payload, keys, 6);
+  EXPECT_EQ(open_at_receiver(env, keys, 6), payload);
+}
+
+TEST(Onion, WrongNodeCannotDecodeMeaningfully) {
+  const key_registry keys(7, 16);
+  const route r{0, {4, 8}};
+  auto env = wrap_onion(r, bytes_of("secret"), keys, 11);
+  // Peeling at the wrong node yields garbage next-hop, not the true one
+  // (and never the receiver marker by construction of the test fixture).
+  const auto wrong = peel_onion(3, env, keys, 11);
+  EXPECT_NE(wrong.next, 8u);
+}
+
+TEST(Onion, ReceiverTerminalLayerRejectedByPeel) {
+  // A receiver-terminal envelope peeled *as if* by a relay holding the
+  // receiver key must be refused: relays never see the terminal marker.
+  const key_registry keys(7, 8);
+  auto direct_env = wrap_onion(route{0, {}}, bytes_of("direct"), keys, 6);
+  EXPECT_THROW((void)peel_onion(receiver_node, direct_env, keys, 6),
+               std::invalid_argument);
+  // Conversely, opening a relay layer at the receiver fails.
+  auto relay_env = wrap_onion(route{0, {2}}, bytes_of("p"), keys, 7);
+  EXPECT_THROW((void)open_at_receiver(relay_env, keys, 7),
+               std::invalid_argument);
+}
+
+TEST(Onion, MalformedEnvelopeRejected) {
+  const key_registry keys(7, 8);
+  onion_envelope tiny{{std::byte{1}, std::byte{2}}};
+  EXPECT_THROW((void)peel_onion(0, tiny, keys, 1), std::invalid_argument);
+  EXPECT_THROW((void)open_at_receiver(tiny, keys, 1), std::invalid_argument);
+}
+
+TEST(Correlation, PlaintextForwardingIsCorrelatable) {
+  // Crowds-style: payload forwarded unchanged => trivially correlated
+  // (the paper's Sec. 4 correlation assumption).
+  const auto p = bytes_of("the same payload on both hops");
+  EXPECT_TRUE(payloads_correlate(p, p));
+  EXPECT_DOUBLE_EQ(payload_similarity(p, p), 1.0);
+}
+
+TEST(Correlation, OnionLayersDefeatPayloadMatching) {
+  // The same message's wire bytes on consecutive hops of an onion route
+  // share no more similarity than chance (~1/256 per byte).
+  const key_registry keys(0xabc, 16);
+  const route r{3, {5, 9, 1}};
+  std::vector<std::byte> payload(512, std::byte{0x55});
+  auto env = wrap_onion(r, payload, keys, 77);
+  auto hop1 = peel_onion(5, env, keys, 77);
+  EXPECT_FALSE(payloads_correlate(env.data, hop1.inner.data));
+  // Compare equal-length prefixes for similarity (layers shrink by 4 bytes).
+  const std::size_t n = hop1.inner.data.size();
+  EXPECT_LT(payload_similarity({env.data.data(), n},
+                               {hop1.inner.data.data(), n}),
+            0.05);
+}
+
+TEST(Correlation, LengthMismatchNeverCorrelates) {
+  const auto a = bytes_of("abc");
+  const auto b = bytes_of("abcd");
+  EXPECT_FALSE(payloads_correlate(a, b));
+  EXPECT_DOUBLE_EQ(payload_similarity(a, b), 0.0);
+}
+
+TEST(KeyRegistry, DeterministicAndDistinct) {
+  const key_registry keys(99, 32);
+  EXPECT_EQ(keys.key_of(5), key_registry(99, 32).key_of(5));
+  EXPECT_NE(keys.key_of(5), keys.key_of(6));
+  EXPECT_NE(keys.key_of(receiver_node), keys.key_of(0));
+}
+
+}  // namespace
+}  // namespace anonpath::crypto

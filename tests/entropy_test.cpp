@@ -1,0 +1,90 @@
+#include "src/anonymity/entropy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath {
+namespace {
+
+TEST(Entropy, UniformIsLogN) {
+  const std::vector<double> p(8, 0.125);
+  EXPECT_NEAR(entropy_bits(p), 3.0, 1e-12);
+}
+
+TEST(Entropy, PointMassIsZero) {
+  const std::vector<double> p{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(entropy_bits(p), 0.0);
+}
+
+TEST(Entropy, NormalizesUnnormalizedInput) {
+  const std::vector<double> w{2.0, 2.0, 2.0, 2.0};
+  EXPECT_NEAR(entropy_bits(w), 2.0, 1e-12);
+}
+
+TEST(Entropy, BinaryEntropyKnownValue) {
+  const std::vector<double> p{0.25, 0.75};
+  const double expected = -(0.25 * std::log2(0.25) + 0.75 * std::log2(0.75));
+  EXPECT_NEAR(entropy_bits(p), expected, 1e-12);
+}
+
+TEST(Entropy, ZeroVectorYieldsZero) {
+  const std::vector<double> p{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(entropy_bits(p), 0.0);
+}
+
+TEST(Entropy, NegativeEntryRejected) {
+  const std::vector<double> p{0.5, -0.5};
+  EXPECT_THROW((void)entropy_bits(p), contract_violation);
+}
+
+TEST(Entropy, MaximizedByUniform) {
+  // Any perturbation away from uniform strictly lowers entropy.
+  const std::vector<double> uniform(10, 0.1);
+  std::vector<double> skewed = uniform;
+  skewed[0] += 0.05;
+  skewed[1] -= 0.05;
+  EXPECT_GT(entropy_bits(uniform), entropy_bits(skewed));
+}
+
+TEST(TwoLevelEntropy, UniformOverOthersWhenSpecialZero) {
+  EXPECT_NEAR(two_level_entropy_bits(0.0, 1.0, 16), 4.0, 1e-12);
+}
+
+TEST(TwoLevelEntropy, ZeroWhenOthersAbsent) {
+  EXPECT_DOUBLE_EQ(two_level_entropy_bits(1.0, 0.0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(two_level_entropy_bits(1.0, 1.0, 0), 0.0);
+}
+
+TEST(TwoLevelEntropy, MatchesDirectComputation) {
+  // One candidate at weight 3, four at weight 2 => p = {3/11, 2/11 x4}.
+  std::vector<double> p{3.0, 2.0, 2.0, 2.0, 2.0};
+  EXPECT_NEAR(two_level_entropy_bits(3.0, 2.0, 4), entropy_bits(p), 1e-12);
+}
+
+TEST(TwoLevelEntropy, ScaleInvariant) {
+  const double a = two_level_entropy_bits(3.0, 2.0, 7);
+  const double b = two_level_entropy_bits(30.0, 20.0, 7);
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(TwoLevelEntropy, EqualWeightsGiveLogK1) {
+  EXPECT_NEAR(two_level_entropy_bits(1.0, 1.0, 7), 3.0, 1e-12);
+}
+
+TEST(TwoLevelEntropy, RejectsNegativeWeights) {
+  EXPECT_THROW((void)two_level_entropy_bits(-1.0, 1.0, 3), contract_violation);
+  EXPECT_THROW((void)two_level_entropy_bits(1.0, -1.0, 3), contract_violation);
+}
+
+TEST(SafeLog2, GuardsNonPositive) {
+  EXPECT_DOUBLE_EQ(safe_log2(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_log2(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_log2(8.0), 3.0);
+}
+
+}  // namespace
+}  // namespace anonpath

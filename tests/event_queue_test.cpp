@@ -1,0 +1,85 @@
+#include "src/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  event_queue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_TRUE(q.run_until_empty());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  event_queue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule_at(1.0, [&, i] { order.push_back(i); });
+  q.run_until_empty();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RelativeSchedulingUsesCurrentTime) {
+  event_queue q;
+  double fired_at = -1;
+  q.schedule_at(2.0, [&] {
+    q.schedule_in(0.5, [&] { fired_at = q.now(); });
+  });
+  q.run_until_empty();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  event_queue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) q.schedule_in(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  EXPECT_TRUE(q.run_until_empty());
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, RunNextReturnsFalseWhenEmpty) {
+  event_queue q;
+  EXPECT_FALSE(q.run_next());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  event_queue q;
+  q.schedule_at(5.0, [] {});
+  q.run_next();
+  EXPECT_THROW(q.schedule_at(4.0, [] {}), contract_violation);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), contract_violation);
+}
+
+TEST(EventQueue, RunawayGuardStops) {
+  event_queue q;
+  std::function<void()> forever = [&] { q.schedule_in(0.1, forever); };
+  q.schedule_at(0.0, forever);
+  EXPECT_FALSE(q.run_until_empty(100));
+}
+
+TEST(EventQueue, PendingCount) {
+  event_queue q;
+  EXPECT_EQ(q.pending(), 0u);
+  q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.run_next();
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace anonpath::sim

@@ -1,0 +1,186 @@
+// Asserts the paper's Figure 3-6 claims on the series the benches print —
+// the acceptance tests of the reproduction (EXPERIMENTS.md cross-references
+// these).
+
+#include "src/repro/figures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/anonymity/analytic.hpp"
+
+namespace anonpath::repro {
+namespace {
+
+constexpr system_params sys{100, 1};
+
+TEST(Fig3a, PeaksAt51ThenDecreases) {
+  const auto f = fig3a(sys);
+  ASSERT_EQ(f.series.size(), 1u);
+  const auto peak = series_max(f.series[0]);
+  EXPECT_DOUBLE_EQ(peak.x, 51.0);
+  EXPECT_NEAR(peak.y, 6.5384, 5e-4);
+  EXPECT_LT(series_value_at(f.series[0], 99), peak.y);
+}
+
+TEST(Fig3a, StartsAtZeroAnonymity) {
+  const auto f = fig3a(sys);
+  EXPECT_DOUBLE_EQ(series_value_at(f.series[0], 0), 0.0);
+}
+
+TEST(Fig3a, ValuesInPaperAxisRange) {
+  // The published panel spans ~[6.48, 6.54] for l >= 1.
+  const auto f = fig3a(sys);
+  for (const auto& p : f.series[0].points) {
+    if (p.x < 1) continue;
+    EXPECT_GT(p.y, 6.47);
+    EXPECT_LT(p.y, 6.55);
+  }
+}
+
+TEST(Fig3b, ShortPathEffectOrdering) {
+  const auto f = fig3b(sys);
+  const auto& s = f.series[0];
+  const double h1 = series_value_at(s, 1);
+  const double h2 = series_value_at(s, 2);
+  const double h3 = series_value_at(s, 3);
+  const double h4 = series_value_at(s, 4);
+  EXPECT_NEAR(h1, h2, 1e-12);  // paper: lengths 1 and 2 identical
+  EXPECT_LT(h3, h2);           // paper: length 3 slightly worse
+  EXPECT_GT(h4, h1);           // paper: length 4 above all shorter
+  EXPECT_NEAR(h1, 6.4824, 5e-4);
+  EXPECT_NEAR(h4, 6.5020, 5e-4);
+}
+
+TEST(Fig4a, SmallLowerBoundsRiseWithWidth) {
+  // For A in {4,6,10}: H* increases with L over the plotted range, and at
+  // equal width the larger lower bound wins.
+  const auto f = fig4(sys, 'a');
+  ASSERT_EQ(f.series.size(), 3u);
+  for (const auto& s : f.series) {
+    EXPECT_GT(s.points.back().y, s.points.front().y) << s.label;
+  }
+  const double at20_a4 = series_value_at(f.series[0], 20);
+  const double at20_a10 = series_value_at(f.series[2], 20);
+  EXPECT_GT(at20_a10, at20_a4);
+}
+
+TEST(Fig4b, IntermediateLowerBoundHasInteriorExtremum) {
+  // A = 25: the curve rises then falls (extreme point inside the range).
+  const auto f = fig4(sys, 'b');
+  const auto& s25 = f.series[0];
+  const auto peak = series_max(s25);
+  EXPECT_GT(peak.x, s25.points.front().x);
+  EXPECT_LT(peak.x, s25.points.back().x);
+}
+
+TEST(Fig4c, LargeLowerBoundsDecline) {
+  // A >= 51: increasing the expectation only hurts (long-path effect), and
+  // at equal width the larger lower bound is worse.
+  const auto f = fig4(sys, 'c');
+  for (const auto& s : f.series) {
+    for (std::size_t i = 1; i < s.points.size(); ++i)
+      EXPECT_LE(s.points[i].y, s.points[i - 1].y + 1e-12) << s.label;
+  }
+  const double at20_a51 = series_value_at(f.series[0], 20);
+  const double at20_a70 = series_value_at(f.series[2], 20);
+  EXPECT_GT(at20_a51, at20_a70);
+}
+
+TEST(Fig4d, ZeroLowerBoundStartsBadThenWins) {
+  const auto f = fig4(sys, 'd');
+  const auto& u0 = f.series[0];  // U(0, L)
+  const auto& u6 = f.series[2];  // U(6, 6+L)
+  // Small width: direct sends crush anonymity.
+  EXPECT_LT(series_value_at(u0, 2), series_value_at(u6, 2));
+  // Large width: U(0,L) overtakes (long-path effect hits the others more).
+  EXPECT_GT(series_value_at(u0, 93), series_value_at(u6, 93));
+}
+
+TEST(Fig5, PanelsABCOverlayExactly) {
+  // Lower bound >= 3 (panels a-c): every uniform curve overlays F at the
+  // same mean — the moment-sufficiency theorem, asserted to 1e-12.
+  for (char panel : {'a', 'b', 'c'}) {
+    const auto f = fig5(sys, panel);
+    const auto& fixed = f.series[0];
+    for (std::size_t si = 1; si < f.series.size(); ++si) {
+      for (const auto& p : f.series[si].points) {
+        EXPECT_NEAR(p.y, series_value_at(fixed, p.x), 1e-12)
+            << "panel " << panel << " " << f.series[si].label << " L=" << p.x;
+      }
+    }
+  }
+}
+
+TEST(Fig5d, VarianceMattersAtSmallMeansVariableBeatsFixed) {
+  // Panel d (paper formula (18) + headline claim "variable-length strategies
+  // perform better than fixed-length strategies"): at equal small mean,
+  // U(1,2L-1) >= U(2,2L-2) >= U(6,2L-6) = F(L). Mass on lengths 1-2 makes
+  // the last-hop/penultimate observations ambiguous about the sender, which
+  // *raises* entropy; lower bound >= 3 collapses onto the fixed curve.
+  const auto f = fig5(sys, 'd');
+  const auto& fixed = f.series[0];
+  const auto& u1 = f.series[1];
+  const auto& u2 = f.series[2];
+  const auto& u6 = f.series[3];
+  for (double mean : {7.0, 10.0, 15.0}) {
+    const double hf = series_value_at(fixed, mean);
+    const double h1 = series_value_at(u1, mean);
+    const double h2 = series_value_at(u2, mean);
+    const double h6 = series_value_at(u6, mean);
+    EXPECT_GE(h1, h2 - 1e-12) << mean;
+    EXPECT_GE(h2, h6 - 1e-12) << mean;
+    EXPECT_NEAR(h6, hf, 1e-12) << mean;  // moment-sufficiency overlay
+  }
+}
+
+TEST(Fig5d, VarianceDifferenceShrinksAtLargeMeans) {
+  // Paper intro: "when the expected path length is sufficiently large, the
+  // difference of anonymity degree is relatively small between different
+  // variable and fixed path length strategies."
+  const auto f = fig5(sys, 'd');
+  const auto& fixed = f.series[0];
+  const auto& u1 = f.series[1];
+  const double gap_small =
+      series_value_at(u1, 5) - series_value_at(fixed, 5);
+  const double gap_large =
+      series_value_at(u1, 49) - series_value_at(fixed, 49);
+  EXPECT_GT(gap_small, 0.0);
+  EXPECT_LT(gap_large, gap_small / 5.0);
+}
+
+TEST(Fig6, OptimizationDominates) {
+  const auto f = fig6(sys, 20);
+  const auto& fixed = f.series[0];
+  const auto& u22 = f.series[1];
+  const auto& opt = f.series[2];
+  for (const auto& p : opt.points) {
+    EXPECT_GE(p.y + 1e-9, series_value_at(fixed, p.x)) << "L=" << p.x;
+  }
+  for (const auto& p : u22.points) {
+    EXPECT_GE(series_value_at(opt, p.x) + 1e-9, p.y) << "L=" << p.x;
+  }
+  // And strictly better somewhere in the short-mean regime.
+  EXPECT_GT(series_value_at(opt, 2), series_value_at(fixed, 2) + 1e-4);
+}
+
+TEST(Figures, PrintedFormatIsParseable) {
+  const auto f = fig3b(sys);
+  std::ostringstream os;
+  print_figure(f, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# fig3b"), std::string::npos);
+  EXPECT_NE(text.find("x,F(l)"), std::string::npos);
+  EXPECT_NE(text.find("\n1,6.48"), std::string::npos);
+}
+
+TEST(Figures, SeriesHelpers) {
+  labeled_series s{"t", {{0, 1.0}, {1, 3.0}, {2, 2.0}}};
+  EXPECT_DOUBLE_EQ(series_max(s).x, 1.0);
+  EXPECT_DOUBLE_EQ(series_value_at(s, 2), 2.0);
+  EXPECT_THROW((void)series_value_at(s, 9), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace anonpath::repro

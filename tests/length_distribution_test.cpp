@@ -1,0 +1,178 @@
+#include "src/anonymity/length_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/anonymity/moments.hpp"
+#include "src/stats/chi_square.hpp"
+#include "src/stats/contract.hpp"
+#include "src/stats/histogram.hpp"
+#include "src/stats/rng.hpp"
+
+namespace anonpath {
+namespace {
+
+TEST(LengthDistribution, FixedBasics) {
+  const auto d = path_length_distribution::fixed(5);
+  EXPECT_DOUBLE_EQ(d.pmf(5), 1.0);
+  EXPECT_DOUBLE_EQ(d.pmf(4), 0.0);
+  EXPECT_DOUBLE_EQ(d.pmf(6), 0.0);
+  EXPECT_EQ(d.min_length(), 5u);
+  EXPECT_EQ(d.max_length(), 5u);
+  EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+  EXPECT_EQ(d.label(), "F(5)");
+}
+
+TEST(LengthDistribution, FixedZero) {
+  const auto d = path_length_distribution::fixed(0);
+  EXPECT_DOUBLE_EQ(d.pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  EXPECT_EQ(d.max_length(), 0u);
+}
+
+TEST(LengthDistribution, UniformMoments) {
+  const auto d = path_length_distribution::uniform(2, 8);
+  for (path_length l = 2; l <= 8; ++l) EXPECT_NEAR(d.pmf(l), 1.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d.pmf(1), 0.0);
+  EXPECT_DOUBLE_EQ(d.pmf(9), 0.0);
+  EXPECT_NEAR(d.mean(), 5.0, 1e-12);
+  // Discrete uniform on [a,b]: variance ((b-a+1)^2 - 1)/12 = 4.
+  EXPECT_NEAR(d.variance(), 4.0, 1e-12);
+}
+
+TEST(LengthDistribution, UniformSinglePointEqualsFixed) {
+  const auto u = path_length_distribution::uniform(4, 4);
+  EXPECT_DOUBLE_EQ(u.pmf(4), 1.0);
+  EXPECT_DOUBLE_EQ(u.mean(), 4.0);
+}
+
+TEST(LengthDistribution, UniformRejectsInvertedBounds) {
+  EXPECT_THROW((void)path_length_distribution::uniform(5, 4), contract_violation);
+}
+
+TEST(LengthDistribution, GeometricRatioAndMean) {
+  const double pf = 0.75;
+  const auto d = path_length_distribution::geometric(pf, 1, 200);
+  // Successive ratio = pf.
+  for (path_length l = 1; l < 30; ++l)
+    EXPECT_NEAR(d.pmf(l + 1) / d.pmf(l), pf, 1e-9);
+  // Untruncated mean would be 1/(1-pf) = 4; truncation at 200 is negligible.
+  EXPECT_NEAR(d.mean(), 4.0, 1e-6);
+  EXPECT_DOUBLE_EQ(d.pmf(0), 0.0);
+}
+
+TEST(LengthDistribution, GeometricDegenerate) {
+  const auto d = path_length_distribution::geometric(0.0, 3, 10);
+  EXPECT_DOUBLE_EQ(d.pmf(3), 1.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+}
+
+TEST(LengthDistribution, TwoPointMean) {
+  const auto d = path_length_distribution::two_point(2, 0.25, 10);
+  EXPECT_DOUBLE_EQ(d.pmf(2), 0.25);
+  EXPECT_DOUBLE_EQ(d.pmf(10), 0.75);
+  EXPECT_NEAR(d.mean(), 0.25 * 2 + 0.75 * 10, 1e-12);
+}
+
+TEST(LengthDistribution, TwoPointSamePoint) {
+  const auto d = path_length_distribution::two_point(4, 0.5, 4);
+  EXPECT_DOUBLE_EQ(d.pmf(4), 1.0);
+}
+
+TEST(LengthDistribution, PoissonMassAndMean) {
+  const auto d = path_length_distribution::poisson(3.0, 60);
+  EXPECT_NEAR(d.mean(), 3.0, 1e-6);
+  // pmf ratio check: p(l+1)/p(l) = lambda/(l+1).
+  EXPECT_NEAR(d.pmf(4) / d.pmf(3), 3.0 / 4.0, 1e-9);
+}
+
+TEST(LengthDistribution, FromPmfRenormalizesWithinTolerance) {
+  const auto d = path_length_distribution::from_pmf({0.25, 0.25, 0.5 + 1e-10});
+  double total = 0;
+  for (path_length l = 0; l <= d.max_length(); ++l) total += d.pmf(l);
+  EXPECT_NEAR(total, 1.0, 1e-15);
+}
+
+TEST(LengthDistribution, FromPmfRejectsBadInput) {
+  EXPECT_THROW((void)path_length_distribution::from_pmf({0.5, 0.4}),
+               contract_violation);
+  EXPECT_THROW((void)path_length_distribution::from_pmf({1.5, -0.5}),
+               contract_violation);
+  EXPECT_THROW((void)path_length_distribution::from_pmf({}), contract_violation);
+}
+
+TEST(LengthDistribution, TailMass) {
+  const auto d = path_length_distribution::uniform(0, 3);
+  EXPECT_DOUBLE_EQ(d.tail_mass(0), 1.0);
+  EXPECT_NEAR(d.tail_mass(1), 0.75, 1e-12);
+  EXPECT_NEAR(d.tail_mass(3), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(d.tail_mass(4), 0.0);
+}
+
+TEST(LengthDistribution, SamplingMatchesPmfChiSquare) {
+  const auto d = path_length_distribution::uniform(1, 6);
+  stats::rng g(31337);
+  stats::int_histogram h(d.max_length() + 1);
+  constexpr int n = 120000;
+  for (int i = 0; i < n; ++i) h.add(d.sample(g));
+  const auto r = stats::chi_square_goodness_of_fit(h.counts(), d.dense_pmf());
+  EXPECT_GT(r.p_value, 1e-4);
+}
+
+TEST(LengthDistribution, GeometricSamplingMatchesPmf) {
+  const auto d = path_length_distribution::geometric(0.6, 1, 40);
+  stats::rng g(555);
+  stats::int_histogram h(d.max_length() + 1);
+  for (int i = 0; i < 100000; ++i) h.add(d.sample(g));
+  const auto r = stats::chi_square_goodness_of_fit(h.counts(), d.dense_pmf());
+  EXPECT_GT(r.p_value, 1e-4);
+}
+
+TEST(MomentSignature, OfUniform) {
+  const auto d = path_length_distribution::uniform(0, 4);
+  const auto sig = signature_of(d);
+  EXPECT_NEAR(sig.p0, 0.2, 1e-12);
+  EXPECT_NEAR(sig.p1, 0.2, 1e-12);
+  EXPECT_NEAR(sig.p2, 0.2, 1e-12);
+  EXPECT_NEAR(sig.mean, 2.0, 1e-12);
+  EXPECT_NEAR(sig.m3(), 0.4, 1e-12);
+  // kappa = sum_{l>=3} p_l (l-3) = 0.2*0 + 0.2*1 = 0.2.
+  EXPECT_NEAR(sig.kappa(), 0.2, 1e-12);
+}
+
+TEST(MomentSignature, FeasibilityChecks) {
+  // Fixed 5 on support up to 10.
+  moment_signature ok{0.0, 0.0, 0.0, 5.0};
+  EXPECT_TRUE(ok.feasible(10.0));
+  // Mean too large for the tail cap.
+  moment_signature too_long{0.0, 0.0, 0.0, 12.0};
+  EXPECT_FALSE(too_long.feasible(10.0));
+  // All mass below 3 but mean says otherwise.
+  moment_signature contradictory{1.0, 0.0, 0.0, 2.0};
+  EXPECT_FALSE(contradictory.feasible(10.0));
+  // Tail mean below 3 impossible.
+  moment_signature low_tail{0.0, 0.5, 0.0, 1.5};  // tail mass .5, tail mean 2
+  EXPECT_FALSE(low_tail.feasible(10.0));
+}
+
+TEST(MomentSignature, RealizeRoundTrip) {
+  const moment_signature sig{0.1, 0.2, 0.15, 4.7};
+  const auto d = realize_signature(sig, 20);
+  const auto back = signature_of(d);
+  EXPECT_NEAR(back.p0, sig.p0, 1e-12);
+  EXPECT_NEAR(back.p1, sig.p1, 1e-12);
+  EXPECT_NEAR(back.p2, sig.p2, 1e-12);
+  EXPECT_NEAR(back.mean, sig.mean, 1e-9);
+}
+
+TEST(MomentSignature, RealizeIntegerTailMean) {
+  // Tail mean exactly integral: single support point.
+  const moment_signature sig{0.0, 0.0, 0.0, 7.0};
+  const auto d = realize_signature(sig, 20);
+  EXPECT_DOUBLE_EQ(d.pmf(7), 1.0);
+}
+
+}  // namespace
+}  // namespace anonpath

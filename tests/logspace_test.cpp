@@ -1,0 +1,110 @@
+#include "src/stats/logspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/stats/chi_square.hpp"
+#include "src/stats/contract.hpp"
+#include "src/stats/kahan.hpp"
+
+namespace anonpath::stats {
+namespace {
+
+TEST(LogSpace, FallingFactorialSmall) {
+  EXPECT_DOUBLE_EQ(log_falling_factorial(5, 0), 0.0);
+  EXPECT_NEAR(log_falling_factorial(5, 1), std::log(5.0), 1e-12);
+  EXPECT_NEAR(log_falling_factorial(5, 3), std::log(60.0), 1e-12);
+  EXPECT_NEAR(log_falling_factorial(7, 7), std::log(5040.0), 1e-12);
+}
+
+TEST(LogSpace, FallingFactorialLargeMatchesLgamma) {
+  const double direct = log_falling_factorial(500, 200);
+  const double via_lgamma = std::lgamma(501.0) - std::lgamma(301.0);
+  EXPECT_NEAR(direct, via_lgamma, 1e-8);
+}
+
+TEST(LogSpace, FallingFactorialPreconditions) {
+  EXPECT_THROW((void)log_falling_factorial(-1, 0), contract_violation);
+  EXPECT_THROW((void)log_falling_factorial(3, 4), contract_violation);
+  EXPECT_THROW((void)log_falling_factorial(3, -1), contract_violation);
+}
+
+TEST(LogSpace, BinomialValues) {
+  EXPECT_NEAR(log_binomial(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(log_binomial(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(log_binomial(10, 10), 0.0, 1e-12);
+  EXPECT_NEAR(log_binomial(52, 5), std::log(2598960.0), 1e-9);
+}
+
+TEST(LogSpace, BinomialSymmetry) {
+  for (int n = 1; n <= 30; ++n)
+    for (int k = 0; k <= n; ++k)
+      EXPECT_NEAR(log_binomial(n, k), log_binomial(n, n - k), 1e-10);
+}
+
+TEST(LogSpace, LogAddExpBasics) {
+  EXPECT_NEAR(log_add_exp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_DOUBLE_EQ(log_add_exp(log_zero(), 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(log_add_exp(1.5, log_zero()), 1.5);
+  EXPECT_TRUE(std::isinf(log_add_exp(log_zero(), log_zero())));
+}
+
+TEST(LogSpace, LogAddExpExtremeMagnitudes) {
+  // exp(1000) + exp(0) == exp(1000) to double precision; must not overflow.
+  EXPECT_NEAR(log_add_exp(1000.0, 0.0), 1000.0, 1e-9);
+  EXPECT_NEAR(log_add_exp(-1000.0, 0.0), 0.0, 1e-9);
+}
+
+TEST(LogSpace, LogSumExpMatchesDirect) {
+  const std::vector<double> xs{std::log(1.0), std::log(2.0), std::log(3.0),
+                               std::log(4.0)};
+  EXPECT_NEAR(log_sum_exp(xs), std::log(10.0), 1e-12);
+}
+
+TEST(LogSpace, LogSumExpEmptyAndAllZero) {
+  EXPECT_TRUE(std::isinf(log_sum_exp({})));
+  const std::vector<double> xs{log_zero(), log_zero()};
+  EXPECT_TRUE(std::isinf(log_sum_exp(xs)));
+}
+
+TEST(Kahan, RecoversSmallIncrements) {
+  kahan_sum acc;
+  acc.add(1.0);
+  for (int i = 0; i < 1000000; ++i) acc.add(1e-16);
+  EXPECT_NEAR(acc.value(), 1.0 + 1e-10, 1e-14);
+}
+
+TEST(Kahan, MixedSignCancellation) {
+  kahan_sum acc;
+  acc.add(1e16);
+  acc.add(1.0);
+  acc.add(-1e16);
+  EXPECT_DOUBLE_EQ(acc.value(), 1.0);
+}
+
+TEST(ChiSquare, UpperTailKnownValues) {
+  // chi2 with k=1: P(X >= 3.841) ~ 0.05; k=10: P(X >= 18.307) ~ 0.05.
+  EXPECT_NEAR(chi_square_upper_tail(3.841, 1), 0.05, 2e-3);
+  EXPECT_NEAR(chi_square_upper_tail(18.307, 10), 0.05, 2e-3);
+  EXPECT_NEAR(chi_square_upper_tail(0.0, 5), 1.0, 1e-12);
+}
+
+TEST(ChiSquare, GoodnessOfFitDetectsBias) {
+  // 2 bins, heavily skewed observation vs uniform expectation.
+  const std::vector<std::uint64_t> obs{900, 100};
+  const std::vector<double> expected{0.5, 0.5};
+  const auto r = chi_square_goodness_of_fit(obs, expected);
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(ChiSquare, GoodnessOfFitAcceptsExactMatch) {
+  const std::vector<std::uint64_t> obs{500, 500};
+  const std::vector<double> expected{0.5, 0.5};
+  const auto r = chi_square_goodness_of_fit(obs, expected);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace anonpath::stats

@@ -1,0 +1,78 @@
+#include "src/anonymity/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/anonymity/analytic.hpp"
+#include "src/anonymity/brute_force.hpp"
+#include "src/stats/contract.hpp"
+
+namespace anonpath {
+namespace {
+
+TEST(MonteCarlo, DeterministicUnderSeed) {
+  const system_params sys{30, 2};
+  const auto d = path_length_distribution::uniform(1, 8);
+  const auto a = estimate_anonymity_degree(sys, {3, 17}, d, 2000, 99);
+  const auto b = estimate_anonymity_degree(sys, {3, 17}, d, 2000, 99);
+  EXPECT_DOUBLE_EQ(a.degree, b.degree);
+  EXPECT_DOUBLE_EQ(a.std_error, b.std_error);
+}
+
+TEST(MonteCarlo, MatchesAnalyticC1WithinCI) {
+  const system_params sys{50, 1};
+  for (const auto& d :
+       {path_length_distribution::fixed(5),
+        path_length_distribution::uniform(0, 20),
+        path_length_distribution::geometric(0.7, 1, 49)}) {
+    const double exact = anonymity_degree(sys, d);
+    const auto est = estimate_anonymity_degree(sys, {7}, d, 20000, 4242);
+    EXPECT_NEAR(est.degree, exact, 5.0 * est.std_error + 1e-6) << d.label();
+  }
+}
+
+TEST(MonteCarlo, MatchesBruteForceSmallSystems) {
+  // C=2 and C=3: brute force is ground truth; MC must converge to it.
+  const system_params sys2{7, 2};
+  const auto d = path_length_distribution::uniform(0, 4);
+  const brute_force_analyzer bf2(sys2, {1, 4}, d);
+  const auto est2 = estimate_anonymity_degree(sys2, {1, 4}, d, 30000, 1);
+  EXPECT_NEAR(est2.degree, bf2.anonymity_degree(), 5.0 * est2.std_error + 1e-6);
+
+  const system_params sys3{7, 3};
+  const brute_force_analyzer bf3(sys3, {1, 4, 6}, d);
+  const auto est3 = estimate_anonymity_degree(sys3, {1, 4, 6}, d, 30000, 2);
+  EXPECT_NEAR(est3.degree, bf3.anonymity_degree(), 5.0 * est3.std_error + 1e-6);
+}
+
+TEST(MonteCarlo, MoreCompromisedMeansLessAnonymity) {
+  const auto d = path_length_distribution::uniform(1, 10);
+  double prev = std::log2(40.0);
+  for (std::uint32_t c = 1; c <= 8; c += 3) {
+    std::vector<node_id> comp;
+    for (std::uint32_t i = 0; i < c; ++i) comp.push_back(i * 4);
+    const system_params sys{40, c};
+    const auto est = estimate_anonymity_degree(sys, comp, d, 8000, 5 + c);
+    EXPECT_LT(est.degree, prev + 0.05) << "C=" << c;
+    prev = est.degree;
+  }
+}
+
+TEST(MonteCarlo, ErrorShrinksWithSamples) {
+  const system_params sys{30, 2};
+  const auto d = path_length_distribution::uniform(1, 8);
+  const auto small = estimate_anonymity_degree(sys, {3, 17}, d, 500, 11);
+  const auto large = estimate_anonymity_degree(sys, {3, 17}, d, 20000, 11);
+  EXPECT_GT(small.std_error, large.std_error);
+}
+
+TEST(MonteCarlo, RejectsZeroSamples) {
+  const system_params sys{10, 1};
+  EXPECT_THROW((void)estimate_anonymity_degree(
+                   sys, {0}, path_length_distribution::fixed(1), 0, 1),
+               contract_violation);
+}
+
+}  // namespace
+}  // namespace anonpath

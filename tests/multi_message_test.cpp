@@ -1,0 +1,120 @@
+#include "src/anonymity/multi_message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/anonymity/analytic.hpp"
+#include "src/stats/contract.hpp"
+
+namespace anonpath {
+namespace {
+
+TEST(CombinePosteriors, SingleFactorIsIdentity) {
+  const std::vector<std::vector<double>> ps{{0.1, 0.6, 0.3}};
+  const auto fused = combine_posteriors(ps);
+  EXPECT_NEAR(fused[0], 0.1, 1e-12);
+  EXPECT_NEAR(fused[1], 0.6, 1e-12);
+  EXPECT_NEAR(fused[2], 0.3, 1e-12);
+}
+
+TEST(CombinePosteriors, ProductSharpens) {
+  const std::vector<std::vector<double>> ps{{0.5, 0.25, 0.25},
+                                            {0.5, 0.25, 0.25}};
+  const auto fused = combine_posteriors(ps);
+  // 0.25 / (0.25 + 0.0625 + 0.0625) = 2/3.
+  EXPECT_NEAR(fused[0], 2.0 / 3.0, 1e-12);
+  EXPECT_GT(fused[0], 0.5);
+}
+
+TEST(CombinePosteriors, ZeroAnywhereEliminatesCandidate) {
+  const std::vector<std::vector<double>> ps{{0.5, 0.5, 0.0},
+                                            {0.0, 0.5, 0.5}};
+  const auto fused = combine_posteriors(ps);
+  EXPECT_DOUBLE_EQ(fused[0], 0.0);
+  EXPECT_DOUBLE_EQ(fused[2], 0.0);
+  EXPECT_NEAR(fused[1], 1.0, 1e-12);
+}
+
+TEST(CombinePosteriors, ManyFactorsStayNormalizedAndFinite) {
+  // 200 identical soft factors would underflow in linear space.
+  std::vector<std::vector<double>> ps(200, std::vector<double>{0.6, 0.4});
+  const auto fused = combine_posteriors(ps);
+  EXPECT_NEAR(fused[0] + fused[1], 1.0, 1e-12);
+  EXPECT_GT(fused[0], 0.999999);
+}
+
+TEST(CombinePosteriors, RejectsBadInput) {
+  EXPECT_THROW((void)combine_posteriors({}), contract_violation);
+  const std::vector<std::vector<double>> mismatched{{0.5, 0.5}, {1.0}};
+  EXPECT_THROW((void)combine_posteriors(mismatched), contract_violation);
+  const std::vector<std::vector<double>> contradictory{{1.0, 0.0}, {0.0, 1.0}};
+  EXPECT_THROW((void)combine_posteriors(contradictory), contract_violation);
+}
+
+TEST(Degradation, FirstMessageMatchesSingleShotEntropyScale) {
+  // k=1 point should sit near the analytic H* conditioned on honest
+  // senders (slightly above H*, which also averages the identified
+  // compromised-sender event).
+  const system_params sys{30, 1};
+  const auto d = path_length_distribution::uniform(1, 8);
+  const auto curve = simulate_degradation(sys, {5}, d, 1, 800, true, 7);
+  ASSERT_EQ(curve.size(), 1u);
+  const double exact = anonymity_degree(sys, d);
+  // Conditioning on an honest sender removes the zero-entropy
+  // compromised-sender events, so the curve sits slightly *above* H*.
+  EXPECT_GT(curve[0].mean_entropy_bits, exact - 1e-9);
+  EXPECT_LT(curve[0].mean_entropy_bits, exact + 0.3);
+}
+
+TEST(Degradation, ReroutingLeaksMonotonically) {
+  const system_params sys{20, 3};
+  const auto d = path_length_distribution::uniform(1, 6);
+  const auto curve = simulate_degradation(sys, {2, 9, 14}, d, 12, 300, true, 11);
+  ASSERT_EQ(curve.size(), 12u);
+  // Entropy must fall (strictly over the span) as messages accumulate.
+  for (std::size_t k = 1; k < curve.size(); ++k) {
+    EXPECT_LE(curve[k].mean_entropy_bits,
+              curve[k - 1].mean_entropy_bits + 0.02)
+        << "k=" << k;
+  }
+  EXPECT_LT(curve.back().mean_entropy_bits,
+            curve.front().mean_entropy_bits - 0.5);
+  EXPECT_GT(curve.back().identified_fraction,
+            curve.front().identified_fraction);
+}
+
+TEST(Degradation, StaticPathDoesNotDegrade) {
+  const system_params sys{20, 3};
+  const auto d = path_length_distribution::uniform(1, 6);
+  const auto curve =
+      simulate_degradation(sys, {2, 9, 14}, d, 10, 300, false, 13);
+  // Same observation repeated: the fused posterior never changes.
+  for (std::size_t k = 1; k < curve.size(); ++k) {
+    EXPECT_NEAR(curve[k].mean_entropy_bits, curve[0].mean_entropy_bits, 1e-9);
+    EXPECT_NEAR(curve[k].identified_fraction, curve[0].identified_fraction,
+                1e-12);
+  }
+}
+
+TEST(Degradation, DeterministicUnderSeed) {
+  const system_params sys{15, 2};
+  const auto d = path_length_distribution::uniform(1, 5);
+  const auto a = simulate_degradation(sys, {1, 8}, d, 5, 100, true, 42);
+  const auto b = simulate_degradation(sys, {1, 8}, d, 5, 100, true, 42);
+  for (std::size_t k = 0; k < a.size(); ++k)
+    EXPECT_DOUBLE_EQ(a[k].mean_entropy_bits, b[k].mean_entropy_bits);
+}
+
+TEST(Degradation, ValidatesArguments) {
+  const system_params sys{15, 1};
+  const auto d = path_length_distribution::fixed(3);
+  EXPECT_THROW((void)simulate_degradation(sys, {1}, d, 0, 10, true, 1),
+               contract_violation);
+  EXPECT_THROW((void)simulate_degradation(sys, {1}, d, 5, 0, true, 1),
+               contract_violation);
+}
+
+}  // namespace
+}  // namespace anonpath

@@ -1,0 +1,138 @@
+#include "src/anonymity/observation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace anonpath {
+namespace {
+
+std::vector<bool> flags(std::uint32_t n, std::initializer_list<node_id> set) {
+  std::vector<bool> f(n, false);
+  for (node_id c : set) f[c] = true;
+  return f;
+}
+
+TEST(Observe, NoCompromisedOnPath) {
+  const route r{0, {1, 2, 3}};
+  const auto obs = observe(r, flags(8, {7}));
+  EXPECT_FALSE(obs.origin.has_value());
+  EXPECT_TRUE(obs.reports.empty());
+  EXPECT_EQ(obs.receiver_predecessor, 3u);
+}
+
+TEST(Observe, CompromisedSenderSetsOrigin) {
+  const route r{5, {1, 2}};
+  const auto obs = observe(r, flags(8, {5}));
+  ASSERT_TRUE(obs.origin.has_value());
+  EXPECT_EQ(*obs.origin, 5u);
+}
+
+TEST(Observe, SingleMidReporterSeesNeighbors) {
+  const route r{0, {1, 2, 3, 4}};
+  const auto obs = observe(r, flags(8, {2}));
+  ASSERT_EQ(obs.reports.size(), 1u);
+  EXPECT_EQ(obs.reports[0].reporter, 2u);
+  EXPECT_EQ(obs.reports[0].predecessor, 1u);
+  EXPECT_EQ(obs.reports[0].successor, 3u);
+  EXPECT_EQ(obs.receiver_predecessor, 4u);
+}
+
+TEST(Observe, FirstHopReporterSeesSender) {
+  const route r{6, {1, 2}};
+  const auto obs = observe(r, flags(8, {1}));
+  ASSERT_EQ(obs.reports.size(), 1u);
+  EXPECT_EQ(obs.reports[0].predecessor, 6u);
+  EXPECT_EQ(obs.reports[0].successor, 2u);
+}
+
+TEST(Observe, LastHopReporterSeesReceiver) {
+  const route r{0, {1, 2}};
+  const auto obs = observe(r, flags(8, {2}));
+  ASSERT_EQ(obs.reports.size(), 1u);
+  EXPECT_EQ(obs.reports[0].successor, receiver_node);
+  EXPECT_EQ(obs.receiver_predecessor, 2u);
+}
+
+TEST(Observe, DirectSendExposesSenderToReceiver) {
+  const route r{4, {}};
+  const auto obs = observe(r, flags(8, {2}));
+  EXPECT_TRUE(obs.reports.empty());
+  EXPECT_EQ(obs.receiver_predecessor, 4u);
+}
+
+TEST(Observe, ReportsInTraversalOrder) {
+  const route r{0, {3, 1, 5, 2}};
+  const auto obs = observe(r, flags(8, {5, 1, 2}));
+  ASSERT_EQ(obs.reports.size(), 3u);
+  EXPECT_EQ(obs.reports[0].reporter, 1u);
+  EXPECT_EQ(obs.reports[1].reporter, 5u);
+  EXPECT_EQ(obs.reports[2].reporter, 2u);
+}
+
+TEST(ObservationKey, DistinguishesDistinctObservations) {
+  const route a{0, {1, 2, 3}};
+  const route b{0, {1, 3, 2}};
+  const auto fa = flags(8, {2});
+  EXPECT_NE(observe(a, fa).key(), observe(b, fa).key());
+}
+
+TEST(ObservationKey, IdenticalForIndistinguishablePaths) {
+  // c=7 off-path; both paths end at node 3: adversary view identical.
+  const route a{0, {1, 2, 3}};
+  const route b{0, {4, 5, 3}};
+  const auto fa = flags(8, {7});
+  EXPECT_EQ(observe(a, fa).key(), observe(b, fa).key());
+}
+
+TEST(Fragments, SingleReporterMakesOneFragment) {
+  const route r{0, {1, 2, 3, 4}};
+  const auto fa = flags(8, {2});
+  const auto frags = assemble_fragments(observe(r, fa), fa);
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0].nodes, (std::vector<node_id>{1, 2, 3}));
+}
+
+TEST(Fragments, AdjacentReportersChain) {
+  const route r{0, {1, 2, 3, 4, 5}};
+  const auto fa = flags(8, {2, 3});
+  const auto frags = assemble_fragments(observe(r, fa), fa);
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0].nodes, (std::vector<node_id>{1, 2, 3, 4}));
+}
+
+TEST(Fragments, SeparatedReportersMakeTwoFragments) {
+  const route r{0, {1, 2, 3, 4, 5}};
+  const auto fa = flags(8, {2, 5});
+  const auto frags = assemble_fragments(observe(r, fa), fa);
+  ASSERT_EQ(frags.size(), 2u);
+  EXPECT_EQ(frags[0].nodes, (std::vector<node_id>{1, 2, 3}));
+  EXPECT_EQ(frags[1].nodes, (std::vector<node_id>{4, 5, receiver_node}));
+}
+
+TEST(Fragments, TripleChainAcrossWholePath) {
+  const route r{7, {1, 2, 3}};
+  const auto fa = flags(8, {1, 2, 3});
+  const auto frags = assemble_fragments(observe(r, fa), fa);
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0].nodes, (std::vector<node_id>{7, 1, 2, 3, receiver_node}));
+}
+
+TEST(Fragments, InconsistentChainThrows) {
+  observation obs;
+  obs.reports.push_back({1, 0, 2});  // successor 2 is compromised...
+  obs.receiver_predecessor = 3;
+  const auto fa = flags(8, {1, 2});  // ...but node 2 never reported
+  EXPECT_THROW((void)assemble_fragments(obs, fa), std::invalid_argument);
+}
+
+TEST(Fragments, SilentCompromisedPredecessorThrows) {
+  observation obs;
+  obs.reports.push_back({1, 2, 3});  // predecessor 2 compromised but silent
+  obs.receiver_predecessor = 3;
+  const auto fa = flags(8, {1, 2});
+  EXPECT_THROW((void)assemble_fragments(obs, fa), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anonpath

@@ -1,0 +1,147 @@
+#include "src/anonymity/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/anonymity/closed_forms.hpp"
+#include "src/stats/contract.hpp"
+#include "src/stats/rng.hpp"
+
+namespace anonpath {
+namespace {
+
+constexpr system_params paper_system{100, 1};
+
+TEST(Optimizer, MeanConstraintSatisfied) {
+  for (double mean : {1.0, 2.0, 5.0, 10.0, 25.0, 50.0}) {
+    const auto r = optimize_for_mean(paper_system, mean, 99);
+    EXPECT_NEAR(r.distribution.mean(), mean, 1e-6) << "mean=" << mean;
+    EXPECT_NEAR(r.signature.mean, mean, 1e-12);
+  }
+}
+
+TEST(Optimizer, RealizedDistributionAchievesReportedDegree) {
+  for (double mean : {3.0, 8.0, 30.0}) {
+    const auto r = optimize_for_mean(paper_system, mean, 99);
+    EXPECT_NEAR(anonymity_degree(paper_system, r.distribution), r.degree, 1e-9);
+  }
+}
+
+TEST(Optimizer, DominatesFixedAndUniformAtSameMean) {
+  // The Fig-6 claim: the optimized distribution beats (or ties) F(L) and
+  // every U(a, 2L-a) at the same mean.
+  for (path_length mean : {2u, 5u, 10u, 20u, 40u}) {
+    const auto opt = optimize_for_mean(paper_system, mean, 99);
+    const double fixed = theorem1_fixed_length(100, mean);
+    EXPECT_GE(opt.degree, fixed - 1e-9) << "mean=" << mean;
+    const auto best_u = best_uniform_for_mean(paper_system, mean, 99);
+    EXPECT_GE(opt.degree, best_u.degree - 1e-9) << "mean=" << mean;
+  }
+}
+
+TEST(Optimizer, StrictImprovementAtSmallMeans) {
+  // At mean 2, F(2) suffers the short-path effect; mixing lengths must win
+  // strictly (the paper's headline: variable beats fixed).
+  const auto opt = optimize_for_mean(paper_system, 2.0, 99);
+  EXPECT_GT(opt.degree, theorem1_fixed_length(100, 2) + 1e-4);
+}
+
+TEST(Optimizer, SprinkleOfShortLengthsBeatsPureTailAtLargeMeans) {
+  // A genuine finding of the exact solver (consistent with the paper's
+  // Sec. 6.4 observation that U(0, 2l) is near-optimal at large means):
+  // the optimum keeps a *small* positive mass on lengths 0..2. That mass
+  // makes the absent/last-hop/penultimate observations ambiguous about
+  // whether the observed predecessor was the sender, raising entropy.
+  const auto opt = optimize_for_mean(paper_system, 40.0, 99);
+  const double short_mass =
+      opt.signature.p0 + opt.signature.p1 + opt.signature.p2;
+  EXPECT_GT(short_mass, 1e-4);
+  EXPECT_LT(short_mass, 0.15);
+  EXPECT_GT(opt.degree, fixed_length_continued(100, 40.0) + 1e-3);
+  // ...and it beats the paper's suggested near-optimal family U(0, 2l).
+  EXPECT_GE(opt.degree,
+            anonymity_degree(paper_system,
+                             path_length_distribution::uniform(0, 80)) -
+                1e-9);
+}
+
+TEST(Optimizer, UnconstrainedBeatsBestFixedStrictly) {
+  // With the mean free, the optimum strictly beats the best fixed length
+  // (the paper's conclusion 4: optimized variable-length wins) and stays
+  // below the log2(N) ceiling. Note the optimal mean (~33 at N=100) is well
+  // below the fixed-length peak l=51: ambiguity mass shifts the optimum.
+  const auto opt = optimize_unconstrained(paper_system, 99);
+  const auto fixed = best_fixed(paper_system, 99);
+  EXPECT_GT(opt.degree, fixed.degree + 1e-4);
+  EXPECT_LT(opt.degree, std::log2(100.0));
+  EXPECT_GT(opt.signature.mean, 10.0);
+  EXPECT_LT(opt.signature.mean, 60.0);
+}
+
+TEST(Optimizer, BestFixedIs51ForPaperSystem) {
+  const auto r = best_fixed(paper_system, 99);
+  EXPECT_DOUBLE_EQ(r.distribution.mean(), 51.0);
+  EXPECT_NEAR(r.degree, 6.5384, 5e-4);
+}
+
+TEST(Optimizer, BestUniformRequiresIntegralDoubleMean) {
+  EXPECT_THROW((void)best_uniform_for_mean(paper_system, 2.25, 99),
+               contract_violation);
+  EXPECT_NO_THROW((void)best_uniform_for_mean(paper_system, 2.5, 99));
+}
+
+TEST(Optimizer, MeanZeroForcesDirectSend) {
+  // Mean 0 leaves only the all-direct-send distribution (up to solver
+  // tolerance dust on the feasibility boundary).
+  const auto r = optimize_for_mean(paper_system, 0.0, 99);
+  EXPECT_NEAR(r.signature.p0, 1.0, 1e-6);
+  EXPECT_NEAR(r.degree, 0.0, 1e-6);
+}
+
+TEST(Optimizer, ValidatesArguments) {
+  EXPECT_THROW((void)optimize_for_mean(paper_system, -1.0, 99),
+               contract_violation);
+  EXPECT_THROW((void)optimize_for_mean(paper_system, 100.0, 99),
+               contract_violation);
+  EXPECT_THROW((void)optimize_for_mean(paper_system, 5.0, 120),
+               contract_violation);
+  EXPECT_THROW((void)optimize_for_mean(paper_system, 5.0, 99, 2),
+               contract_violation);
+}
+
+// Property test: no explicit pmf reachable by random mean-preserving
+// perturbations beats the moment-space optimum.
+class OptimalityProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(OptimalityProperty, RandomPerturbationsNeverBeatOptimum) {
+  const double mean = GetParam();
+  const auto opt = optimize_for_mean(paper_system, mean, 99);
+  stats::rng gen(static_cast<std::uint64_t>(mean * 1000) + 17);
+  path_length_distribution current = opt.distribution;
+  for (int i = 0; i < 400; ++i) {
+    current = random_mean_preserving_neighbor(current, gen, 0.05);
+    ASSERT_NEAR(current.mean(), mean, 1e-6);
+    EXPECT_LE(anonymity_degree(paper_system, current), opt.degree + 1e-9)
+        << "perturbation " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, OptimalityProperty,
+                         ::testing::Values(2.0, 5.0, 12.0, 30.0));
+
+TEST(Perturbation, PreservesMassAndMean) {
+  stats::rng gen(77);
+  auto d = path_length_distribution::uniform(2, 10);
+  const double mean = d.mean();
+  for (int i = 0; i < 200; ++i) {
+    d = random_mean_preserving_neighbor(d, gen, 0.1);
+    double total = 0;
+    for (path_length l = 0; l <= d.max_length(); ++l) total += d.pmf(l);
+    ASSERT_NEAR(total, 1.0, 1e-9);
+    ASSERT_NEAR(d.mean(), mean, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace anonpath

@@ -1,0 +1,163 @@
+#include "src/stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/stats/chi_square.hpp"
+#include "src/stats/contract.hpp"
+#include "src/stats/discrete_sampler.hpp"
+#include "src/stats/histogram.hpp"
+
+namespace anonpath::stats {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+  rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  rng g(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = g.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  rng g(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(g.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  rng g(3);
+  EXPECT_THROW((void)g.next_below(0), contract_violation);
+}
+
+TEST(Rng, NextIntCoversRangeInclusive) {
+  rng g(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(g.next_int(-3, 3));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), -3);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, UniformityChiSquare) {
+  rng g(12345);
+  constexpr std::size_t bins = 16;
+  int_histogram h(bins);
+  for (int i = 0; i < 160000; ++i)
+    h.add(static_cast<std::size_t>(g.next_below(bins)));
+  std::vector<double> expected(bins, 1.0 / bins);
+  const auto r = chi_square_goodness_of_fit(h.counts(), expected);
+  EXPECT_GT(r.p_value, 1e-4) << "statistic=" << r.statistic;
+}
+
+TEST(Rng, BernoulliFrequency) {
+  rng g(99);
+  int hits = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (g.next_bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SampleDistinctProducesDistinctValuesExcludingBanned) {
+  rng g(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto sample = g.sample_distinct(10, 6, {3});
+    std::set<std::uint32_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), 6u);
+    EXPECT_FALSE(uniq.contains(3));
+    for (auto v : sample) EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(Rng, SampleDistinctFullPool) {
+  rng g(5);
+  const auto sample = g.sample_distinct(5, 4, {2});
+  std::set<std::uint32_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq, (std::set<std::uint32_t>{0, 1, 3, 4}));
+}
+
+TEST(Rng, SampleDistinctTooManyThrows) {
+  rng g(5);
+  EXPECT_THROW((void)g.sample_distinct(5, 5, {2}), contract_violation);
+}
+
+TEST(Rng, SampleDistinctIsUniformOverArrangements) {
+  // All 6 ordered pairs from {0,1,2} \ {} with k=2 should be equally likely.
+  rng g(777);
+  int_histogram h(9);
+  constexpr int n = 90000;
+  for (int i = 0; i < n; ++i) {
+    const auto s = g.sample_distinct(3, 2, {});
+    h.add(s[0] * 3 + s[1]);
+  }
+  std::vector<double> expected(9, 0.0);
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b)
+      if (a != b) expected[a * 3 + b] = 1.0 / 6.0;
+  const auto r = chi_square_goodness_of_fit(h.counts(), expected);
+  EXPECT_GT(r.p_value, 1e-4);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  rng a(42);
+  rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(DiscreteSampler, MatchesWeights) {
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  discrete_sampler s(w);
+  EXPECT_DOUBLE_EQ(s.probability(0), 0.1);
+  EXPECT_DOUBLE_EQ(s.probability(3), 0.4);
+  rng g(2024);
+  int_histogram h(4);
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) h.add(s.sample(g));
+  std::vector<double> expected{0.1, 0.2, 0.3, 0.4};
+  const auto r = chi_square_goodness_of_fit(h.counts(), expected);
+  EXPECT_GT(r.p_value, 1e-4);
+}
+
+TEST(DiscreteSampler, HandlesZeroWeightCategories) {
+  const std::vector<double> w{0.0, 1.0, 0.0, 1.0};
+  discrete_sampler s(w);
+  rng g(6);
+  for (int i = 0; i < 10000; ++i) {
+    const auto k = s.sample(g);
+    EXPECT_TRUE(k == 1 || k == 3);
+  }
+}
+
+TEST(DiscreteSampler, RejectsAllZero) {
+  const std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW(discrete_sampler{w}, contract_violation);
+}
+
+TEST(DiscreteSampler, RejectsNegative) {
+  const std::vector<double> w{0.5, -0.1};
+  EXPECT_THROW(discrete_sampler{w}, contract_violation);
+}
+
+}  // namespace
+}  // namespace anonpath::stats

@@ -1,0 +1,83 @@
+#include "src/anonymity/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/anonymity/analytic.hpp"
+
+namespace anonpath {
+namespace {
+
+TEST(Protocols, AnonymizerIsSingleHop) {
+  const auto p = protocols::anonymizer();
+  EXPECT_EQ(p.name, "Anonymizer");
+  EXPECT_DOUBLE_EQ(p.lengths.pmf(1), 1.0);
+  EXPECT_EQ(p.mode, routing_mode::source_routed);
+}
+
+TEST(Protocols, FreedomIsFixedThree) {
+  const auto p = protocols::freedom();
+  EXPECT_DOUBLE_EQ(p.lengths.pmf(3), 1.0);
+  EXPECT_DOUBLE_EQ(p.lengths.mean(), 3.0);
+}
+
+TEST(Protocols, OnionRoutingOneIsFixedFive) {
+  const auto p = protocols::onion_routing_v1();
+  EXPECT_DOUBLE_EQ(p.lengths.pmf(5), 1.0);
+}
+
+TEST(Protocols, PipeNetIsThreeOrFour) {
+  const auto p = protocols::pipenet();
+  EXPECT_DOUBLE_EQ(p.lengths.pmf(3), 0.5);
+  EXPECT_DOUBLE_EQ(p.lengths.pmf(4), 0.5);
+  EXPECT_DOUBLE_EQ(p.lengths.mean(), 3.5);
+}
+
+TEST(Protocols, CrowdsHasGeometricTailAndMinOne) {
+  const auto p = protocols::crowds(0.75, 99);
+  EXPECT_EQ(p.mode, routing_mode::hop_by_hop);
+  EXPECT_DOUBLE_EQ(p.lengths.pmf(0), 0.0);
+  EXPECT_GT(p.lengths.pmf(1), 0.0);
+  EXPECT_NEAR(p.lengths.pmf(2) / p.lengths.pmf(1), 0.75, 1e-9);
+  EXPECT_NEAR(p.lengths.mean(), 4.0, 1e-6);  // 1/(1-pf)
+}
+
+TEST(Protocols, CrowdsVariantsShareLengthLaw) {
+  const auto crowds = protocols::crowds(0.8, 50);
+  const auto orii = protocols::onion_routing_v2(0.8, 50);
+  const auto hordes = protocols::hordes(0.8, 50);
+  for (path_length l = 0; l <= 50; ++l) {
+    EXPECT_DOUBLE_EQ(crowds.lengths.pmf(l), orii.lengths.pmf(l));
+    EXPECT_DOUBLE_EQ(crowds.lengths.pmf(l), hordes.lengths.pmf(l));
+  }
+}
+
+TEST(Protocols, SurveyCoversAllEightSystems) {
+  const auto all = protocols::survey(99);
+  EXPECT_EQ(all.size(), 8u);
+  for (const auto& p : all) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_LE(p.lengths.max_length(), 99u);
+  }
+}
+
+TEST(Protocols, SurveyScoresAreFiniteAndBounded) {
+  const system_params sys{100, 1};
+  for (const auto& p : protocols::survey(99)) {
+    const double h = anonymity_degree(sys, p.lengths);
+    EXPECT_GT(h, 6.0) << p.name;
+    EXPECT_LT(h, max_anonymity_degree(sys)) << p.name;
+  }
+}
+
+TEST(Protocols, FreedomUnderperformsCrowdsAtSimilarCost) {
+  // The paper's point, as a regression test: Freedom's F(3) sits at the
+  // short-path dip; Crowds' coin with a *similar* mean does better.
+  const system_params sys{100, 1};
+  const double freedom = anonymity_degree(sys, protocols::freedom().lengths);
+  const double crowds =
+      anonymity_degree(sys, protocols::crowds(2.0 / 3.0, 99).lengths);  // mean 3
+  EXPECT_GT(crowds, freedom + 0.01);
+}
+
+}  // namespace
+}  // namespace anonpath

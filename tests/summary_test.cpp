@@ -1,0 +1,94 @@
+#include "src/stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/histogram.hpp"
+#include "src/stats/rng.hpp"
+
+namespace anonpath::stats {
+namespace {
+
+TEST(RunningSummary, MeanAndVarianceExact) {
+  running_summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance is 4; sample variance is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningSummary, SingleSampleHasZeroVariance) {
+  running_summary s;
+  s.add(3.14);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.std_error(), 0.0);
+}
+
+TEST(RunningSummary, CiShrinksWithSamples) {
+  rng g(1);
+  running_summary small, large;
+  for (int i = 0; i < 100; ++i) small.add(g.next_double());
+  for (int i = 0; i < 10000; ++i) large.add(g.next_double());
+  EXPECT_GT(small.ci_half_width(), large.ci_half_width());
+}
+
+TEST(RunningSummary, MergeMatchesSequential) {
+  rng g(9);
+  running_summary all, a, b;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = g.next_double() * 10 - 5;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningSummary, MergeWithEmpty) {
+  running_summary a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  running_summary b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(Histogram, CountsAndFrequencies) {
+  int_histogram h(4);
+  h.add(0);
+  h.add(1);
+  h.add(1);
+  h.add(3);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_DOUBLE_EQ(h.frequency(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.frequency(2), 0.0);
+  EXPECT_NEAR(h.mean(), (0 + 1 + 1 + 3) / 4.0, 1e-12);
+}
+
+TEST(Histogram, GaussianMeanEstimate) {
+  // Sum of 12 uniforms - 6 approximates N(0,1); via histogram mean offset.
+  rng g(4);
+  running_summary s;
+  for (int i = 0; i < 20000; ++i) {
+    double acc = 0;
+    for (int k = 0; k < 12; ++k) acc += g.next_double();
+    s.add(acc - 6.0);
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace anonpath::stats

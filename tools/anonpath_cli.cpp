@@ -1,0 +1,203 @@
+// anonpath — command-line front end to the library.
+//
+//   anonpath degree   --n 100 --dist F:5            score a strategy
+//   anonpath degree   --n 100 --dist U:2,14 --breakdown
+//   anonpath optimize --n 100 --mean 5              optimal distribution
+//   anonpath simulate --n 60 --c 2 --dist U:2,14 --messages 2000
+//   anonpath figures  --n 100                       dump all paper figures
+//
+// Distribution syntax: F:l | U:a,b | G:pf,min,max (geometric) | P:lambda,max.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/anonymity/analytic.hpp"
+#include "src/anonymity/optimizer.hpp"
+#include "src/repro/figures.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace {
+
+using namespace anonpath;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: anonpath <degree|optimize|simulate|figures> [options]\n"
+               "  common:   --n <nodes>      (default 100)\n"
+               "            --c <compromised> (default 1)\n"
+               "            --dist F:l | U:a,b | G:pf,min,max | P:lambda,max\n"
+               "  degree:   [--breakdown]\n"
+               "  optimize: --mean <target expected length>\n"
+               "  simulate: [--messages k] [--seed s] [--drop p]\n"
+               "  figures:  (dumps fig3a/3b/4/5/6 series as CSV)\n");
+  std::exit(2);
+}
+
+path_length_distribution parse_dist(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) usage("bad --dist (missing ':')");
+  const std::string kind = spec.substr(0, colon);
+  const std::string args = spec.substr(colon + 1);
+  auto split = [&args]() {
+    std::vector<double> out;
+    std::size_t pos = 0;
+    while (pos <= args.size()) {
+      const auto comma = args.find(',', pos);
+      const std::string tok =
+          args.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      if (tok.empty()) usage("bad --dist arguments");
+      out.push_back(std::strtod(tok.c_str(), nullptr));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    return out;
+  };
+  const auto v = split();
+  if (kind == "F" && v.size() == 1)
+    return path_length_distribution::fixed(static_cast<path_length>(v[0]));
+  if (kind == "U" && v.size() == 2)
+    return path_length_distribution::uniform(static_cast<path_length>(v[0]),
+                                             static_cast<path_length>(v[1]));
+  if (kind == "G" && v.size() == 3)
+    return path_length_distribution::geometric(
+        v[0], static_cast<path_length>(v[1]), static_cast<path_length>(v[2]));
+  if (kind == "P" && v.size() == 2)
+    return path_length_distribution::poisson(v[0],
+                                             static_cast<path_length>(v[1]));
+  usage("unrecognized --dist form");
+}
+
+struct options {
+  std::string command;
+  std::uint32_t n = 100;
+  std::uint32_t c = 1;
+  std::optional<path_length_distribution> dist;
+  double mean = 5.0;
+  std::uint32_t messages = 2000;
+  std::uint64_t seed = 1;
+  double drop = 0.0;
+  bool breakdown = false;
+};
+
+options parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  options opt;
+  opt.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage("missing value for flag");
+      return argv[++i];
+    };
+    if (flag == "--n") opt.n = static_cast<std::uint32_t>(std::atoi(next()));
+    else if (flag == "--c") opt.c = static_cast<std::uint32_t>(std::atoi(next()));
+    else if (flag == "--dist") opt.dist = parse_dist(next());
+    else if (flag == "--mean") opt.mean = std::strtod(next(), nullptr);
+    else if (flag == "--messages")
+      opt.messages = static_cast<std::uint32_t>(std::atoi(next()));
+    else if (flag == "--seed")
+      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (flag == "--drop") opt.drop = std::strtod(next(), nullptr);
+    else if (flag == "--breakdown") opt.breakdown = true;
+    else usage(("unknown flag " + flag).c_str());
+  }
+  return opt;
+}
+
+int cmd_degree(const options& opt) {
+  const system_params sys{opt.n, 1};
+  const auto d = opt.dist.value_or(path_length_distribution::fixed(3));
+  const double h = anonymity_degree(sys, d);
+  std::printf("strategy %s on N=%u, C=1: H* = %.6f bits (ceiling %.6f)\n",
+              d.label().c_str(), opt.n, h, max_anonymity_degree(sys));
+  if (opt.breakdown) {
+    const auto b = anonymity_breakdown(sys, d);
+    std::printf("  event class            probability   H(X|e) bits\n");
+    std::printf("  sender compromised     %11.6f   %11.6f\n",
+                b.p_sender_compromised, 0.0);
+    std::printf("  c absent               %11.6f   %11.6f\n", b.p_absent,
+                b.h_absent);
+    std::printf("  c last hop             %11.6f   %11.6f\n", b.p_last,
+                b.h_last);
+    std::printf("  c penultimate          %11.6f   %11.6f\n", b.p_penultimate,
+                b.h_penultimate);
+    std::printf("  c mid-path             %11.6f   %11.6f\n", b.p_mid, b.h_mid);
+  }
+  return 0;
+}
+
+int cmd_optimize(const options& opt) {
+  const system_params sys{opt.n, 1};
+  const auto cap = static_cast<path_length>(opt.n - 1);
+  const auto r = optimize_for_mean(sys, opt.mean, cap);
+  std::printf("optimal distribution for N=%u, E[L]=%.2f: H* = %.6f bits\n",
+              opt.n, opt.mean, r.degree);
+  const auto& pmf = r.distribution.dense_pmf();
+  for (path_length l = 0; l < pmf.size(); ++l)
+    if (pmf[l] > 1e-9) std::printf("  Pr[L=%3u] = %.6f\n", l, pmf[l]);
+  return 0;
+}
+
+int cmd_simulate(const options& opt) {
+  sim::sim_config cfg;
+  cfg.sys = {opt.n, opt.c};
+  cfg.compromised.clear();
+  for (std::uint32_t i = 0; i < opt.c; ++i)
+    cfg.compromised.push_back(static_cast<node_id>((i * opt.n) / opt.c));
+  cfg.lengths = opt.dist.value_or(path_length_distribution::uniform(1, 8));
+  cfg.message_count = opt.messages;
+  cfg.seed = opt.seed;
+  cfg.drop_probability = opt.drop;
+  const auto r = sim::run_simulation(cfg);
+  std::printf("simulated %llu msgs on N=%u, C=%u, %s\n",
+              static_cast<unsigned long long>(r.submitted), opt.n, opt.c,
+              cfg.lengths.label().c_str());
+  std::printf("  delivered:           %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(r.delivered),
+              100.0 * static_cast<double>(r.delivered) /
+                  static_cast<double>(r.submitted));
+  std::printf("  mean latency:        %.1f ms\n",
+              r.end_to_end_latency.mean() * 1000.0);
+  std::printf("  mean hops:           %.2f\n", r.realized_hops.mean());
+  std::printf("  empirical H*:        %.4f +/- %.4f bits\n",
+              r.empirical_entropy_bits, 1.96 * r.empirical_entropy_stderr);
+  std::printf("  identified fraction: %.2f%%\n", 100.0 * r.identified_fraction);
+  return 0;
+}
+
+int cmd_figures(const options& opt) {
+  const system_params sys{opt.n, 1};
+  repro::print_figure(repro::fig3a(sys), std::cout);
+  repro::print_figure(repro::fig3b(sys), std::cout);
+  for (char p : {'a', 'b', 'c', 'd'}) {
+    repro::print_figure(repro::fig4(sys, p), std::cout);
+    repro::print_figure(repro::fig5(sys, p), std::cout);
+  }
+  const auto fig6_span =
+      std::min<path_length>(50, static_cast<path_length>(opt.n - 1));
+  repro::print_figure(repro::fig6(sys, fig6_span), std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const options opt = parse(argc, argv);
+  try {
+    if (opt.command == "degree") return cmd_degree(opt);
+    if (opt.command == "optimize") return cmd_optimize(opt);
+    if (opt.command == "simulate") return cmd_simulate(opt);
+    if (opt.command == "figures") return cmd_figures(opt);
+    usage("unknown command");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
