@@ -18,13 +18,15 @@ constexpr std::uint32_t node_count = 100;
 constexpr std::uint64_t samples = 4000;
 
 std::vector<node_id> spread_compromised(std::uint32_t c) {
-  std::vector<node_id> out;
-  for (std::uint32_t i = 0; i < c; ++i)
-    out.push_back(static_cast<node_id>((i * node_count) / c));
-  return out;
+  return anonpath::spread_compromised(node_count, c);
 }
 
 void emit(std::ostream& os) {
+  // All cores, fixed shard count: the emitted series are identical on any
+  // machine regardless of its thread count (mc_config determinism contract).
+  mc_config cfg;
+  cfg.threads = 0;
+  cfg.shards = 32;
   os << "# extA: anonymity degree vs number of compromised nodes (N=100)\n";
   os << "# MC with exact per-observation posteriors, " << samples
      << " samples, 95% CI half-width in last column\n";
@@ -36,7 +38,7 @@ void emit(std::ostream& os) {
     for (std::uint32_t c : {1u, 2u, 4u, 8u, 16u, 32u}) {
       const system_params sys{node_count, c};
       const auto est = estimate_anonymity_degree(
-          sys, spread_compromised(c), lengths, samples, 1000 + c);
+          sys, spread_compromised(c), lengths, samples, 1000 + c, cfg);
       os << c << "," << est.degree << "," << est.ci95() << "\n";
     }
   }
@@ -58,6 +60,24 @@ void BM_PosteriorMonteCarloSample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100);
 }
 BENCHMARK(BM_PosteriorMonteCarloSample)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_PosteriorMonteCarloParallel(benchmark::State& state) {
+  // The same sweep workload on all cores via the batched engine.
+  const auto c = static_cast<std::uint32_t>(state.range(0));
+  const system_params sys{node_count, c};
+  const auto lengths = path_length_distribution::uniform(1, 10);
+  mc_config cfg;
+  cfg.threads = 0;
+  cfg.shards = 32;
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_anonymity_degree(
+        sys, spread_compromised(c), lengths, samples, seed++, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * samples);
+}
+BENCHMARK(BM_PosteriorMonteCarloParallel)->Arg(1)->Arg(8)->Arg(32)
+    ->UseRealTime();
 
 }  // namespace
 

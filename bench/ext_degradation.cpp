@@ -21,7 +21,11 @@ void emit(std::ostream& os) {
   const auto d = path_length_distribution::uniform(1, 10);
   os << "# extE: posterior entropy vs messages sent by the same sender "
         "(N=60, C=3, U(1,10), 400 trials)\n";
-  const auto single = estimate_anonymity_degree(sys, compromised, d, 8000, 5);
+  mc_config cfg;
+  cfg.threads = 0;  // all cores; shard count fixed => machine-independent
+  cfg.shards = 32;
+  const auto single =
+      estimate_anonymity_degree(sys, compromised, d, 8000, 5, cfg);
   os << "# single-message H* (MC, all events incl. compromised senders) = "
      << single.degree << " +/- " << single.ci95() << " bits\n";
   for (const bool reroute : {true, false}) {

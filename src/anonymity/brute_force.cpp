@@ -1,7 +1,7 @@
 #include "src/anonymity/brute_force.hpp"
 
-#include <map>
 #include <string>
+#include <unordered_map>
 
 #include "src/anonymity/entropy.hpp"
 #include "src/stats/contract.hpp"
@@ -55,12 +55,15 @@ brute_force_analyzer::brute_force_analyzer(
 
   const auto n = sys.node_count;
 
-  // key -> (observation, per-sender probability mass)
+  // key -> (observation, per-sender probability mass). Hashed, not ordered:
+  // the enumeration touches every bucket once per path, and event order is
+  // irrelevant to the expectation (summed with compensated accumulators).
   struct bucket {
     observation obs;
     std::vector<double> mass;
   };
-  std::map<std::string, bucket> buckets;
+  std::unordered_map<std::string, bucket> buckets;
+  buckets.reserve(1024);
 
   for (node_id s = 0; s < n; ++s) {
     for (path_length l = lengths.min_length(); l <= lengths.max_length(); ++l) {

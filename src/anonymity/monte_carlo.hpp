@@ -14,21 +14,59 @@ struct mc_estimate {
   double degree = 0.0;      ///< estimated H*(S), bits
   double std_error = 0.0;   ///< standard error of the estimate
   std::uint64_t samples = 0;
+  std::uint64_t distinct_observations = 0;  ///< dedup classes scored (== samples when dedup is off)
+  std::uint64_t shards = 0;                 ///< rng streams the estimate was split over
 
   /// Half-width of the ~95% confidence interval.
   [[nodiscard]] double ci95() const noexcept { return 1.96 * std_error; }
+};
+
+/// Tuning knobs for the batched Monte-Carlo estimation engine.
+///
+/// Determinism contract: for fixed (seed, samples, shards, dedup,
+/// batch_size) the estimate is bit-identical for EVERY value of `threads`.
+/// Each shard owns an independent rng stream (stats::rng::stream) and a
+/// private accumulator; shard results are reduced in shard order on the
+/// calling thread, so the schedule never leaks into the arithmetic.
+struct mc_config {
+  /// Worker threads; 0 = hardware concurrency, 1 = serial.
+  unsigned threads = 1;
+  /// Independent sampling streams; 0 = default (16, clamped to `samples`).
+  /// Changing the shard count changes which routes are drawn (a different
+  /// but equally valid estimate); changing `threads` never does.
+  std::uint64_t shards = 0;
+  /// Canonicalize sampled observations (observation::key()) and score the
+  /// posterior once per distinct observation class instead of once per
+  /// sample. Short paths collapse onto few classes, so this is the main
+  /// single-thread throughput lever. Affects only rounding (weighted vs
+  /// sequential accumulation), not the sampled routes.
+  bool dedup = true;
+  /// Samples per dedup-index window within a shard; 0 = the whole shard in
+  /// one window. The per-shard hash index is cleared every `batch_size`
+  /// samples, bounding its size on very large runs; classes split across
+  /// windows are re-folded by the global merge, so estimates are unaffected
+  /// except for weighted-accumulation rounding.
+  std::uint64_t batch_size = 0;
 };
 
 /// Estimates H*(S) = E_e[ H(X|e) ] for an arbitrary compromised set by
 /// sampling routes from the generative model, running the adversary's
 /// collection step, and scoring the exact posterior entropy of each sampled
 /// observation with the general posterior engine. Deterministic under a
-/// fixed seed.
+/// fixed seed and config (see mc_config for the thread-invariance
+/// guarantee).
 ///
 /// This is the tool the analytic C=1 engine cannot replace: it handles any
 /// C and is validated against brute force at small N.
 ///
 /// Preconditions: as posterior_engine; samples > 0.
+[[nodiscard]] mc_estimate estimate_anonymity_degree(
+    const system_params& sys, const std::vector<node_id>& compromised,
+    const path_length_distribution& lengths, std::uint64_t samples,
+    std::uint64_t seed, const mc_config& config);
+
+/// Single-threaded convenience wrapper with the default config (dedup on,
+/// default shard count).
 [[nodiscard]] mc_estimate estimate_anonymity_degree(
     const system_params& sys, const std::vector<node_id>& compromised,
     const path_length_distribution& lengths, std::uint64_t samples,

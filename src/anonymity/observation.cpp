@@ -1,35 +1,55 @@
 #include "src/anonymity/observation.hpp"
 
+#include <charconv>
 #include <stdexcept>
 
 #include "src/stats/contract.hpp"
 
 namespace anonpath {
 
+namespace {
+
+/// Appends the decimal form of v without the temporary std::to_string makes.
+void append_number(std::string& out, node_id v) {
+  char buf[12];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+void observation::key_into(std::string& out) const {
+  out.clear();
+  if (origin) {
+    out += 'O';
+    append_number(out, *origin);
+  }
+  for (const auto& r : reports) {
+    out += '|';
+    append_number(out, r.reporter);
+    out += ',';
+    append_number(out, r.predecessor);
+    out += ',';
+    append_number(out, r.successor);
+  }
+  out += '|';
+  out += 'R';
+  append_number(out, receiver_predecessor);
+}
+
 std::string observation::key() const {
   std::string out;
   out.reserve(reports.size() * 16 + 32);
-  if (origin) {
-    out += "O";
-    out += std::to_string(*origin);
-  }
-  for (const auto& r : reports) {
-    out += "|";
-    out += std::to_string(r.reporter);
-    out += ",";
-    out += std::to_string(r.predecessor);
-    out += ",";
-    out += std::to_string(r.successor);
-  }
-  out += "|R";
-  out += std::to_string(receiver_predecessor);
+  key_into(out);
   return out;
 }
 
-observation observe(const route& r, const std::vector<bool>& compromised) {
+void observe_into(const route& r, const std::vector<bool>& compromised,
+                  observation& out) {
   ANONPATH_EXPECTS(r.sender < compromised.size());
-  observation obs;
-  if (compromised[r.sender]) obs.origin = r.sender;
+  out.origin.reset();
+  out.reports.clear();
+  if (compromised[r.sender]) out.origin = r.sender;
   const auto l = r.length();
   for (path_length i = 0; i < l; ++i) {
     const node_id here = r.hops[i];
@@ -39,10 +59,15 @@ observation observe(const route& r, const std::vector<bool>& compromised) {
       rep.reporter = here;
       rep.predecessor = (i == 0) ? r.sender : r.hops[i - 1];
       rep.successor = (i + 1 == l) ? receiver_node : r.hops[i + 1];
-      obs.reports.push_back(rep);
+      out.reports.push_back(rep);
     }
   }
-  obs.receiver_predecessor = (l == 0) ? r.sender : r.hops[l - 1];
+  out.receiver_predecessor = (l == 0) ? r.sender : r.hops[l - 1];
+}
+
+observation observe(const route& r, const std::vector<bool>& compromised) {
+  observation obs;
+  observe_into(r, compromised, obs);
   return obs;
 }
 

@@ -33,8 +33,13 @@ struct observation {
   friend bool operator==(const observation&, const observation&) = default;
 
   /// Canonical string key for grouping identical observations (used by the
-  /// brute-force analyzer to build the exact event space).
+  /// brute-force analyzer to build the exact event space and by the
+  /// Monte-Carlo dedup layer to aggregate sampled observation classes).
   [[nodiscard]] std::string key() const;
+
+  /// Writes the canonical key into `out` (replacing its contents), reusing
+  /// the string's capacity — the allocation-free form for hot loops.
+  void key_into(std::string& out) const;
 };
 
 /// Simulates the adversary's collection step: given the ground-truth route
@@ -43,6 +48,12 @@ struct observation {
 /// `compromised` is indexed by node id (size >= N).
 [[nodiscard]] observation observe(const route& r,
                                   const std::vector<bool>& compromised);
+
+/// In-place variant of observe(): fills `out`, reusing its report buffer so
+/// repeated collection steps (the Monte-Carlo sampling loop) allocate
+/// nothing in steady state.
+void observe_into(const route& r, const std::vector<bool>& compromised,
+                  observation& out);
 
 /// A maximal known-contiguous stretch of the path assembled from chained
 /// reports: [pred, d_1, ..., d_k, succ] where the d_i are compromised

@@ -33,4 +33,35 @@ enum class path_model {
                                  const path_length_distribution& lengths,
                                  path_model model, stats::rng& gen);
 
+/// Allocation-free bulk sampler for the hot Monte-Carlo loop: draws the same
+/// (sender, length, route) triples as sample_route but reuses internal
+/// buffers, so steady-state sampling performs zero heap allocations.
+///
+/// For the simple model it exploits that a uniform (sender, ordered
+/// l-sample of V \ {sender}) pair is exactly a uniform (l+1)-prefix of a
+/// random permutation of V: one partial Fisher-Yates pass over a persistent
+/// permutation buffer yields sender and hops together. (Fisher-Yates is
+/// uniform from any starting permutation, so the buffer is never re-sorted.)
+///
+/// The draw sequence differs from sample_route's, so the two produce
+/// different — equally distributed — streams for the same generator state.
+class route_sampler {
+ public:
+  /// Preconditions: node_count >= 2; for the simple model the length support
+  /// must fit simple paths (lengths.max_length() <= node_count - 1).
+  route_sampler(std::uint32_t node_count, path_length_distribution lengths,
+                path_model model);
+
+  /// Draws the next route into the internal buffer and returns a reference
+  /// to it; valid until the next call.
+  const route& next(stats::rng& gen);
+
+ private:
+  std::uint32_t node_count_;
+  path_length_distribution lengths_;
+  path_model model_;
+  std::vector<node_id> pool_;  // persistent permutation of V (simple model)
+  route r_;
+};
+
 }  // namespace anonpath

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/stats/contract.hpp"
+#include "src/stats/kahan.hpp"
 #include "src/stats/logspace.hpp"
 
 namespace anonpath {
@@ -24,25 +26,49 @@ posterior_engine::posterior_engine(system_params sys,
     compromised_flag_[c] = true;
   }
   const auto max_l = lengths_.max_length();
+
+  // ln i! table sized for every argument the likelihood can present: falling
+  // factorials of the honest pool (<= N) and binomials over T + g - 1 slots
+  // (<= max_l + 2 + C + 1). Built with a compensated running sum so table
+  // lookups match the seed's per-call Kahan summation to ~1 ulp.
+  const std::size_t fact_max =
+      std::max<std::size_t>(sys_.node_count,
+                            static_cast<std::size_t>(max_l) + 3 +
+                                sys_.compromised_count) +
+      1;
+  log_fact_.resize(fact_max + 1);
+  stats::kahan_sum fact_acc;
+  log_fact_[0] = 0.0;
+  for (std::size_t i = 1; i <= fact_max; ++i) {
+    fact_acc.add(std::log(static_cast<double>(i)));
+    log_fact_[i] = fact_acc.value();
+  }
+
   log_pl_.resize(max_l + 1);
   log_paths_per_len_.resize(max_l + 1);
   for (path_length l = 0; l <= max_l; ++l) {
     const double p = lengths_.pmf(l);
     log_pl_[l] = p > 0.0 ? std::log(p) : stats::log_zero();
-    log_paths_per_len_[l] =
-        stats::log_falling_factorial(sys_.node_count - 1, l);
+    log_paths_per_len_[l] = table_log_falling_factorial(sys_.node_count - 1, l);
   }
+
+  // Consistent layouts satisfy span <= l + 2 and gaps <= C + 1; anything
+  // outside these bounds evaluates to zero likelihood without caching.
+  span_cache_max_ = static_cast<long long>(max_l) + 2;
+  gap_cache_max_ = static_cast<long long>(sys_.compromised_count) + 1;
+  const std::size_t cache_size =
+      static_cast<std::size_t>(span_cache_max_ + 1) *
+      static_cast<std::size_t>(gap_cache_max_ + 1) *
+      static_cast<std::size_t>(sys_.node_count + 1);
+  likelihood_cache_.assign(cache_size,
+                           std::numeric_limits<double>::quiet_NaN());
+  seen_stamp_.assign(sys_.node_count, 0);
 }
 
 posterior_engine::block_layout posterior_engine::layout_for(
     const std::vector<path_fragment>& fragments, node_id v, node_id s) const {
   block_layout lay;
   if (s >= sys_.node_count || compromised_flag_[s]) return lay;  // inconsistent
-
-  // Assemble the ordered block list: [s], fragments..., terminal block.
-  std::vector<std::vector<node_id>> blocks;
-  blocks.push_back({s});
-  for (const auto& f : fragments) blocks.push_back(f.nodes);
 
   const bool v_compromised = v < sys_.node_count && compromised_flag_[v];
   if (v_compromised) {
@@ -57,49 +83,65 @@ posterior_engine::block_layout posterior_engine::layout_for(
     // No fragment may claim to end the path when v is honest.
     if (!fragments.empty() && fragments.back().nodes.back() == receiver_node)
       return lay;
-    blocks.push_back({v, receiver_node});
   }
 
-  // Forced merges: equal boundary nodes are the same path occurrence on a
-  // simple path.
-  std::vector<std::vector<node_id>> merged;
-  merged.push_back(blocks.front());
-  for (std::size_t i = 1; i < blocks.size(); ++i) {
-    auto& prev = merged.back();
-    const auto& cur = blocks[i];
-    if (prev.back() != receiver_node && prev.back() == cur.front()) {
-      prev.insert(prev.end(), cur.begin() + 1, cur.end());
-    } else {
-      merged.push_back(cur);
-    }
+  // Stream over the conceptual block list — [s], fragments..., terminal
+  // block — merging blocks whose boundary nodes coincide (same occurrence on
+  // a simple path) and checking node distinctness with the stamp array; no
+  // per-call allocation.
+  if (++stamp_ == 0) {  // generation wrap: reset lazily, once per ~4e9 calls
+    std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0u);
+    stamp_ = 1;
   }
-
-  // Distinctness across all block nodes (simple path); count honest
-  // observed nodes for the pool size.
-  std::vector<node_id> seen;
-  long long honest_observed = 0;
   long long span = 0;
-  for (const auto& b : merged) {
-    for (node_id x : b) {
+  long long honest_observed = 0;
+  long long merged_blocks = 0;
+  bool first = true;
+  bool ok = true;
+  node_id prev_back = receiver_node;
+  const auto visit = [&](const node_id* nodes, std::size_t len) {
+    std::size_t start = 0;
+    if (!first && prev_back != receiver_node && prev_back == nodes[0]) {
+      start = 1;  // merged with the previous block; shared node already seen
+    } else {
+      ++merged_blocks;
+    }
+    first = false;
+    for (std::size_t i = start; i < len; ++i) {
+      const node_id x = nodes[i];
       ++span;
       if (x == receiver_node) continue;
-      if (x >= sys_.node_count) return lay;
-      if (std::find(seen.begin(), seen.end(), x) != seen.end()) return lay;
-      seen.push_back(x);
+      if (x >= sys_.node_count || seen_stamp_[x] == stamp_) {
+        ok = false;
+        return;
+      }
+      seen_stamp_[x] = stamp_;
       if (!compromised_flag_[x]) ++honest_observed;
     }
+    prev_back = nodes[len - 1];
+  };
+
+  visit(&s, 1);
+  for (const auto& f : fragments) {
+    if (!ok) return lay;
+    visit(f.nodes.data(), f.nodes.size());
   }
+  if (!v_compromised && ok) {
+    const node_id terminal[2] = {v, receiver_node};
+    visit(terminal, 2);
+  }
+  if (!ok) return lay;
 
   lay.consistent = true;
   lay.span_total = span;
-  lay.gap_count = static_cast<long long>(merged.size()) - 1;
+  lay.gap_count = merged_blocks - 1;
   lay.pool_size = static_cast<long long>(sys_.node_count) -
                   static_cast<long long>(sys_.compromised_count) -
                   honest_observed;
   return lay;
 }
 
-double posterior_engine::log_likelihood_from_layout(
+double posterior_engine::log_likelihood_from_layout_uncached(
     const block_layout& lay) const {
   if (!lay.consistent) return stats::log_zero();
   double acc = stats::log_zero();
@@ -110,13 +152,32 @@ double posterior_engine::log_likelihood_from_layout(
     if (t < 0) continue;
     if (lay.gap_count == 0 && t != 0) continue;
     if (t > lay.pool_size) continue;
-    double log_count = stats::log_falling_factorial(lay.pool_size, t);
+    double log_count = table_log_falling_factorial(lay.pool_size, t);
     if (lay.gap_count >= 1)
-      log_count += stats::log_binomial(t + lay.gap_count - 1, lay.gap_count - 1);
+      log_count += table_log_binomial(t + lay.gap_count - 1, lay.gap_count - 1);
     acc = stats::log_add_exp(acc,
                              log_pl_[l] + log_count - log_paths_per_len_[l]);
   }
   return acc;
+}
+
+double posterior_engine::log_likelihood_from_layout(
+    const block_layout& lay) const {
+  if (!lay.consistent) return stats::log_zero();
+  if (lay.span_total > span_cache_max_ || lay.gap_count > gap_cache_max_ ||
+      lay.pool_size < 0 ||
+      lay.pool_size > static_cast<long long>(sys_.node_count)) {
+    return log_likelihood_from_layout_uncached(lay);
+  }
+  const std::size_t idx =
+      (static_cast<std::size_t>(lay.span_total) *
+           static_cast<std::size_t>(gap_cache_max_ + 1) +
+       static_cast<std::size_t>(lay.gap_count)) *
+          static_cast<std::size_t>(sys_.node_count + 1) +
+      static_cast<std::size_t>(lay.pool_size);
+  double& slot = likelihood_cache_[idx];
+  if (std::isnan(slot)) slot = log_likelihood_from_layout_uncached(lay);
+  return slot;
 }
 
 double posterior_engine::log_likelihood(const observation& obs,
@@ -142,7 +203,9 @@ std::vector<double> posterior_engine::sender_posterior_reference(
   const auto fragments = assemble_fragments(obs, compromised_flag_);
   std::vector<double> logw(n, stats::log_zero());
   for (node_id s = 0; s < n; ++s) {
-    logw[s] = log_likelihood_from_layout(
+    // Deliberately bypasses the memo so tests can pit the cached fast path
+    // against a from-scratch evaluation.
+    logw[s] = log_likelihood_from_layout_uncached(
         layout_for(fragments, obs.receiver_predecessor, s));
   }
   const double z = stats::log_sum_exp(logw);

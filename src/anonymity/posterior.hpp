@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "src/anonymity/length_distribution.hpp"
@@ -21,6 +22,15 @@ namespace anonpath {
 ///
 /// with T unobserved slots, g gaps between merged observation blocks, and U
 /// the pool of unobserved honest nodes.
+///
+/// Hot-path engineering: the constructor precomputes a log-factorial table
+/// covering every falling factorial / binomial the likelihood can touch, and
+/// likelihoods are memoized by their (span, gaps, pool) layout signature —
+/// distinct observations overwhelmingly collapse onto few layouts, so the
+/// combinatorial sum runs once per layout class. The memo and the scratch
+/// buffers behind layout_for make a single engine instance NOT safe for
+/// concurrent use; give each thread its own (cheap) copy, as the
+/// Monte-Carlo engine does.
 class posterior_engine {
  public:
   /// Preconditions: sys.valid(); `compromised` lists distinct node ids
@@ -58,6 +68,7 @@ class posterior_engine {
   path_length_distribution lengths_;
   std::vector<double> log_pl_;              // ln pmf per length
   std::vector<double> log_paths_per_len_;   // ln (N-1)_l per length
+  std::vector<double> log_fact_;            // ln i!, compensated cumulative
 
   struct block_layout {
     bool consistent = false;
@@ -66,12 +77,39 @@ class posterior_engine {
     long long pool_size = 0;    // |U| unobserved honest nodes
   };
 
+  // Likelihood memo keyed by (span_total, gap_count, pool_size); NaN marks
+  // an empty slot (-inf is a legitimate cached value). Mutable scratch for
+  // layout_for's distinctness scan: a node is "seen" iff its stamp equals
+  // the current generation, so resetting is a single counter increment.
+  long long span_cache_max_ = 0;
+  long long gap_cache_max_ = 0;
+  mutable std::vector<double> likelihood_cache_;
+  mutable std::vector<std::uint32_t> seen_stamp_;
+  mutable std::uint32_t stamp_ = 0;
+
+  /// ln n!/(n-k)! and ln C(n, k) from the precomputed table.
+  [[nodiscard]] double table_log_falling_factorial(long long n,
+                                                   long long k) const {
+    return log_fact_[static_cast<std::size_t>(n)] -
+           log_fact_[static_cast<std::size_t>(n - k)];
+  }
+  [[nodiscard]] double table_log_binomial(long long n, long long k) const {
+    return log_fact_[static_cast<std::size_t>(n)] -
+           log_fact_[static_cast<std::size_t>(k)] -
+           log_fact_[static_cast<std::size_t>(n - k)];
+  }
+
   /// Builds the merged block layout for hypothesis sender `s`.
   [[nodiscard]] block_layout layout_for(
       const std::vector<path_fragment>& fragments, node_id v, node_id s) const;
 
-  /// ln Pr(obs | s) given a prebuilt layout.
+  /// ln Pr(obs | s) given a prebuilt layout; memoized on the layout key.
   [[nodiscard]] double log_likelihood_from_layout(const block_layout& lay) const;
+
+  /// The memo's backing computation (also used directly by the reference
+  /// path so tests exercise the memo against an uncached evaluation).
+  [[nodiscard]] double log_likelihood_from_layout_uncached(
+      const block_layout& lay) const;
 };
 
 }  // namespace anonpath

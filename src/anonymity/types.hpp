@@ -29,6 +29,18 @@ struct system_params {
   }
 };
 
+/// Evenly spreads `c` distinct compromised node ids over {0, ..., n-1}; the
+/// canonical placement used by the CLI, sweeps, and examples so experiments
+/// agree on what "C compromised nodes" means. Precondition: c <= n.
+[[nodiscard]] inline std::vector<node_id> spread_compromised(std::uint32_t n,
+                                                             std::uint32_t c) {
+  std::vector<node_id> out;
+  out.reserve(c);
+  for (std::uint32_t i = 0; i < c; ++i)
+    out.push_back(static_cast<node_id>((static_cast<std::uint64_t>(i) * n) / c));
+  return out;
+}
+
 /// A rerouting path: sender, then the ordered intermediate nodes. The
 /// receiver is implicit at the end.
 struct route {

@@ -95,4 +95,15 @@ std::vector<std::uint32_t> rng::sample_distinct(
 
 rng rng::split() noexcept { return rng(next_u64()); }
 
+rng rng::stream(std::uint64_t seed, std::uint64_t stream_index) noexcept {
+  // Two SplitMix64 rounds: the first decorrelates the user seed, the second
+  // mixes in the stream index via an odd multiplier so that consecutive
+  // indices land in unrelated regions of the seed space.
+  std::uint64_t s = seed;
+  const std::uint64_t base = splitmix64(s);
+  std::uint64_t t =
+      base ^ (stream_index * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
+  return rng(splitmix64(t));
+}
+
 }  // namespace anonpath::stats

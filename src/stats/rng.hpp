@@ -54,6 +54,15 @@ class rng {
   /// simulation component its own stream.
   [[nodiscard]] rng split() noexcept;
 
+  /// Deterministic per-shard stream: generator number `stream_index` of the
+  /// family identified by `seed`. Unlike split(), the result depends only on
+  /// (seed, stream_index) — not on how many values any other stream has
+  /// produced — so sharded computations are reproducible for any thread
+  /// count and any shard execution order. Streams are decorrelated by
+  /// running both inputs through SplitMix64 with distinct mixing constants.
+  [[nodiscard]] static rng stream(std::uint64_t seed,
+                                  std::uint64_t stream_index) noexcept;
+
  private:
   std::uint64_t state_[4];
 };

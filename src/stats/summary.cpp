@@ -18,6 +18,16 @@ void running_summary::add(double x) noexcept {
   m2_ += delta * (x - mean_);
 }
 
+void running_summary::add_repeated(double x, std::uint64_t count) noexcept {
+  if (count == 0) return;
+  running_summary batch;
+  batch.n_ = count;
+  batch.mean_ = x;
+  batch.m2_ = 0.0;
+  batch.min_ = batch.max_ = x;
+  merge(batch);
+}
+
 double running_summary::variance() const noexcept {
   return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
 }

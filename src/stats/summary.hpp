@@ -11,6 +11,11 @@ class running_summary {
  public:
   void add(double x) noexcept;
 
+  /// Adds `count` copies of x in O(1) (batch Welford update). Equivalent to
+  /// calling add(x) `count` times up to rounding; used by the deduplicating
+  /// Monte-Carlo engine to score a whole observation class at once.
+  void add_repeated(double x, std::uint64_t count) noexcept;
+
   [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }
 

@@ -2,6 +2,7 @@
 //
 //   anonpath degree   --n 100 --dist F:5            score a strategy
 //   anonpath degree   --n 100 --dist U:2,14 --breakdown
+//   anonpath estimate --n 100 --c 8 --dist U:1,10 --samples 100000 --threads 0
 //   anonpath optimize --n 100 --mean 5              optimal distribution
 //   anonpath simulate --n 60 --c 2 --dist U:2,14 --messages 2000
 //   anonpath figures  --n 100                       dump all paper figures
@@ -17,7 +18,10 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "src/anonymity/analytic.hpp"
+#include "src/anonymity/monte_carlo.hpp"
 #include "src/anonymity/optimizer.hpp"
 #include "src/repro/figures.hpp"
 #include "src/sim/simulator.hpp"
@@ -28,15 +32,18 @@ using namespace anonpath;
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
-  std::fprintf(stderr,
-               "usage: anonpath <degree|optimize|simulate|figures> [options]\n"
-               "  common:   --n <nodes>      (default 100)\n"
-               "            --c <compromised> (default 1)\n"
-               "            --dist F:l | U:a,b | G:pf,min,max | P:lambda,max\n"
-               "  degree:   [--breakdown]\n"
-               "  optimize: --mean <target expected length>\n"
-               "  simulate: [--messages k] [--seed s] [--drop p]\n"
-               "  figures:  (dumps fig3a/3b/4/5/6 series as CSV)\n");
+  std::fprintf(
+      stderr,
+      "usage: anonpath <degree|estimate|optimize|simulate|figures> [options]\n"
+      "  common:   --n <nodes>      (default 100)\n"
+      "            --c <compromised> (default 1)\n"
+      "            --dist F:l | U:a,b | G:pf,min,max | P:lambda,max\n"
+      "  degree:   [--breakdown]\n"
+      "  estimate: [--samples k] [--seed s] [--threads t (0=all cores)]\n"
+      "            [--shards k] [--no-dedup]   Monte-Carlo H* for any C\n"
+      "  optimize: --mean <target expected length>\n"
+      "  simulate: [--messages k] [--seed s] [--drop p]\n"
+      "  figures:  (dumps fig3a/3b/4/5/6 series as CSV)\n");
   std::exit(2);
 }
 
@@ -84,6 +91,10 @@ struct options {
   std::uint64_t seed = 1;
   double drop = 0.0;
   bool breakdown = false;
+  std::uint64_t samples = 100000;
+  unsigned threads = 0;
+  std::uint64_t shards = 0;
+  bool dedup = true;
 };
 
 options parse(int argc, char** argv) {
@@ -106,6 +117,22 @@ options parse(int argc, char** argv) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
     else if (flag == "--drop") opt.drop = std::strtod(next(), nullptr);
     else if (flag == "--breakdown") opt.breakdown = true;
+    else if (flag == "--samples") {
+      const long long s = std::atoll(next());
+      if (s <= 0) usage("--samples must be > 0");
+      opt.samples = static_cast<std::uint64_t>(s);
+    }
+    else if (flag == "--threads") {
+      const int t = std::atoi(next());
+      if (t < 0) usage("--threads must be >= 0 (0 = all cores)");
+      opt.threads = static_cast<unsigned>(t);
+    }
+    else if (flag == "--shards") {
+      const long long k = std::atoll(next());
+      if (k < 0) usage("--shards must be >= 0 (0 = default)");
+      opt.shards = static_cast<std::uint64_t>(k);
+    }
+    else if (flag == "--no-dedup") opt.dedup = false;
     else usage(("unknown flag " + flag).c_str());
   }
   return opt;
@@ -133,6 +160,37 @@ int cmd_degree(const options& opt) {
   return 0;
 }
 
+int cmd_estimate(const options& opt) {
+  const system_params sys{opt.n, opt.c};
+  const auto d = opt.dist.value_or(path_length_distribution::uniform(1, 10));
+  const std::vector<node_id> compromised = spread_compromised(opt.n, opt.c);
+  mc_config cfg;
+  cfg.threads = opt.threads;
+  cfg.shards = opt.shards;
+  cfg.dedup = opt.dedup;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto est = estimate_anonymity_degree(sys, compromised, d, opt.samples,
+                                             opt.seed, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  std::printf("MC estimate for %s on N=%u, C=%u:\n", d.label().c_str(), opt.n,
+              opt.c);
+  std::printf("  H* = %.6f +/- %.6f bits (95%% CI)\n", est.degree, est.ci95());
+  std::printf("  samples:       %llu in %llu shards (seed %llu)\n",
+              static_cast<unsigned long long>(est.samples),
+              static_cast<unsigned long long>(est.shards),
+              static_cast<unsigned long long>(opt.seed));
+  std::printf("  distinct obs:  %llu (%.1f%% dedup)\n",
+              static_cast<unsigned long long>(est.distinct_observations),
+              100.0 * (1.0 - static_cast<double>(est.distinct_observations) /
+                                 static_cast<double>(est.samples)));
+  std::printf("  throughput:    %.0f samples/s (%.3f s)\n",
+              static_cast<double>(est.samples) / secs, secs);
+  return 0;
+}
+
 int cmd_optimize(const options& opt) {
   const system_params sys{opt.n, 1};
   const auto cap = static_cast<path_length>(opt.n - 1);
@@ -148,9 +206,7 @@ int cmd_optimize(const options& opt) {
 int cmd_simulate(const options& opt) {
   sim::sim_config cfg;
   cfg.sys = {opt.n, opt.c};
-  cfg.compromised.clear();
-  for (std::uint32_t i = 0; i < opt.c; ++i)
-    cfg.compromised.push_back(static_cast<node_id>((i * opt.n) / opt.c));
+  cfg.compromised = spread_compromised(opt.n, opt.c);
   cfg.lengths = opt.dist.value_or(path_length_distribution::uniform(1, 8));
   cfg.message_count = opt.messages;
   cfg.seed = opt.seed;
@@ -192,6 +248,7 @@ int main(int argc, char** argv) {
   const options opt = parse(argc, argv);
   try {
     if (opt.command == "degree") return cmd_degree(opt);
+    if (opt.command == "estimate") return cmd_estimate(opt);
     if (opt.command == "optimize") return cmd_optimize(opt);
     if (opt.command == "simulate") return cmd_simulate(opt);
     if (opt.command == "figures") return cmd_figures(opt);
