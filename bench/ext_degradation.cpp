@@ -1,33 +1,60 @@
-// Extension E: multi-message degradation (the predecessor-attack family the
-// paper cites as [23], Wright et al. NDSS 2002). A sender who keeps talking
-// to the same receiver under fresh per-message rerouting is identified
-// exponentially fast; a Crowds-style static path does not degrade. This puts
-// the paper's single-message anonymity degree in its operational context.
+// Extension E: anonymity degradation, in two operational directions the
+// paper's single-message analysis brackets.
+//
+// 1. Static degradation, on the simulator: a scenario campaign sweeps the
+//    compromised-set size against the link drop rate and reports how the
+//    adversary's realized posterior entropy, the identified fraction, and
+//    delivery decay as the infrastructure degrades. (This table used to be
+//    a single hand-seeded run per point; the campaign engine gives every
+//    cell replicated runs and confidence intervals.)
+// 2. Dynamic degradation, across messages: the predecessor-attack family
+//    the paper cites as [23] (Wright et al., NDSS 2002) — a sender who
+//    keeps talking to the same receiver under fresh per-message rerouting
+//    is identified exponentially fast; a Crowds-style static path is not.
 
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.hpp"
-#include "src/anonymity/monte_carlo.hpp"
 #include "src/anonymity/multi_message.hpp"
+#include "src/sim/campaign.hpp"
 
 namespace {
 
 using namespace anonpath;
 
-constexpr system_params sys{60, 3};
-const std::vector<node_id> compromised{7, 23, 44};
-
 void emit(std::ostream& os) {
+  // Part 1: campaign over C x drop at N=60, U(1,10), onion transport.
+  sim::campaign_grid grid;
+  grid.node_counts = {60};
+  grid.compromised_counts = {1, 3, 6, 12, 24};
+  grid.lengths = {path_length_distribution::uniform(1, 10)};
+  grid.drop_probabilities = {0.0, 0.02, 0.10};
+  grid.arrival_rates = {100.0};
+  grid.message_count = 600;
+  sim::campaign_config cfg;
+  cfg.replicas = 4;
+  cfg.master_seed = 97;
+  cfg.threads = 0;  // results are thread-count invariant
+  const auto result = sim::run_campaign(grid, cfg);
+
+  os << "# extE part 1: static degradation on the simulator "
+        "(N=60, U(1,10), 600 msgs x 4 replicas per cell)\n";
+  os << "c,drop,delivered_fraction,entropy_bits,entropy_ci95,"
+        "identified_fraction\n";
+  for (const auto& cell : result.cells) {
+    os << cell.scene.compromised_count << "," << cell.scene.drop_probability
+       << "," << cell.delivered_fraction.mean() << ","
+       << cell.entropy_bits.mean() << "," << cell.entropy_bits.ci_half_width()
+       << "," << cell.identified_fraction.mean() << "\n";
+  }
+  os << "\n";
+
+  // Part 2: the cross-message predecessor attack.
+  const system_params sys{60, 3};
+  const std::vector<node_id> compromised{7, 23, 44};
   const auto d = path_length_distribution::uniform(1, 10);
-  os << "# extE: posterior entropy vs messages sent by the same sender "
-        "(N=60, C=3, U(1,10), 400 trials)\n";
-  mc_config cfg;
-  cfg.threads = 0;  // all cores; shard count fixed => machine-independent
-  cfg.shards = 32;
-  const auto single =
-      estimate_anonymity_degree(sys, compromised, d, 8000, 5, cfg);
-  os << "# single-message H* (MC, all events incl. compromised senders) = "
-     << single.degree << " +/- " << single.ci95() << " bits\n";
+  os << "# extE part 2: posterior entropy vs messages sent by the same "
+        "sender (N=60, C=3, U(1,10), 400 trials)\n";
   for (const bool reroute : {true, false}) {
     const auto curve =
         simulate_degradation(sys, compromised, d, 16, 400, reroute, 97);
@@ -42,7 +69,30 @@ void emit(std::ostream& os) {
   os << "\n";
 }
 
+void BM_DegradationCampaign(benchmark::State& state) {
+  sim::campaign_grid grid;
+  grid.node_counts = {60};
+  grid.compromised_counts = {1, 6, 24};
+  grid.lengths = {path_length_distribution::uniform(1, 10)};
+  grid.drop_probabilities = {0.0, 0.10};
+  grid.message_count = 150;
+  sim::campaign_config cfg;
+  cfg.replicas = 2;
+  cfg.threads = static_cast<unsigned>(state.range(0));
+  const auto cells =
+      static_cast<std::int64_t>(sim::expand_grid(grid).size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_campaign(grid, cfg));
+    ++cfg.master_seed;
+  }
+  state.SetItemsProcessed(state.iterations() * cells * cfg.replicas);
+}
+BENCHMARK(BM_DegradationCampaign)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_DegradationSixteenMessages(benchmark::State& state) {
+  const system_params sys{60, 3};
+  const std::vector<node_id> compromised{7, 23, 44};
   const auto d = path_length_distribution::uniform(1, 10);
   std::uint64_t seed = 1;
   for (auto _ : state) {

@@ -1,34 +1,26 @@
 // Extension D: the anonymity-vs-latency frontier measured on the
 // discrete-event simulator — the engineering tradeoff behind the paper's
-// "overheads within tolerable limits" remark (Sec. 2). Each strategy is run
-// through the full onion pipeline; latency is measured end-to-end, anonymity
-// by the adversary's realized posterior entropy.
+// "overheads within tolerable limits" remark (Sec. 2). Each strategy is a
+// cell of one scenario campaign: the campaign engine fans the replicas out
+// over all cores with deterministic per-run seeding, and the cross-replica
+// spread gives every frontier point a real confidence interval (the
+// hand-rolled loop this bench replaced ran each strategy once, serially).
 
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.hpp"
 #include "src/anonymity/optimizer.hpp"
-#include "src/sim/simulator.hpp"
+#include "src/sim/campaign.hpp"
 
 namespace {
 
 using namespace anonpath;
 
-sim::sim_config base_config() {
-  sim::sim_config cfg;
-  cfg.sys = {100, 1};
-  cfg.compromised = {13};
-  cfg.message_count = 1500;
-  cfg.arrival_rate = 200.0;
-  cfg.seed = 2002;
-  return cfg;
-}
-
-void emit(std::ostream& os) {
-  os << "# extD: anonymity vs end-to-end latency on the simulator "
-        "(N=100, C=1, onion transport, 1500 msgs)\n";
-  os << "strategy,mean_len,latency_ms,H*_empirical,ci95\n";
-  std::vector<path_length_distribution> strategies{
+sim::campaign_grid frontier_grid() {
+  sim::campaign_grid grid;
+  grid.node_counts = {100};
+  grid.compromised_counts = {1};
+  grid.lengths = {
       path_length_distribution::fixed(1),
       path_length_distribution::fixed(3),
       path_length_distribution::fixed(5),
@@ -39,20 +31,37 @@ void emit(std::ostream& os) {
       path_length_distribution::geometric(0.75, 1, 99),
       optimize_for_mean(system_params{100, 1}, 5.0, 99).distribution,
   };
-  for (const auto& lengths : strategies) {
-    auto cfg = base_config();
-    cfg.lengths = lengths;
-    const auto r = sim::run_simulation(cfg);
-    os << lengths.label() << "," << lengths.mean() << ","
-       << r.end_to_end_latency.mean() * 1000.0 << ","
-       << r.empirical_entropy_bits << ","
-       << 1.96 * r.empirical_entropy_stderr << "\n";
+  grid.arrival_rates = {200.0};
+  grid.message_count = 800;
+  return grid;
+}
+
+void emit(std::ostream& os) {
+  sim::campaign_config cfg;
+  cfg.replicas = 4;
+  cfg.master_seed = 2002;
+  cfg.threads = 0;  // all cores; results identical for any thread count
+  const auto result = sim::run_campaign(frontier_grid(), cfg);
+
+  os << "# extD: anonymity vs end-to-end latency on the simulator "
+        "(N=100, C=1, onion transport, 800 msgs x 4 replicas per cell)\n";
+  os << "strategy,mean_len,latency_ms,latency_ci95,H*_empirical,ci95\n";
+  for (const auto& cell : result.cells) {
+    os << cell.scene.lengths.label() << "," << cell.scene.lengths.mean()
+       << "," << cell.latency_seconds.mean() * 1000.0 << ","
+       << cell.latency_seconds.ci_half_width() * 1000.0 << ","
+       << cell.entropy_bits.mean() << "," << cell.entropy_bits.ci_half_width()
+       << "\n";
   }
   os << "\n";
 }
 
 void BM_SimulationThroughput(benchmark::State& state) {
-  auto cfg = base_config();
+  sim::sim_config cfg;
+  cfg.sys = {100, 1};
+  cfg.compromised = {13};
+  cfg.arrival_rate = 200.0;
+  cfg.seed = 2002;
   cfg.message_count = static_cast<std::uint32_t>(state.range(0));
   cfg.lengths = path_length_distribution::fixed(5);
   for (auto _ : state) {
@@ -61,6 +70,24 @@ void BM_SimulationThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SimulationThroughput)->Arg(200)->Arg(1000);
+
+void BM_FrontierCampaign(benchmark::State& state) {
+  // Whole-frontier wall clock vs worker threads (replicas fan out too).
+  auto grid = frontier_grid();
+  grid.message_count = 200;
+  sim::campaign_config cfg;
+  cfg.replicas = 4;
+  cfg.threads = static_cast<unsigned>(state.range(0));
+  const auto cells =
+      static_cast<std::int64_t>(sim::expand_grid(grid).size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_campaign(grid, cfg));
+    ++cfg.master_seed;
+  }
+  state.SetItemsProcessed(state.iterations() * cells * cfg.replicas);
+}
+BENCHMARK(BM_FrontierCampaign)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

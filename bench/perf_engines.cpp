@@ -11,6 +11,7 @@
 #include "src/anonymity/path_sampler.hpp"
 #include "src/anonymity/posterior.hpp"
 #include "src/crypto/onion.hpp"
+#include "src/sim/campaign.hpp"
 #include "src/sim/event_queue.hpp"
 #include "src/stats/rng.hpp"
 
@@ -135,6 +136,33 @@ void BM_OnionWrapPeel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (l + 1));
 }
 BENCHMARK(BM_OnionWrapPeel)->Arg(3)->Arg(10)->Arg(51);
+
+void BM_CampaignThroughput(benchmark::State& state) {
+  // End-to-end scenario-campaign fan-out: 8 cells x 4 replicas of full
+  // simulator runs (workload -> onion relays -> adversary -> exact
+  // inference), swept over worker threads. Aggregation is thread-count
+  // invariant, so this is a pure wall-clock scaling measurement.
+  sim::campaign_grid grid;
+  grid.node_counts = {40, 80};
+  grid.compromised_counts = {1, 4};
+  grid.lengths = {path_length_distribution::fixed(3),
+                  path_length_distribution::uniform(1, 8)};
+  grid.drop_probabilities = {0.0};
+  grid.message_count = 150;
+  sim::campaign_config cfg;
+  cfg.replicas = 4;
+  cfg.threads = static_cast<unsigned>(state.range(0));
+  const auto cells =
+      static_cast<std::int64_t>(sim::expand_grid(grid).size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_campaign(grid, cfg));
+    ++cfg.master_seed;  // fresh draws each iteration, still deterministic
+  }
+  state.SetItemsProcessed(state.iterations() * cells * cfg.replicas *
+                          grid.message_count);
+}
+BENCHMARK(BM_CampaignThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,58 @@
+// Scenario campaign walkthrough: declare a parameter grid, fan it out over
+// all cores, and read the aggregated anonymity/latency/delivery surface —
+// the programmatic form of `anonpath campaign`.
+//
+// Build & run:  ./build/example_scenario_campaign
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/sim/campaign.hpp"
+
+int main() {
+  using namespace anonpath;
+
+  // The grid is the cartesian product of its axes: here 2 system sizes x
+  // 3 compromised-set sizes x 2 strategies x 2 drop rates = 24 scenarios,
+  // each run 4 times with independent deterministic seeds.
+  sim::campaign_grid grid;
+  grid.node_counts = {30, 60};
+  grid.compromised_counts = {1, 4, 8};
+  grid.lengths = {path_length_distribution::fixed(3),
+                  path_length_distribution::uniform(1, 8)};
+  grid.drop_probabilities = {0.0, 0.05};
+  grid.message_count = 300;
+
+  sim::campaign_config cfg;
+  cfg.replicas = 4;
+  cfg.master_seed = 42;
+  cfg.threads = 0;  // all cores
+
+  const auto result = sim::run_campaign(grid, cfg);
+  std::printf("campaign: %zu cells x %u replicas = %llu simulator runs\n\n",
+              result.cells.size(), cfg.replicas,
+              static_cast<unsigned long long>(result.runs));
+
+  std::printf("%4s %3s %-8s %6s | %9s %12s %14s\n", "N", "C", "strategy",
+              "drop", "delivered", "latency(ms)", "H* (bits)");
+  for (const auto& cell : result.cells) {
+    std::printf("%4u %3u %-8s %6.2f | %8.1f%% %12.1f %8.3f +/- %.3f\n",
+                cell.scene.node_count, cell.scene.compromised_count,
+                cell.scene.lengths.label().c_str(),
+                cell.scene.drop_probability,
+                100.0 * cell.delivered_fraction.mean(),
+                cell.latency_seconds.mean() * 1000.0,
+                cell.entropy_bits.mean(),
+                cell.entropy_bits.ci_half_width());
+  }
+
+  // The determinism contract: the same grid + master seed aggregates to the
+  // same bytes no matter how many worker threads ran it.
+  std::ostringstream a, b;
+  sim::write_csv(result, a);
+  cfg.threads = 1;
+  sim::write_csv(sim::run_campaign(grid, cfg), b);
+  std::printf("\nthreads=0 vs threads=1 CSV byte-identical: %s\n",
+              a.str() == b.str() ? "yes" : "NO (bug!)");
+  return 0;
+}

@@ -22,7 +22,13 @@
 ///   strategy                        presets for every surveyed protocol
 ///
 /// The discrete-event simulator lives in src/sim (include
-/// "src/sim/simulator.hpp"), the figure generators in src/repro.
+/// "src/sim/simulator.hpp"); on top of it sits the scenario-campaign
+/// engine (src/sim/campaign.hpp) — a declarative grid over (N, C,
+/// strategy, routing mode, drop rate, arrival rate) whose cells fan out
+/// over a stats::thread_pool with deterministic per-run rng streams and
+/// aggregate into per-cell summaries, bit-identical for every thread
+/// count under a fixed master seed (the same contract as mc_config).
+/// The figure generators live in src/repro.
 
 #include "src/anonymity/analytic.hpp"
 #include "src/anonymity/brute_force.hpp"

@@ -1,0 +1,159 @@
+#include "src/sim/campaign.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "src/stats/contract.hpp"
+#include "src/stats/rng.hpp"
+#include "src/stats/thread_pool.hpp"
+
+namespace anonpath::sim {
+
+namespace {
+
+/// A cell is runnable iff run_simulation's preconditions hold for it.
+bool feasible(const campaign_grid& grid, std::uint32_t n, std::uint32_t c,
+              const path_length_distribution& lengths) {
+  const system_params sys{n, c};
+  return sys.valid() && c < n && lengths.max_length() <= n - 1 &&
+         grid.message_count > 0;
+}
+
+const char* mode_label(routing_mode mode) {
+  return mode == routing_mode::source_routed ? "source_routed" : "hop_by_hop";
+}
+
+/// Fixed-width numeric rendering so CSV comparisons are byte-exact and
+/// independent of any ostream state the caller set up.
+void put_number(std::ostream& os, double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", x);
+  os << buf;
+}
+
+/// mean,stderr pair; "nan,nan" when the summary never received a sample
+/// (the inference columns of hop-by-hop cells).
+void put_summary(std::ostream& os, const stats::running_summary& s,
+                 double scale = 1.0) {
+  if (s.count() == 0) {
+    os << "nan,nan";
+    return;
+  }
+  put_number(os, s.mean() * scale);
+  os << ',';
+  put_number(os, s.std_error() * scale);
+}
+
+}  // namespace
+
+std::vector<scenario> expand_grid(const campaign_grid& grid) {
+  std::vector<scenario> out;
+  for (std::uint32_t n : grid.node_counts)
+    for (std::uint32_t c : grid.compromised_counts)
+      for (const auto& lengths : grid.lengths)
+        for (routing_mode mode : grid.modes)
+          for (double drop : grid.drop_probabilities)
+            for (double rate : grid.arrival_rates) {
+              if (!feasible(grid, n, c, lengths)) continue;
+              out.push_back(scenario{n, c, lengths, mode, drop, rate});
+            }
+  return out;
+}
+
+sim_config scenario_config(const scenario& s, const campaign_grid& grid,
+                           std::uint64_t seed) {
+  sim_config cfg;
+  cfg.sys = {s.node_count, s.compromised_count};
+  cfg.compromised = spread_compromised(s.node_count, s.compromised_count);
+  cfg.lengths = s.lengths;
+  cfg.mode = s.mode;
+  cfg.forward_prob = grid.forward_prob;
+  cfg.message_count = grid.message_count;
+  cfg.arrival_rate = s.arrival_rate;
+  cfg.latency = grid.latency;
+  cfg.drop_probability = s.drop_probability;
+  cfg.seed = seed;
+  return cfg;
+}
+
+campaign_result run_campaign(const campaign_grid& grid,
+                             const campaign_config& config) {
+  ANONPATH_EXPECTS(config.replicas >= 1);
+  const std::vector<scenario> scenarios = expand_grid(grid);
+  ANONPATH_EXPECTS(!scenarios.empty());
+
+  campaign_result result;
+  result.requested_cells = grid.cell_count();
+  result.skipped_cells = result.requested_cells - scenarios.size();
+  result.runs = scenarios.size() * config.replicas;
+
+  // Fan out: every (cell, replica) run is self-contained — its seed comes
+  // from a deterministic per-run rng stream and its report lands in its own
+  // slot — so the dynamic schedule never affects the results.
+  std::vector<sim_report> reports(result.runs);
+  stats::parallel_for(
+      config.threads, result.runs, [&](std::uint64_t run, unsigned) {
+        const scenario& s = scenarios[run / config.replicas];
+        const std::uint64_t seed =
+            stats::rng::stream(config.master_seed, run).next_u64();
+        reports[run] = run_simulation(scenario_config(s, grid, seed));
+      });
+
+  // Reduce in run order on this thread: bit-identical for any thread count.
+  result.cells.reserve(scenarios.size());
+  for (std::size_t cell = 0; cell < scenarios.size(); ++cell) {
+    campaign_cell agg{scenarios[cell], config.replicas, 0, 0,
+                      {}, {}, {}, {}, {}, {}};
+    for (std::uint32_t rep = 0; rep < config.replicas; ++rep) {
+      const sim_report& r = reports[cell * config.replicas + rep];
+      agg.submitted += r.submitted;
+      agg.delivered += r.delivered;
+      agg.delivered_fraction.add(static_cast<double>(r.delivered) /
+                                 static_cast<double>(r.submitted));
+      if (r.end_to_end_latency.count() > 0)
+        agg.latency_seconds.add(r.end_to_end_latency.mean());
+      if (r.realized_hops.count() > 0) agg.hops.add(r.realized_hops.mean());
+      if (scenarios[cell].mode == routing_mode::source_routed &&
+          !std::isnan(r.empirical_entropy_bits)) {
+        agg.entropy_bits.add(r.empirical_entropy_bits);
+        agg.identified_fraction.add(r.identified_fraction);
+        agg.top1_accuracy.add(r.top1_accuracy);
+      }
+    }
+    result.cells.push_back(std::move(agg));
+  }
+  return result;
+}
+
+void write_csv(const campaign_result& result, std::ostream& os) {
+  os << "n,c,dist,mode,drop,rate,replicas,messages,"
+        "delivered_fraction,delivered_stderr,"
+        "latency_ms,latency_ms_stderr,hops,hops_stderr,"
+        "entropy_bits,entropy_stderr,identified_fraction,identified_stderr,"
+        "top1_accuracy,top1_stderr\n";
+  for (const campaign_cell& cell : result.cells) {
+    const scenario& s = cell.scene;
+    os << s.node_count << ',' << s.compromised_count << ",\""
+       << s.lengths.label() << "\"," << mode_label(s.mode) << ',';
+    put_number(os, s.drop_probability);
+    os << ',';
+    put_number(os, s.arrival_rate);
+    os << ',' << cell.replicas << ',' << cell.submitted << ',';
+    put_summary(os, cell.delivered_fraction);
+    os << ',';
+    put_summary(os, cell.latency_seconds, 1000.0);
+    os << ',';
+    put_summary(os, cell.hops);
+    os << ',';
+    put_summary(os, cell.entropy_bits);
+    os << ',';
+    put_summary(os, cell.identified_fraction);
+    os << ',';
+    put_summary(os, cell.top1_accuracy);
+    os << '\n';
+  }
+}
+
+}  // namespace anonpath::sim

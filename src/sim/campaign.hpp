@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "src/anonymity/length_distribution.hpp"
+#include "src/anonymity/strategy.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/stats/summary.hpp"
+
+namespace anonpath::sim {
+
+/// A declarative scenario grid for the discrete-event simulator: the
+/// cartesian product of every axis below, each cell run `replicas` times
+/// with independent seeds. This is the fan-out layer the parameter-space
+/// sweeps (latency frontiers, degradation studies, future churn/dynamic
+/// compromise scenarios) plug into instead of hand-rolled loops over
+/// `run_simulation`.
+///
+/// Axes with several values multiply; axes left at their one-element
+/// defaults stay fixed. Infeasible combinations (C >= N, or a length
+/// distribution whose support cannot fit a simple path in an N-node
+/// system) are skipped during expansion, deterministically — the same
+/// grid always yields the same cell list in the same order.
+struct campaign_grid {
+  std::vector<std::uint32_t> node_counts{100};        ///< N axis
+  std::vector<std::uint32_t> compromised_counts{1};   ///< C axis (spread_compromised placement)
+  std::vector<path_length_distribution> lengths{
+      path_length_distribution::fixed(3)};            ///< strategy axis
+  std::vector<routing_mode> modes{routing_mode::source_routed};
+  std::vector<double> drop_probabilities{0.0};        ///< per-link loss axis
+  std::vector<double> arrival_rates{50.0};            ///< Poisson msgs/s axis
+
+  // Shared (non-swept) per-run settings.
+  std::uint32_t message_count = 1000;
+  double forward_prob = 0.75;                         ///< crowds-mode coin
+  latency_params latency{};
+
+  /// Cells in the full cartesian product, before feasibility filtering.
+  [[nodiscard]] std::uint64_t cell_count() const noexcept {
+    return static_cast<std::uint64_t>(node_counts.size()) *
+           compromised_counts.size() * lengths.size() * modes.size() *
+           drop_probabilities.size() * arrival_rates.size();
+  }
+};
+
+/// Execution knobs for a campaign.
+///
+/// Determinism contract (mirrors mc_config): for a fixed (grid, replicas,
+/// master_seed) the aggregated result — every cell summary, bit for bit,
+/// and the CSV rendering byte for byte — is identical for EVERY value of
+/// `threads`. Each (cell, replica) run derives its simulator seed from
+/// `stats::rng::stream(master_seed, run_index)` where run_index depends
+/// only on the grid order, runs into its own report slot, and slots are
+/// reduced in run order on the calling thread.
+struct campaign_config {
+  std::uint32_t replicas = 8;     ///< independent runs per cell (>= 1)
+  std::uint64_t master_seed = 1;
+  unsigned threads = 1;           ///< worker threads; 0 = hardware concurrency
+};
+
+/// The coordinates of one feasible grid cell.
+struct scenario {
+  std::uint32_t node_count;
+  std::uint32_t compromised_count;
+  path_length_distribution lengths;
+  routing_mode mode;
+  double drop_probability;
+  double arrival_rate;
+};
+
+/// Cross-replica aggregates of one cell. Each replica contributes one
+/// scalar per metric (its run-level mean), so `mean()` is the
+/// across-replica mean and `std_error()`/`ci_half_width()` quantify
+/// replica-to-replica spread. The three inference metrics stay empty
+/// (count() == 0) for hop-by-hop cells, where the exact posterior engine
+/// does not apply.
+struct campaign_cell {
+  scenario scene;
+  std::uint32_t replicas = 0;
+  std::uint64_t submitted = 0;                  ///< total over replicas
+  std::uint64_t delivered = 0;                  ///< total over replicas
+  stats::running_summary delivered_fraction;    ///< per-replica delivered/submitted
+  stats::running_summary latency_seconds;       ///< per-replica mean end-to-end latency
+  stats::running_summary hops;                  ///< per-replica mean realized hops
+  stats::running_summary entropy_bits;          ///< per-replica empirical H*
+  stats::running_summary identified_fraction;
+  stats::running_summary top1_accuracy;
+};
+
+/// A completed campaign: one aggregated cell per feasible grid point, in
+/// deterministic grid order (node_counts outermost, then compromised
+/// counts, lengths, modes, drop probabilities, arrival rates innermost).
+struct campaign_result {
+  std::vector<campaign_cell> cells;
+  std::uint64_t requested_cells = 0;   ///< full cartesian product size
+  std::uint64_t skipped_cells = 0;     ///< infeasible combinations dropped
+  std::uint64_t runs = 0;              ///< feasible cells * replicas
+};
+
+/// Expands the grid into its feasible scenarios, in the deterministic
+/// order documented on campaign_result. Exposed separately so tests and
+/// callers can enumerate cells without running anything.
+[[nodiscard]] std::vector<scenario> expand_grid(const campaign_grid& grid);
+
+/// The sim_config a scenario runs under (shared settings from the grid,
+/// compromised set via spread_compromised, the given seed).
+[[nodiscard]] sim_config scenario_config(const scenario& s,
+                                         const campaign_grid& grid,
+                                         std::uint64_t seed);
+
+/// Runs the whole campaign: expands the grid, fans every (cell, replica)
+/// run out over a stats::thread_pool, and reduces the reports into
+/// per-cell summaries in run order. See campaign_config for the
+/// thread-count invariance guarantee. Preconditions: replicas >= 1 and at
+/// least one feasible cell.
+[[nodiscard]] campaign_result run_campaign(const campaign_grid& grid,
+                                           const campaign_config& config);
+
+/// Renders a campaign as one CSV table (header + one row per cell).
+/// Inference columns are "nan" for hop-by-hop cells; the strategy label is
+/// double-quoted because it may contain commas. The rendering is
+/// deterministic: byte-identical output for byte-identical results, which
+/// is how the determinism tests and the CI smoke check compare runs.
+void write_csv(const campaign_result& result, std::ostream& os);
+
+}  // namespace anonpath::sim

@@ -122,20 +122,30 @@ sim_report run_simulation(const sim_config& config) {
       const auto obs = monitor.assemble(id);
       const auto post = engine.sender_posterior(obs);
       entropy_acc.add(entropy_bits(post));
+      if (config.collect_posteriors) report.posteriors.push_back(post);
       const auto top =
           std::max_element(post.begin(), post.end()) - post.begin();
       if (post[static_cast<std::size_t>(top)] > 0.99) ++identified;
       if (static_cast<node_id>(top) == net.traces().at(id).origin) ++top1_hits;
       ++scored;
     }
-    report.empirical_entropy_bits = entropy_acc.mean();
-    report.empirical_entropy_stderr = entropy_acc.std_error();
-    report.identified_fraction =
-        scored == 0 ? 0.0
-                    : static_cast<double>(identified) / static_cast<double>(scored);
-    report.top1_accuracy =
-        scored == 0 ? 0.0
-                    : static_cast<double>(top1_hits) / static_cast<double>(scored);
+    if (scored == 0) {
+      // Nothing delivered => the adversary observed nothing; reporting 0.0
+      // here would read as "all senders identified" and poison campaign
+      // aggregates, so the inference metrics are absent, not zero.
+      report.empirical_entropy_bits = std::numeric_limits<double>::quiet_NaN();
+      report.empirical_entropy_stderr =
+          std::numeric_limits<double>::quiet_NaN();
+      report.identified_fraction = std::numeric_limits<double>::quiet_NaN();
+      report.top1_accuracy = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      report.empirical_entropy_bits = entropy_acc.mean();
+      report.empirical_entropy_stderr = entropy_acc.std_error();
+      report.identified_fraction =
+          static_cast<double>(identified) / static_cast<double>(scored);
+      report.top1_accuracy =
+          static_cast<double>(top1_hits) / static_cast<double>(scored);
+    }
   } else {
     report.empirical_entropy_bits = std::numeric_limits<double>::quiet_NaN();
     report.empirical_entropy_stderr = std::numeric_limits<double>::quiet_NaN();

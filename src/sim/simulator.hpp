@@ -24,6 +24,10 @@ struct sim_config {
   latency_params latency{};
   double drop_probability = 0.0;  ///< per-link loss (failure injection)
   std::uint64_t seed = 1;
+  /// Keep every delivered message's exact sender posterior in the report
+  /// (source-routed runs only). Off by default — the vectors are N doubles
+  /// per message; the property tests and post-hoc analyses turn it on.
+  bool collect_posteriors = false;
 };
 
 /// Results of a simulation run.
@@ -35,8 +39,10 @@ struct sim_report {
 
   /// Mean posterior entropy of the adversary across delivered messages —
   /// the empirical counterpart of H*(S). Only computed for source-routed
-  /// (simple-path) runs, where the exact inference engine applies;
-  /// NaN otherwise.
+  /// (simple-path) runs, where the exact inference engine applies; NaN for
+  /// hop-by-hop runs and for runs where no message was ever delivered
+  /// (the adversary observed nothing, so the metric is absent, not zero —
+  /// likewise the identified/top1 fractions below).
   double empirical_entropy_bits = 0.0;
   /// Standard error of that mean.
   double empirical_entropy_stderr = 0.0;
@@ -45,6 +51,10 @@ struct sim_report {
   /// Fraction where the top-posterior node is the true sender (among
   /// identified messages this should be ~1; overall it measures leakage).
   double top1_accuracy = 0.0;
+  /// One exact posterior (size N) per scored delivered message, in scoring
+  /// order. Only filled when sim_config::collect_posteriors is set on a
+  /// source-routed run; empty otherwise.
+  std::vector<std::vector<double>> posteriors;
 };
 
 /// Builds the network, relays, receiver, adversary and workload from the

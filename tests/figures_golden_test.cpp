@@ -1,0 +1,113 @@
+// Golden-file regression for the figure generators: the committed
+// tests/golden/figures_n100.csv snapshot of every fig3-fig6 series is
+// diffed against freshly generated curves, so a refactor of the analytic
+// engine, the optimizer, or the figure code cannot silently bend the
+// paper's published curves. Structure (figure ids, series labels, grids)
+// must match byte for byte; values must match to well below the snapshot's
+// printed precision.
+//
+// Regenerate the snapshot (after an *intentional* curve change only) with:
+//   ./build/anonpath figures --n 100 > tests/golden/figures_n100.csv
+
+#include "src/repro/figures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace anonpath::repro {
+namespace {
+
+#ifndef ANONPATH_TEST_DATA_DIR
+#error "ANONPATH_TEST_DATA_DIR must point at the tests/ source directory"
+#endif
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+/// The exact figure sequence `anonpath figures --n 100` emits.
+std::string generate_all_figures() {
+  const system_params sys{100, 1};
+  std::ostringstream os;
+  print_figure(fig3a(sys), os);
+  print_figure(fig3b(sys), os);
+  for (char p : {'a', 'b', 'c', 'd'}) {
+    print_figure(fig4(sys, p), os);
+    print_figure(fig5(sys, p), os);
+  }
+  print_figure(fig6(sys, 50), os);
+  return os.str();
+}
+
+bool parse_point(const std::string& line, double& x, double& y) {
+  const auto comma = line.find(',');
+  if (comma == std::string::npos) return false;
+  char* end = nullptr;
+  x = std::strtod(line.c_str(), &end);
+  if (end != line.c_str() + comma) return false;
+  y = std::strtod(line.c_str() + comma + 1, &end);
+  return *end == '\0';
+}
+
+TEST(FiguresGolden, EveryCurveMatchesTheCommittedSnapshot) {
+  const std::string path =
+      std::string(ANONPATH_TEST_DATA_DIR) + "/golden/figures_n100.csv";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file: " << path;
+  std::ostringstream golden_text;
+  golden_text << in.rdbuf();
+
+  const auto golden = split_lines(golden_text.str());
+  const auto fresh = split_lines(generate_all_figures());
+  ASSERT_GT(golden.size(), 1500u) << "golden file truncated?";
+  ASSERT_EQ(fresh.size(), golden.size());
+
+  std::size_t points = 0;
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    double gx = 0, gy = 0, fx = 0, fy = 0;
+    const bool g_is_point = parse_point(golden[i], gx, gy);
+    const bool f_is_point = parse_point(fresh[i], fx, fy);
+    ASSERT_EQ(g_is_point, f_is_point) << "line " << i + 1;
+    if (!g_is_point) {
+      // Structural line: figure id, series label, or CSV header — exact.
+      EXPECT_EQ(fresh[i], golden[i]) << "line " << i + 1;
+      continue;
+    }
+    ++points;
+    EXPECT_EQ(fx, gx) << "line " << i + 1;
+    // The snapshot prints 6 significant digits; anything past half an ulp
+    // of that precision is a genuine curve change, not formatting noise.
+    const double tol = 5e-6 * std::max(1.0, std::fabs(gy)) + 1e-9;
+    EXPECT_NEAR(fy, gy, tol) << "line " << i + 1 << ": " << golden[i];
+  }
+  EXPECT_GT(points, 1500u);
+}
+
+TEST(FiguresGolden, SnapshotCoversEveryFigure) {
+  const std::string path =
+      std::string(ANONPATH_TEST_DATA_DIR) + "/golden/figures_n100.csv";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string& s = text.str();
+  for (const char* id : {"# fig3a", "# fig3b", "# fig4a", "# fig4b",
+                         "# fig4c", "# fig4d", "# fig5a", "# fig5b",
+                         "# fig5c", "# fig5d", "# fig6"}) {
+    EXPECT_NE(s.find(id), std::string::npos) << id;
+  }
+}
+
+}  // namespace
+}  // namespace anonpath::repro

@@ -5,9 +5,13 @@
 //   anonpath estimate --n 100 --c 8 --dist U:1,10 --samples 100000 --threads 0
 //   anonpath optimize --n 100 --mean 5              optimal distribution
 //   anonpath simulate --n 60 --c 2 --dist U:2,14 --messages 2000
+//   anonpath campaign --n 30,60 --c 1,4 --dist F:3 --dist U:1,8 \
+//                     --drop 0,0.05 --replicas 8 --threads 0   scenario sweep
 //   anonpath figures  --n 100                       dump all paper figures
 //
 // Distribution syntax: F:l | U:a,b | G:pf,min,max (geometric) | P:lambda,max.
+// Campaign axes (--n, --c, --drop, --rate, --mode) take comma-separated
+// lists and --dist may repeat; the campaign runs their cartesian product.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +28,7 @@
 #include "src/anonymity/monte_carlo.hpp"
 #include "src/anonymity/optimizer.hpp"
 #include "src/repro/figures.hpp"
+#include "src/sim/campaign.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace {
@@ -34,7 +39,8 @@ using namespace anonpath;
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(
       stderr,
-      "usage: anonpath <degree|estimate|optimize|simulate|figures> [options]\n"
+      "usage: anonpath <degree|estimate|optimize|simulate|campaign|figures> "
+      "[options]\n"
       "  common:   --n <nodes>      (default 100)\n"
       "            --c <compromised> (default 1)\n"
       "            --dist F:l | U:a,b | G:pf,min,max | P:lambda,max\n"
@@ -43,6 +49,11 @@ using namespace anonpath;
       "            [--shards k] [--no-dedup]   Monte-Carlo H* for any C\n"
       "  optimize: --mean <target expected length>\n"
       "  simulate: [--messages k] [--seed s] [--drop p]\n"
+      "  campaign: scenario-grid sweep on the simulator; CSV to stdout.\n"
+      "            axes (comma lists): --n --c --drop --rate\n"
+      "            --mode onion,crowds; --dist may repeat (one spec each)\n"
+      "            [--replicas r (default 8)] [--messages k (default 500)]\n"
+      "            [--seed s] [--threads t (0=all cores)]\n"
       "  figures:  (dumps fig3a/3b/4/5/6 series as CSV)\n");
   std::exit(2);
 }
@@ -88,6 +99,7 @@ struct options {
   std::optional<path_length_distribution> dist;
   double mean = 5.0;
   std::uint32_t messages = 2000;
+  bool messages_set = false;
   std::uint64_t seed = 1;
   double drop = 0.0;
   bool breakdown = false;
@@ -95,7 +107,56 @@ struct options {
   unsigned threads = 0;
   std::uint64_t shards = 0;
   bool dedup = true;
+  // Campaign axes: every --n/--c/--drop/--rate value seen (comma lists),
+  // every --dist spec, every --mode. Scalar commands read the fields above,
+  // which track the first value of each list.
+  std::vector<std::uint32_t> n_list;
+  std::vector<std::uint32_t> c_list;
+  std::vector<path_length_distribution> dist_list;
+  std::vector<double> drop_list;
+  std::vector<double> rate_list;
+  std::vector<routing_mode> mode_list;
+  std::uint32_t replicas = 8;
 };
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const auto comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (tok.empty()) usage("empty element in comma list");
+    out.push_back(tok);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<double> parse_double_list(const char* spec) {
+  std::vector<double> out;
+  for (const std::string& tok : split_commas(spec)) {
+    char* end = nullptr;
+    out.push_back(std::strtod(tok.c_str(), &end));
+    if (end == tok.c_str() || *end != '\0')
+      usage("expected a number in comma list");
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> parse_u32_list(const char* spec) {
+  std::vector<std::uint32_t> out;
+  for (const std::string& tok : split_commas(spec)) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (tok[0] == '-' || end == tok.c_str() || *end != '\0' ||
+        v > 0xFFFFFFFFull)
+      usage("expected a 32-bit unsigned integer in comma list");
+    out.push_back(static_cast<std::uint32_t>(v));
+  }
+  return out;
+}
 
 options parse(int argc, char** argv) {
   if (argc < 2) usage();
@@ -107,15 +168,44 @@ options parse(int argc, char** argv) {
       if (i + 1 >= argc) usage("missing value for flag");
       return argv[++i];
     };
-    if (flag == "--n") opt.n = static_cast<std::uint32_t>(std::atoi(next()));
-    else if (flag == "--c") opt.c = static_cast<std::uint32_t>(std::atoi(next()));
-    else if (flag == "--dist") opt.dist = parse_dist(next());
+    if (flag == "--n") {
+      opt.n_list = parse_u32_list(next());
+      opt.n = opt.n_list.front();
+    }
+    else if (flag == "--c") {
+      opt.c_list = parse_u32_list(next());
+      opt.c = opt.c_list.front();
+    }
+    else if (flag == "--dist") {
+      opt.dist = parse_dist(next());
+      opt.dist_list.push_back(*opt.dist);
+    }
     else if (flag == "--mean") opt.mean = std::strtod(next(), nullptr);
-    else if (flag == "--messages")
+    else if (flag == "--messages") {
       opt.messages = static_cast<std::uint32_t>(std::atoi(next()));
+      opt.messages_set = true;
+    }
     else if (flag == "--seed")
       opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
-    else if (flag == "--drop") opt.drop = std::strtod(next(), nullptr);
+    else if (flag == "--drop") {
+      opt.drop_list = parse_double_list(next());
+      opt.drop = opt.drop_list.front();
+    }
+    else if (flag == "--rate") opt.rate_list = parse_double_list(next());
+    else if (flag == "--mode") {
+      for (const std::string& tok : split_commas(next())) {
+        if (tok == "onion" || tok == "source_routed")
+          opt.mode_list.push_back(routing_mode::source_routed);
+        else if (tok == "crowds" || tok == "hop_by_hop")
+          opt.mode_list.push_back(routing_mode::hop_by_hop);
+        else usage("--mode values are onion|crowds");
+      }
+    }
+    else if (flag == "--replicas") {
+      const int r = std::atoi(next());
+      if (r <= 0) usage("--replicas must be > 0");
+      opt.replicas = static_cast<std::uint32_t>(r);
+    }
     else if (flag == "--breakdown") opt.breakdown = true;
     else if (flag == "--samples") {
       const long long s = std::atoll(next());
@@ -228,6 +318,43 @@ int cmd_simulate(const options& opt) {
   return 0;
 }
 
+int cmd_campaign(const options& opt) {
+  sim::campaign_grid grid;
+  if (!opt.n_list.empty()) grid.node_counts = opt.n_list;
+  if (!opt.c_list.empty()) grid.compromised_counts = opt.c_list;
+  if (!opt.dist_list.empty()) grid.lengths = opt.dist_list;
+  if (!opt.mode_list.empty()) grid.modes = opt.mode_list;
+  if (!opt.drop_list.empty()) grid.drop_probabilities = opt.drop_list;
+  if (!opt.rate_list.empty()) grid.arrival_rates = opt.rate_list;
+  grid.message_count = opt.messages_set ? opt.messages : 500;
+
+  sim::campaign_config cfg;
+  cfg.replicas = opt.replicas;
+  cfg.master_seed = opt.seed;
+  cfg.threads = opt.threads;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = sim::run_campaign(grid, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+
+  // Pure CSV on stdout (diffable across runs and thread counts); the run
+  // synopsis goes to stderr.
+  sim::write_csv(result, std::cout);
+  std::fprintf(stderr,
+               "# campaign: %llu cells (%llu infeasible skipped) x %u "
+               "replicas = %llu runs, %llu msgs, %.3f s\n",
+               static_cast<unsigned long long>(result.cells.size()),
+               static_cast<unsigned long long>(result.skipped_cells),
+               cfg.replicas, static_cast<unsigned long long>(result.runs),
+               static_cast<unsigned long long>(result.runs *
+                                               grid.message_count),
+               secs);
+  return 0;
+}
+
 int cmd_figures(const options& opt) {
   const system_params sys{opt.n, 1};
   repro::print_figure(repro::fig3a(sys), std::cout);
@@ -251,6 +378,7 @@ int main(int argc, char** argv) {
     if (opt.command == "estimate") return cmd_estimate(opt);
     if (opt.command == "optimize") return cmd_optimize(opt);
     if (opt.command == "simulate") return cmd_simulate(opt);
+    if (opt.command == "campaign") return cmd_campaign(opt);
     if (opt.command == "figures") return cmd_figures(opt);
     usage("unknown command");
   } catch (const std::exception& e) {
