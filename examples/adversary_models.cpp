@@ -1,0 +1,73 @@
+// Threat-model walkthrough: run the same traffic against the three
+// adversary models, then show the trace pipeline — capture once, re-score
+// offline, including under a deliberately weaker "drop-in" inference
+// engine — the workflow that decouples simulation cost from inference cost.
+//
+// Build & run:  ./build/example_adversary_models
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/anonymity/entropy.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sim/trace.hpp"
+
+int main() {
+  using namespace anonpath;
+  using namespace anonpath::sim;
+
+  sim_config base;
+  base.sys = {50, 4};
+  base.compromised = spread_compromised(50, 4);
+  base.lengths = path_length_distribution::uniform(1, 8);
+  base.message_count = 500;
+  base.seed = 2026;
+
+  std::printf("same traffic (N=50, C=4, U(1,8), 500 msgs), three threat "
+              "models:\n\n");
+  std::printf("%-22s %10s %12s %8s\n", "adversary", "H* (bits)", "identified",
+              "top-1");
+
+  const adversary_config models[] = {
+      {},  // full coalition — the paper's Sec. 4 worst case
+      {adversary_kind::partial_coverage, 0.08, true},
+      {adversary_kind::partial_coverage, 0.08, false},
+      {adversary_kind::timing_correlator, 1.0, true},
+  };
+  for (const adversary_config& adv : models) {
+    sim_config cfg = base;
+    cfg.adversary = adv;
+    const sim_report r = run_simulation(cfg);
+    std::printf("%-22s %10.4f %11.1f%% %7.1f%%\n", adv.label().c_str(),
+                r.empirical_entropy_bits, 100.0 * r.identified_fraction,
+                100.0 * r.top1_accuracy);
+  }
+
+  // Trace reuse: capture the run once, then score it under two engines
+  // without touching the event-driven simulator again.
+  const sim_trace trace = capture_trace(base);
+  std::ostringstream serialized;
+  write_trace(trace, serialized);
+  std::printf("\ncaptured %zu adversary events (%zu bytes serialized)\n",
+              trace.events.size(), serialized.str().size());
+
+  const sim_report exact = replay_trace(trace);
+  std::printf("replay, exact engine:      H* = %.4f bits (inline match: %s)\n",
+              exact.empirical_entropy_bits,
+              exact.empirical_entropy_bits ==
+                      run_simulation(base).empirical_entropy_bits
+                  ? "yes"
+                  : "NO");
+
+  // A degenerate engine that ignores the evidence entirely: the uniform
+  // posterior over all nodes. Its H* is the ceiling log2(N) — the distance
+  // to the exact engine's number is what Bayesian inference buys.
+  const posterior_fn uniform_engine = [&](const observation&) {
+    return std::vector<double>(base.sys.node_count,
+                               1.0 / base.sys.node_count);
+  };
+  const sim_report blind = replay_trace(trace, uniform_engine);
+  std::printf("replay, evidence-blind:    H* = %.4f bits (= log2(N))\n",
+              blind.empirical_entropy_bits);
+  return 0;
+}

@@ -22,11 +22,20 @@
 ///   strategy                        presets for every surveyed protocol
 ///
 /// The discrete-event simulator lives in src/sim (include
-/// "src/sim/simulator.hpp"); on top of it sits the scenario-campaign
-/// engine (src/sim/campaign.hpp) — a declarative grid over (N, C,
-/// strategy, routing mode, drop rate, arrival rate) whose cells fan out
-/// over a stats::thread_pool with deterministic per-run rng streams and
-/// aggregate into per-cell summaries, bit-identical for every thread
+/// "src/sim/simulator.hpp"). Its threat model is pluggable
+/// (src/sim/adversary.hpp): full_coalition (the paper's Sec. 4 worst
+/// case), partial_coverage (iid fractional corruption, optionally honest
+/// receiver — observations with receiver_observed == false), and
+/// timing_correlator (timestamp-only linking via crypto::timing_correlation
+/// — gapped observations); the posterior engine marginalizes over both
+/// weakened observation shapes. sim::trace (src/sim/trace.hpp) captures a
+/// run's adversary-visible events into a versioned, exactly-serializable
+/// trace and replays it through any inference engine offline, bit-for-bit
+/// equal to inline scoring. On top sits the scenario-campaign engine
+/// (src/sim/campaign.hpp) — a declarative grid over (N, C, strategy,
+/// routing mode, drop rate, arrival rate, adversary model) whose cells fan
+/// out over a stats::thread_pool with deterministic per-run rng streams
+/// and aggregate into per-cell summaries, bit-identical for every thread
 /// count under a fixed master seed (the same contract as mc_config).
 /// The figure generators live in src/repro.
 

@@ -124,8 +124,8 @@ path_length_distribution path_length_distribution::poisson(double lambda,
 }
 
 path_length_distribution path_length_distribution::from_pmf(
-    std::vector<double> pmf) {
-  return path_length_distribution(std::move(pmf), "Custom");
+    std::vector<double> pmf, std::string label) {
+  return path_length_distribution(std::move(pmf), std::move(label));
 }
 
 double path_length_distribution::pmf(path_length l) const noexcept {

@@ -50,7 +50,10 @@ class path_length_distribution {
 
   /// Arbitrary pmf with implicit support {0, 1, ..., pmf.size()-1}. Entries
   /// must be non-negative and sum to 1 within 1e-9 (renormalized exactly).
-  [[nodiscard]] static path_length_distribution from_pmf(std::vector<double> pmf);
+  /// `label` carries the human-readable name through round-trips (e.g. the
+  /// trace serializer restoring a "U(1,8)" it captured).
+  [[nodiscard]] static path_length_distribution from_pmf(
+      std::vector<double> pmf, std::string label = "Custom");
 
   /// Pr[L = l]; zero outside the stored support.
   [[nodiscard]] double pmf(path_length l) const noexcept;

@@ -44,7 +44,8 @@ std::vector<double> combine_posteriors(
 std::vector<degradation_point> simulate_degradation(
     const system_params& sys, const std::vector<node_id>& compromised,
     const path_length_distribution& lengths, std::uint32_t max_messages,
-    std::uint32_t trials, bool reroute_per_message, std::uint64_t seed) {
+    std::uint32_t trials, bool reroute_per_message, std::uint64_t seed,
+    double identified_threshold) {
   ANONPATH_EXPECTS(trials > 0);
   ANONPATH_EXPECTS(max_messages > 0);
   const posterior_engine engine(sys, compromised, lengths);
@@ -83,7 +84,7 @@ std::vector<degradation_point> simulate_degradation(
       // draws, so every factor multiplies (even coincidental repeats).
       const auto fused = combine_posteriors(posteriors);
       acc[k].entropy.add(entropy_bits(fused));
-      if (*std::max_element(fused.begin(), fused.end()) > 0.99)
+      if (*std::max_element(fused.begin(), fused.end()) > identified_threshold)
         ++acc[k].identified;
     }
   }

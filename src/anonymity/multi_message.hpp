@@ -28,7 +28,7 @@ struct degradation_point {
   std::uint32_t messages = 0;       ///< messages sent by the tracked sender
   double mean_entropy_bits = 0.0;   ///< E[H(posterior after k messages)]
   double std_error = 0.0;
-  double identified_fraction = 0.0; ///< runs where posterior max > 0.99
+  double identified_fraction = 0.0; ///< runs where posterior max > threshold
 };
 
 /// Simulates the attack: a fixed (honest) sender emits `max_messages`
@@ -42,10 +42,15 @@ struct degradation_point {
 /// posterior equals the single-message one — the baseline that shows *why*
 /// static paths resist the attack.
 ///
+/// A run counts as "identified" after k messages when the fused posterior
+/// puts strictly more than `identified_threshold` mass on one node (the
+/// paper-style 0.99 by default, matching sim_config::identified_threshold).
+///
 /// Preconditions: as posterior_engine; trials > 0; max_messages > 0.
 [[nodiscard]] std::vector<degradation_point> simulate_degradation(
     const system_params& sys, const std::vector<node_id>& compromised,
     const path_length_distribution& lengths, std::uint32_t max_messages,
-    std::uint32_t trials, bool reroute_per_message, std::uint64_t seed);
+    std::uint32_t trials, bool reroute_per_message, std::uint64_t seed,
+    double identified_threshold = 0.99);
 
 }  // namespace anonpath

@@ -34,7 +34,15 @@ void observation::key_into(std::string& out) const {
   }
   out += '|';
   out += 'R';
-  append_number(out, receiver_predecessor);
+  // Full-coalition observations keep their historical key byte-for-byte;
+  // the weaker shapes get distinguishing suffixes so dedup layers never
+  // conflate observations of different information content.
+  if (receiver_observed) {
+    append_number(out, receiver_predecessor);
+  } else {
+    out += '?';
+  }
+  if (gapped) out += "|G";
 }
 
 std::string observation::key() const {
@@ -93,19 +101,30 @@ std::vector<path_fragment> assemble_fragments(
         ++i;
         break;
       }
-      if (i + 1 >= obs.reports.size())
-        throw std::invalid_argument(
-            "observation: successor is compromised but its report is missing");
-      const auto& next = obs.reports[i + 1];
-      if (next.reporter != rep.successor || next.predecessor != rep.reporter)
+      const bool chains = i + 1 < obs.reports.size() &&
+                          obs.reports[i + 1].reporter == rep.successor &&
+                          obs.reports[i + 1].predecessor == rep.reporter;
+      if (!chains) {
+        // Gapped collection: the successor's own report never arrived (or
+        // never linked); the fragment still ends with a known boundary.
+        if (obs.gapped) {
+          frag.nodes.push_back(rep.successor);
+          ++i;
+          break;
+        }
+        if (i + 1 >= obs.reports.size())
+          throw std::invalid_argument(
+              "observation: successor is compromised but its report is missing");
         throw std::invalid_argument(
             "observation: reports do not chain consistently");
+      }
       ++i;
     }
     // The interior boundary (pred of the first compromised stretch) must be
     // honest: a compromised predecessor would itself have reported and been
-    // chained into the previous fragment.
-    if (is_compromised(frag.nodes.front()) &&
+    // chained into the previous fragment. A gapped observation carries no
+    // such guarantee — silence is not evidence there.
+    if (!obs.gapped && is_compromised(frag.nodes.front()) &&
         !(fragments.empty() && obs.origin &&
           frag.nodes.front() == *obs.origin))
       throw std::invalid_argument(

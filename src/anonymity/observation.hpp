@@ -25,10 +25,23 @@ struct hop_report {
 /// predecessor, and — when the sender itself is compromised — the origin.
 /// Compromised nodes that saw nothing report so implicitly (the adversary
 /// knows the compromised set).
+///
+/// Two completeness flags extend the paper's full-coalition shape to the
+/// weaker threat models of sim::adversary:
+///   * receiver_observed == false means the receiver is honest: there is no
+///     terminal report and `receiver_predecessor` is meaningless; inference
+///     must marginalize over the unknown tail of the path.
+///   * gapped == true means compromised-node reports may be missing (e.g. a
+///     timing correlator that failed to link a capture): unobserved path
+///     slots may hold compromised nodes, and silent compromised nodes are
+///     not evidence of absence.
+/// The defaults describe the paper's worst-case adversary exactly.
 struct observation {
   std::optional<node_id> origin;       ///< set iff the sender is compromised
   std::vector<hop_report> reports;     ///< time-ordered
   node_id receiver_predecessor = 0;    ///< v = x_l (== sender when l == 0)
+  bool receiver_observed = true;       ///< false: honest receiver, no v report
+  bool gapped = false;                 ///< true: compromised reports may be missing
 
   friend bool operator==(const observation&, const observation&) = default;
 
@@ -66,6 +79,11 @@ struct path_fragment {
 /// std::invalid_argument if the reports are mutually inconsistent (e.g. a
 /// report's successor is compromised but the chained report is missing) —
 /// observations produced by `observe` are always consistent.
+///
+/// For gapped observations (obs.gapped == true) the full-coalition
+/// consistency rules do not apply: a missing chained report simply closes
+/// the fragment at the compromised successor, and a compromised silent
+/// predecessor is legal. Gapped assembly never throws.
 [[nodiscard]] std::vector<path_fragment> assemble_fragments(
     const observation& obs, const std::vector<bool>& compromised);
 

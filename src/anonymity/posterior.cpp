@@ -66,23 +66,42 @@ posterior_engine::posterior_engine(system_params sys,
 }
 
 posterior_engine::block_layout posterior_engine::layout_for(
-    const std::vector<path_fragment>& fragments, node_id v, node_id s) const {
+    const std::vector<path_fragment>& fragments, node_id v, bool v_known,
+    bool gapped, node_id s) const {
   block_layout lay;
-  if (s >= sys_.node_count || compromised_flag_[s]) return lay;  // inconsistent
+  if (s >= sys_.node_count) return lay;  // inconsistent
+  // Without gaps a compromised sender would have filed an origin report;
+  // with gaps its silence proves nothing, so it stays a candidate.
+  if (!gapped && compromised_flag_[s]) return lay;
 
-  const bool v_compromised = v < sys_.node_count && compromised_flag_[v];
-  if (v_compromised) {
-    // The receiver's predecessor reported; its fragment must already end the
-    // path: last fragment = [..., v, receiver_node].
-    if (fragments.empty()) return lay;
-    const auto& last = fragments.back().nodes;
-    if (last.size() < 2 || last.back() != receiver_node ||
-        last[last.size() - 2] != v)
+  // Whether the observation already pins the end of the path: the last
+  // fragment's reporter saw itself forward to R.
+  const bool pinned =
+      !fragments.empty() && fragments.back().nodes.back() == receiver_node;
+
+  if (v_known) {
+    const bool v_compromised = v < sys_.node_count && compromised_flag_[v];
+    if (!gapped && v_compromised && !pinned) {
+      // Full collection: a compromised terminal relay must have reported.
       return lay;
-  } else {
-    // No fragment may claim to end the path when v is honest.
-    if (!fragments.empty() && fragments.back().nodes.back() == receiver_node)
-      return lay;
+    }
+    if (pinned) {
+      // The pinned tail must name v as the receiver's predecessor (for an
+      // honest v this can never hold — the reporter in that slot is
+      // compromised — which reproduces the historical consistency rule).
+      const auto& last = fragments.back().nodes;
+      if (last.size() < 2 || last[last.size() - 2] != v) return lay;
+    }
+  }
+  // R may only terminate the path: any earlier fragment claiming to reach R
+  // describes no simple path at all. (Only the new observation shapes can
+  // present such inputs; full-coalition assembly cannot produce them.)
+  if (gapped || !v_known) {
+    for (std::size_t f = 0; f + 1 < fragments.size(); ++f)
+      if (fragments[f].nodes.back() == receiver_node) return lay;
+    for (const auto& frag : fragments)
+      for (std::size_t i = 0; i + 1 < frag.nodes.size(); ++i)
+        if (frag.nodes[i] == receiver_node) return lay;
   }
 
   // Stream over the conceptual block list — [s], fragments..., terminal
@@ -95,6 +114,7 @@ posterior_engine::block_layout posterior_engine::layout_for(
   }
   long long span = 0;
   long long honest_observed = 0;
+  long long distinct_observed = 0;
   long long merged_blocks = 0;
   bool first = true;
   bool ok = true;
@@ -116,6 +136,7 @@ posterior_engine::block_layout posterior_engine::layout_for(
         return;
       }
       seen_stamp_[x] = stamp_;
+      ++distinct_observed;
       if (!compromised_flag_[x]) ++honest_observed;
     }
     prev_back = nodes[len - 1];
@@ -126,18 +147,31 @@ posterior_engine::block_layout posterior_engine::layout_for(
     if (!ok) return lay;
     visit(f.nodes.data(), f.nodes.size());
   }
-  if (!v_compromised && ok) {
-    const node_id terminal[2] = {v, receiver_node};
-    visit(terminal, 2);
+  // Terminal block, unless the observation already pinned the path end:
+  // [v, R] when the receiver reported, a lone [R] when it is honest (v is
+  // then just one more unobserved slot in the final gap).
+  if (!pinned && ok) {
+    if (v_known) {
+      const node_id terminal[2] = {v, receiver_node};
+      visit(terminal, 2);
+    } else {
+      const node_id terminal[1] = {receiver_node};
+      visit(terminal, 1);
+    }
   }
   if (!ok) return lay;
 
   lay.consistent = true;
   lay.span_total = span;
   lay.gap_count = merged_blocks - 1;
-  lay.pool_size = static_cast<long long>(sys_.node_count) -
-                  static_cast<long long>(sys_.compromised_count) -
-                  honest_observed;
+  // Unobserved slots draw from the honest unobserved pool under full
+  // collection; a lossy collector cannot exclude its silent compromised
+  // peers, so there the pool is every node not pinned to an observed slot.
+  lay.pool_size =
+      gapped ? static_cast<long long>(sys_.node_count) - distinct_observed
+             : static_cast<long long>(sys_.node_count) -
+                   static_cast<long long>(sys_.compromised_count) -
+                   honest_observed;
   return lay;
 }
 
@@ -188,8 +222,26 @@ double posterior_engine::log_likelihood(const observation& obs,
     return s == *obs.origin ? 0.0 : stats::log_zero();
   }
   const auto fragments = assemble_fragments(obs, compromised_flag_);
-  return log_likelihood_from_layout(
-      layout_for(fragments, obs.receiver_predecessor, s));
+  return log_likelihood_from_layout(layout_for(
+      fragments, obs.receiver_predecessor, obs.receiver_observed, obs.gapped,
+      s));
+}
+
+bool posterior_engine::explainable(const observation& obs) const {
+  if (obs.origin) return *obs.origin < sys_.node_count;
+  std::vector<path_fragment> fragments;
+  try {
+    fragments = assemble_fragments(obs, compromised_flag_);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  for (node_id s = 0; s < sys_.node_count; ++s) {
+    const double ll = log_likelihood_from_layout(
+        layout_for(fragments, obs.receiver_predecessor, obs.receiver_observed,
+                   obs.gapped, s));
+    if (ll != stats::log_zero()) return true;
+  }
+  return false;
 }
 
 std::vector<double> posterior_engine::sender_posterior_reference(
@@ -206,7 +258,8 @@ std::vector<double> posterior_engine::sender_posterior_reference(
     // Deliberately bypasses the memo so tests can pit the cached fast path
     // against a from-scratch evaluation.
     logw[s] = log_likelihood_from_layout_uncached(
-        layout_for(fragments, obs.receiver_predecessor, s));
+        layout_for(fragments, obs.receiver_predecessor, obs.receiver_observed,
+                   obs.gapped, s));
   }
   const double z = stats::log_sum_exp(logw);
   ANONPATH_ENSURES(std::isfinite(z));
@@ -224,17 +277,22 @@ std::vector<double> posterior_engine::sender_posterior(
   }
   const auto fragments = assemble_fragments(obs, compromised_flag_);
   const node_id v = obs.receiver_predecessor;
+  const bool v_known = obs.receiver_observed;
 
   // Likelihood classes: (a) the first fragment's predecessor (may be the
   // sender at position 0); (b) v itself (direct-send hypothesis); (c) any
   // node appearing in a block (zero — duplicate occurrence); (d) all other
-  // honest nodes share one generic likelihood.
+  // unobserved candidates share one generic likelihood. Under full
+  // collection compromised nodes are special (excluded without an origin
+  // report); under gapped collection an unobserved compromised node is as
+  // generic as any other candidate.
   std::vector<char> special(n, 0);
-  for (node_id c : compromised_) special[c] = 1;
+  if (!obs.gapped)
+    for (node_id c : compromised_) special[c] = 1;
   for (const auto& f : fragments)
     for (node_id x : f.nodes)
       if (x != receiver_node && x < n) special[x] = 1;
-  if (v < n) special[v] = 1;
+  if (v_known && v < n) special[v] = 1;
 
   std::vector<double> logw(n, stats::log_zero());
   double generic = stats::log_zero();
@@ -242,7 +300,8 @@ std::vector<double> posterior_engine::sender_posterior(
   for (node_id s = 0; s < n; ++s) {
     if (special[s]) continue;
     if (!generic_done) {
-      generic = log_likelihood_from_layout(layout_for(fragments, v, s));
+      generic = log_likelihood_from_layout(
+          layout_for(fragments, v, v_known, obs.gapped, s));
       generic_done = true;
     }
     logw[s] = generic;
@@ -251,8 +310,10 @@ std::vector<double> posterior_engine::sender_posterior(
   // v, and observed nodes which come out inconsistent).
   for (node_id s = 0; s < n; ++s) {
     if (!special[s]) continue;
-    if (compromised_flag_[s]) continue;  // no origin report => not the sender
-    logw[s] = log_likelihood_from_layout(layout_for(fragments, v, s));
+    if (!obs.gapped && compromised_flag_[s])
+      continue;  // no origin report => not the sender
+    logw[s] = log_likelihood_from_layout(
+        layout_for(fragments, v, v_known, obs.gapped, s));
   }
 
   const double z = stats::log_sum_exp(logw);

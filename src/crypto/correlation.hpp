@@ -20,4 +20,16 @@ namespace anonpath::crypto {
 [[nodiscard]] double payload_similarity(std::span<const std::byte> a,
                                         std::span<const std::byte> b) noexcept;
 
+/// Timing correlation as available to a low-latency traffic adversary
+/// (Zheng's rudimentary model): the score in [0, 1] that a capture at
+/// `t_recv` is the *same message* as an earlier capture at `t_send`, given
+/// that one forwarding step takes a delay in [lo, hi]. Peaks at the window
+/// midpoint and falls off linearly to 0 at the edges, so "closest to the
+/// expected latency" maximizes the score; exactly 0 outside the window
+/// (padded by a relative epsilon so exact-boundary delays — jitter-free
+/// links — still correlate). Preconditions: none; lo > hi or t_recv <=
+/// t_send simply score 0.
+[[nodiscard]] double timing_correlation(double t_send, double t_recv,
+                                        double lo, double hi) noexcept;
+
 }  // namespace anonpath::crypto

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <string>
 
+#include "src/sim/trace.hpp"
 #include "src/stats/contract.hpp"
 #include "src/stats/rng.hpp"
 #include "src/stats/thread_pool.hpp"
@@ -55,10 +56,11 @@ std::vector<scenario> expand_grid(const campaign_grid& grid) {
       for (const auto& lengths : grid.lengths)
         for (routing_mode mode : grid.modes)
           for (double drop : grid.drop_probabilities)
-            for (double rate : grid.arrival_rates) {
-              if (!feasible(grid, n, c, lengths)) continue;
-              out.push_back(scenario{n, c, lengths, mode, drop, rate});
-            }
+            for (double rate : grid.arrival_rates)
+              for (const adversary_config& adv : grid.adversaries) {
+                if (!feasible(grid, n, c, lengths) || !adv.valid()) continue;
+                out.push_back(scenario{n, c, lengths, mode, drop, rate, adv});
+              }
   return out;
 }
 
@@ -74,6 +76,8 @@ sim_config scenario_config(const scenario& s, const campaign_grid& grid,
   cfg.arrival_rate = s.arrival_rate;
   cfg.latency = grid.latency;
   cfg.drop_probability = s.drop_probability;
+  cfg.adversary = s.adversary;
+  cfg.identified_threshold = grid.identified_threshold;
   cfg.seed = seed;
   return cfg;
 }
@@ -98,7 +102,9 @@ campaign_result run_campaign(const campaign_grid& grid,
         const scenario& s = scenarios[run / config.replicas];
         const std::uint64_t seed =
             stats::rng::stream(config.master_seed, run).next_u64();
-        reports[run] = run_simulation(scenario_config(s, grid, seed));
+        const sim_config cfg = scenario_config(s, grid, seed);
+        reports[run] = config.via_trace ? replay_trace(capture_trace(cfg))
+                                        : run_simulation(cfg);
       });
 
   // Reduce in run order on this thread: bit-identical for any thread count.
@@ -128,7 +134,7 @@ campaign_result run_campaign(const campaign_grid& grid,
 }
 
 void write_csv(const campaign_result& result, std::ostream& os) {
-  os << "n,c,dist,mode,drop,rate,replicas,messages,"
+  os << "n,c,dist,mode,drop,rate,replicas,messages,adversary,"
         "delivered_fraction,delivered_stderr,"
         "latency_ms,latency_ms_stderr,hops,hops_stderr,"
         "entropy_bits,entropy_stderr,identified_fraction,identified_stderr,"
@@ -140,7 +146,8 @@ void write_csv(const campaign_result& result, std::ostream& os) {
     put_number(os, s.drop_probability);
     os << ',';
     put_number(os, s.arrival_rate);
-    os << ',' << cell.replicas << ',' << cell.submitted << ',';
+    os << ',' << cell.replicas << ',' << cell.submitted << ','
+       << s.adversary.label() << ',';
     put_summary(os, cell.delivered_fraction);
     os << ',';
     put_summary(os, cell.latency_seconds, 1000.0);

@@ -31,17 +31,21 @@ struct campaign_grid {
   std::vector<routing_mode> modes{routing_mode::source_routed};
   std::vector<double> drop_probabilities{0.0};        ///< per-link loss axis
   std::vector<double> arrival_rates{50.0};            ///< Poisson msgs/s axis
+  std::vector<adversary_config> adversaries{
+      adversary_config{}};                            ///< threat-model axis
 
   // Shared (non-swept) per-run settings.
   std::uint32_t message_count = 1000;
   double forward_prob = 0.75;                         ///< crowds-mode coin
   latency_params latency{};
+  double identified_threshold = 0.99;                 ///< sim_report scoring
 
   /// Cells in the full cartesian product, before feasibility filtering.
   [[nodiscard]] std::uint64_t cell_count() const noexcept {
     return static_cast<std::uint64_t>(node_counts.size()) *
            compromised_counts.size() * lengths.size() * modes.size() *
-           drop_probabilities.size() * arrival_rates.size();
+           drop_probabilities.size() * arrival_rates.size() *
+           adversaries.size();
   }
 };
 
@@ -58,6 +62,11 @@ struct campaign_config {
   std::uint32_t replicas = 8;     ///< independent runs per cell (>= 1)
   std::uint64_t master_seed = 1;
   unsigned threads = 1;           ///< worker threads; 0 = hardware concurrency
+  /// Run every (cell, replica) through the trace pipeline —
+  /// replay_trace(capture_trace(cfg)) — instead of inline run_simulation.
+  /// Identical results by the trace subsystem's contract; exercised by the
+  /// conformance tests and useful when the captured traces are also wanted.
+  bool via_trace = false;
 };
 
 /// The coordinates of one feasible grid cell.
@@ -68,6 +77,7 @@ struct scenario {
   routing_mode mode;
   double drop_probability;
   double arrival_rate;
+  adversary_config adversary{};
 };
 
 /// Cross-replica aggregates of one cell. Each replica contributes one
@@ -91,7 +101,8 @@ struct campaign_cell {
 
 /// A completed campaign: one aggregated cell per feasible grid point, in
 /// deterministic grid order (node_counts outermost, then compromised
-/// counts, lengths, modes, drop probabilities, arrival rates innermost).
+/// counts, lengths, modes, drop probabilities, arrival rates, adversaries
+/// innermost).
 struct campaign_result {
   std::vector<campaign_cell> cells;
   std::uint64_t requested_cells = 0;   ///< full cartesian product size

@@ -4,7 +4,7 @@ namespace anonpath::sim {
 
 receiver_endpoint::receiver_endpoint(network& net,
                                      const crypto::key_registry& keys,
-                                     adversary_monitor* monitor)
+                                     adversary_model* monitor)
     : net_(net), keys_(keys), monitor_(monitor) {}
 
 void receiver_endpoint::on_message(node_id from, wire_message msg) {

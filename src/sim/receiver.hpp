@@ -17,7 +17,7 @@ namespace anonpath::sim {
 class receiver_endpoint final : public message_sink {
  public:
   receiver_endpoint(network& net, const crypto::key_registry& keys,
-                    adversary_monitor* monitor);
+                    adversary_model* monitor);
 
   void on_message(node_id from, wire_message msg) override;
 
@@ -37,7 +37,7 @@ class receiver_endpoint final : public message_sink {
  private:
   network& net_;
   const crypto::key_registry& keys_;
-  adversary_monitor* monitor_;
+  adversary_model* monitor_;
   std::map<std::uint64_t, delivery> deliveries_;
 };
 

@@ -5,7 +5,7 @@ namespace anonpath::sim {
 onion_relay::onion_relay(node_id self, network& net,
                          const crypto::key_registry& keys,
                          double processing_delay, bool compromised,
-                         adversary_monitor* monitor)
+                         adversary_model* monitor)
     : self_(self),
       net_(net),
       keys_(keys),
@@ -31,7 +31,7 @@ void onion_relay::on_message(node_id from, wire_message msg) {
 }
 
 crowds_relay::crowds_relay(node_id self, network& net, double processing_delay,
-                           bool compromised, adversary_monitor* monitor,
+                           bool compromised, adversary_model* monitor,
                            stats::rng gen)
     : self_(self),
       net_(net),

@@ -15,7 +15,7 @@ class onion_relay final : public message_sink {
  public:
   onion_relay(node_id self, network& net, const crypto::key_registry& keys,
               double processing_delay, bool compromised,
-              adversary_monitor* monitor);
+              adversary_model* monitor);
 
   void on_message(node_id from, wire_message msg) override;
 
@@ -30,7 +30,7 @@ class onion_relay final : public message_sink {
   const crypto::key_registry& keys_;
   double processing_delay_;
   bool compromised_;
-  adversary_monitor* monitor_;
+  adversary_model* monitor_;
   std::uint64_t forwarded_ = 0;
 };
 
@@ -41,7 +41,7 @@ class onion_relay final : public message_sink {
 class crowds_relay final : public message_sink {
  public:
   crowds_relay(node_id self, network& net, double processing_delay,
-               bool compromised, adversary_monitor* monitor, stats::rng gen);
+               bool compromised, adversary_model* monitor, stats::rng gen);
 
   void on_message(node_id from, wire_message msg) override;
 
@@ -52,7 +52,7 @@ class crowds_relay final : public message_sink {
   network& net_;
   double processing_delay_;
   bool compromised_;
-  adversary_monitor* monitor_;
+  adversary_model* monitor_;
   stats::rng gen_;
 };
 

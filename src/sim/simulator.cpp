@@ -3,14 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <memory>
 #include <string>
+#include <utility>
 
 #include "src/anonymity/entropy.hpp"
 #include "src/anonymity/path_sampler.hpp"
 #include "src/anonymity/posterior.hpp"
 #include "src/crypto/onion.hpp"
-#include "src/sim/adversary.hpp"
 #include "src/sim/network.hpp"
 #include "src/sim/receiver.hpp"
 #include "src/sim/relay.hpp"
@@ -29,25 +28,78 @@ std::vector<std::byte> demo_payload(std::uint64_t msg_id) {
   return out;
 }
 
+/// Decorator that appends every adversary-visible event to a log, in
+/// arrival order, while forwarding to the wrapped model — the tap
+/// sim::trace captures through. Replaying the log into a fresh model of
+/// the same kind reproduces the wrapped model's post-run state exactly.
+class recording_model final : public adversary_model {
+ public:
+  recording_model(std::unique_ptr<adversary_model> inner,
+                  std::vector<adversary_event>& log)
+      : adversary_model(inner->compromised()),
+        inner_(std::move(inner)),
+        log_(log) {}
+
+  void note_origin(std::uint64_t msg, node_id sender) override {
+    log_.push_back(adversary_event{adversary_event::kind::origin, msg, 0.0,
+                                   sender, 0, 0});
+    inner_->note_origin(msg, sender);
+  }
+  void note_relay(std::uint64_t msg, sim_time at, node_id reporter,
+                  node_id predecessor, node_id successor) override {
+    log_.push_back(adversary_event{adversary_event::kind::relay, msg, at,
+                                   reporter, predecessor, successor});
+    inner_->note_relay(msg, at, reporter, predecessor, successor);
+  }
+  void note_receipt(std::uint64_t msg, sim_time at,
+                    node_id predecessor) override {
+    log_.push_back(adversary_event{adversary_event::kind::receipt, msg, at, 0,
+                                   predecessor, 0});
+    inner_->note_receipt(msg, at, predecessor);
+  }
+  [[nodiscard]] bool complete(std::uint64_t msg) const override {
+    return inner_->complete(msg);
+  }
+  [[nodiscard]] observation assemble(std::uint64_t msg) const override {
+    return inner_->assemble(msg);
+  }
+  [[nodiscard]] std::vector<std::uint64_t> observed_messages() const override {
+    return inner_->observed_messages();
+  }
+  [[nodiscard]] adversary_kind kind() const noexcept override {
+    return inner_->kind();
+  }
+
+ private:
+  std::unique_ptr<adversary_model> inner_;
+  std::vector<adversary_event>& log_;
+};
+
 }  // namespace
 
-sim_report run_simulation(const sim_config& config) {
+namespace detail {
+
+core_result run_core(const sim_config& config,
+                     std::vector<adversary_event>* event_log) {
   ANONPATH_EXPECTS(config.sys.valid());
   ANONPATH_EXPECTS(config.compromised.size() == config.sys.compromised_count);
   ANONPATH_EXPECTS(config.message_count > 0);
   ANONPATH_EXPECTS(config.lengths.max_length() <= config.sys.node_count - 1);
+  ANONPATH_EXPECTS(config.adversary.valid());
 
   const auto n = config.sys.node_count;
-  std::vector<bool> compromised(n, false);
-  for (node_id c : config.compromised) {
-    ANONPATH_EXPECTS(c < n);
-    compromised[c] = true;
-  }
+  const std::vector<bool> compromised = effective_compromised(
+      config.adversary, n, config.compromised, config.seed);
+
+  std::unique_ptr<adversary_model> model =
+      make_adversary_model(config.adversary, compromised, config.latency);
+  if (event_log != nullptr)
+    model = std::make_unique<recording_model>(std::move(model), *event_log);
+  adversary_model& monitor = *model;
 
   stats::rng master(config.seed);
   network net(n, config.latency, master.next_u64(), config.drop_probability);
   const crypto::key_registry keys(master.next_u64(), n);
-  adversary_monitor monitor(compromised);
 
   // Build the relay fleet.
   std::vector<std::unique_ptr<message_sink>> relays;
@@ -101,38 +153,69 @@ sim_report run_simulation(const sim_config& config) {
   const bool drained = net.queue().run_until_empty();
   ANONPATH_ENSURES(drained);
 
-  // Post-process: metrics + adversary inference.
+  core_result result;
+  result.model = std::move(model);
+  for (const auto& [id, trace] : net.traces()) {
+    result.outcomes.emplace(
+        id, message_outcome{trace.origin, trace.sent_at, trace.delivered_at,
+                            trace.delivered,
+                            static_cast<std::uint32_t>(trace.visited.size())});
+  }
+  return result;
+}
+
+sim_report score_run(const sim_config& config, const adversary_model& model,
+                     const std::map<std::uint64_t, message_outcome>& outcomes,
+                     const posterior_fn* engine) {
   sim_report report;
   report.submitted = config.message_count;
-  for (const auto& [id, trace] : net.traces()) {
-    if (!trace.delivered) continue;
+  for (const auto& [id, outcome] : outcomes) {
+    if (!outcome.delivered) continue;
     ++report.delivered;
-    report.end_to_end_latency.add(trace.delivered_at - trace.sent_at);
-    report.realized_hops.add(static_cast<double>(trace.visited.size()));
+    report.end_to_end_latency.add(outcome.delivered_at - outcome.sent_at);
+    report.realized_hops.add(static_cast<double>(outcome.hops));
+    if (outcome.hops >= report.hop_histogram.size())
+      report.hop_histogram.resize(outcome.hops + 1, 0);
+    ++report.hop_histogram[outcome.hops];
   }
 
   if (config.mode == routing_mode::source_routed) {
-    const posterior_engine engine(config.sys, config.compromised,
-                                  config.lengths);
+    // The exact engine for the run's *effective* compromised set: the
+    // configured list for the full coalition (and the timing correlator,
+    // which taps the same nodes), the drawn set for partial coverage.
+    const std::vector<node_id> effective_ids =
+        config.adversary.kind == adversary_kind::partial_coverage
+            ? model.compromised_ids()
+            : config.compromised;
+    const system_params effective_sys{
+        config.sys.node_count,
+        static_cast<std::uint32_t>(effective_ids.size())};
+    const posterior_engine exact(effective_sys, effective_ids, config.lengths);
+
     stats::running_summary entropy_acc;
     std::uint64_t identified = 0;
     std::uint64_t top1_hits = 0;
     std::uint64_t scored = 0;
-    for (const std::uint64_t id : monitor.delivered_messages()) {
-      const auto obs = monitor.assemble(id);
-      const auto post = engine.sender_posterior(obs);
+    for (const std::uint64_t id : model.observed_messages()) {
+      const auto obs = model.assemble(id);
+      // A mis-linked timing chain can describe no path at all; it carries
+      // no usable evidence and is skipped rather than scored as zero.
+      if (obs.gapped && !exact.explainable(obs)) continue;
+      const auto post =
+          engine != nullptr ? (*engine)(obs) : exact.sender_posterior(obs);
       entropy_acc.add(entropy_bits(post));
       if (config.collect_posteriors) report.posteriors.push_back(post);
       const auto top =
           std::max_element(post.begin(), post.end()) - post.begin();
-      if (post[static_cast<std::size_t>(top)] > 0.99) ++identified;
-      if (static_cast<node_id>(top) == net.traces().at(id).origin) ++top1_hits;
+      if (post[static_cast<std::size_t>(top)] > config.identified_threshold)
+        ++identified;
+      if (static_cast<node_id>(top) == outcomes.at(id).origin) ++top1_hits;
       ++scored;
     }
     if (scored == 0) {
-      // Nothing delivered => the adversary observed nothing; reporting 0.0
-      // here would read as "all senders identified" and poison campaign
-      // aggregates, so the inference metrics are absent, not zero.
+      // Nothing observed => reporting 0.0 here would read as "all senders
+      // identified" and poison campaign aggregates, so the inference
+      // metrics are absent, not zero.
       report.empirical_entropy_bits = std::numeric_limits<double>::quiet_NaN();
       report.empirical_entropy_stderr =
           std::numeric_limits<double>::quiet_NaN();
@@ -151,6 +234,13 @@ sim_report run_simulation(const sim_config& config) {
     report.empirical_entropy_stderr = std::numeric_limits<double>::quiet_NaN();
   }
   return report;
+}
+
+}  // namespace detail
+
+sim_report run_simulation(const sim_config& config) {
+  const detail::core_result core = detail::run_core(config, nullptr);
+  return detail::score_run(config, *core.model, core.outcomes, nullptr);
 }
 
 }  // namespace anonpath::sim

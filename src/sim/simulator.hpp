@@ -1,11 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "src/anonymity/length_distribution.hpp"
 #include "src/anonymity/strategy.hpp"
 #include "src/anonymity/types.hpp"
+#include "src/sim/adversary.hpp"
 #include "src/sim/latency.hpp"
 #include "src/stats/summary.hpp"
 
@@ -24,6 +28,15 @@ struct sim_config {
   latency_params latency{};
   double drop_probability = 0.0;  ///< per-link loss (failure injection)
   std::uint64_t seed = 1;
+  /// The threat model this run faces. The default (full coalition over the
+  /// `compromised` list, receiver compromised) is the paper's Sec. 4
+  /// adversary and reproduces pre-refactor behavior bit for bit. For
+  /// partial_coverage the `compromised` list is superseded by a seeded
+  /// Bernoulli(coverage_fraction) draw — see effective_compromised().
+  adversary_config adversary{};
+  /// A message counts as "identified" when its posterior puts strictly more
+  /// than this mass on one node (paper-style 0.99 by default).
+  double identified_threshold = 0.99;
   /// Keep every delivered message's exact sender posterior in the report
   /// (source-routed runs only). Off by default — the vectors are N doubles
   /// per message; the property tests and post-hoc analyses turn it on.
@@ -36,23 +49,28 @@ struct sim_report {
   std::uint64_t delivered = 0;
   stats::running_summary end_to_end_latency;  ///< seconds
   stats::running_summary realized_hops;       ///< intermediate nodes traversed
+  /// Delivered-message count per realized hop count (index = hops); sized
+  /// to the largest observed value. The goodness-of-fit test layer checks
+  /// this histogram against the configured path_length_distribution.
+  std::vector<std::uint64_t> hop_histogram;
 
-  /// Mean posterior entropy of the adversary across delivered messages —
-  /// the empirical counterpart of H*(S). Only computed for source-routed
+  /// Mean posterior entropy of the adversary across scored messages — the
+  /// empirical counterpart of H*(S). Only computed for source-routed
   /// (simple-path) runs, where the exact inference engine applies; NaN for
-  /// hop-by-hop runs and for runs where no message was ever delivered
-  /// (the adversary observed nothing, so the metric is absent, not zero —
-  /// likewise the identified/top1 fractions below).
+  /// hop-by-hop runs and for runs where the adversary observed nothing
+  /// (the metric is absent, not zero — likewise the identified/top1
+  /// fractions below).
   double empirical_entropy_bits = 0.0;
   /// Standard error of that mean.
   double empirical_entropy_stderr = 0.0;
-  /// Fraction of messages whose posterior puts > 99% on one node.
+  /// Fraction of messages whose posterior puts > identified_threshold mass
+  /// on one node.
   double identified_fraction = 0.0;
   /// Fraction where the top-posterior node is the true sender (among
   /// identified messages this should be ~1; overall it measures leakage).
   double top1_accuracy = 0.0;
-  /// One exact posterior (size N) per scored delivered message, in scoring
-  /// order. Only filled when sim_config::collect_posteriors is set on a
+  /// One exact posterior (size N) per scored message, in scoring order.
+  /// Only filled when sim_config::collect_posteriors is set on a
   /// source-routed run; empty otherwise.
   std::vector<std::vector<double>> posteriors;
 };
@@ -61,5 +79,51 @@ struct sim_report {
 /// config, runs to completion, and post-processes the adversary's log with
 /// the exact posterior engine. Deterministic under the seed.
 [[nodiscard]] sim_report run_simulation(const sim_config& config);
+
+/// An offline inference engine for replay scoring: maps an assembled
+/// observation to a sender posterior over all N nodes. The default used by
+/// run_simulation and replay_trace is posterior_engine::sender_posterior.
+using posterior_fn = std::function<std::vector<double>(const observation&)>;
+
+/// Ground-truth summary of one message's journey, as scoring consumes it
+/// (and as sim::trace persists it — identity of intermediate hops is
+/// deliberately absent; it is neither scored nor adversary-visible).
+struct message_outcome {
+  node_id origin = 0;
+  sim_time sent_at = 0.0;
+  sim_time delivered_at = 0.0;
+  bool delivered = false;
+  std::uint32_t hops = 0;  ///< intermediate nodes traversed
+
+  friend bool operator==(const message_outcome&,
+                         const message_outcome&) = default;
+};
+
+namespace detail {
+
+/// The event-driven half of run_simulation: builds the network, runs the
+/// workload to completion, and returns the adversary model (post-run state)
+/// plus per-message ground truth. When `event_log` is non-null every
+/// adversary-visible event is also appended to it in arrival order — the
+/// tap sim::trace captures through. Shared plumbing for run_simulation and
+/// capture_trace; not a stable public surface.
+struct core_result {
+  std::unique_ptr<adversary_model> model;
+  std::map<std::uint64_t, message_outcome> outcomes;
+};
+[[nodiscard]] core_result run_core(const sim_config& config,
+                                   std::vector<adversary_event>* event_log);
+
+/// The inference half: walks the model's observed messages, scores each
+/// with `engine` (the exact posterior engine for the run's effective
+/// compromised set when null), and aggregates the sim_report. Unexplainable
+/// observations (possible only under the timing correlator or fuzzed logs)
+/// are skipped, not scored as zero.
+[[nodiscard]] sim_report score_run(
+    const sim_config& config, const adversary_model& model,
+    const std::map<std::uint64_t, message_outcome>& outcomes,
+    const posterior_fn* engine);
+
+}  // namespace detail
 
 }  // namespace anonpath::sim

@@ -1,0 +1,354 @@
+#include "src/sim/trace.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath::sim {
+
+namespace {
+
+constexpr char magic[] = "anonpath-trace";
+
+/// Doubles travel as IEEE-754 bit patterns: exact round-trip, deterministic
+/// rendering, no locale or precision pitfalls.
+void put_double(std::ostream& os, double x) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, std::bit_cast<std::uint64_t>(x));
+  os << buf;
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("trace: " + what);
+}
+
+std::string next_token(std::istream& is, const char* context) {
+  std::string tok;
+  if (!(is >> tok)) bad(std::string("truncated stream reading ") + context);
+  return tok;
+}
+
+double get_double(std::istream& is, const char* context) {
+  const std::string tok = next_token(is, context);
+  if (tok.size() != 16) bad(std::string("malformed double for ") + context);
+  std::uint64_t bits = 0;
+  for (char c : tok) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else bad(std::string("malformed double for ") + context);
+    bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return std::bit_cast<double>(bits);
+}
+
+std::uint64_t get_u64(std::istream& is, const char* context) {
+  const std::string tok = next_token(is, context);
+  // std::stoull alone would accept "-1"/"+1" with wraparound; a trace that
+  // visually says one thing must never silently parse as another.
+  if (tok.empty() || tok[0] < '0' || tok[0] > '9')
+    bad(std::string("malformed integer for ") + context);
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(tok, &used);
+    if (used != tok.size()) bad(std::string("malformed integer for ") + context);
+    return v;
+  } catch (const std::invalid_argument&) {
+    bad(std::string("malformed integer for ") + context);
+  } catch (const std::out_of_range&) {
+    bad(std::string("integer out of range for ") + context);
+  }
+}
+
+std::uint32_t get_u32(std::istream& is, const char* context) {
+  const std::uint64_t v = get_u64(is, context);
+  if (v > 0xFFFFFFFFull) bad(std::string("integer out of range for ") + context);
+  return static_cast<std::uint32_t>(v);
+}
+
+void expect_keyword(std::istream& is, const char* keyword) {
+  const std::string tok = next_token(is, keyword);
+  if (tok != keyword)
+    bad("expected '" + std::string(keyword) + "', found '" + tok + "'");
+}
+
+/// The format is whitespace-delimited, so free-text fields (the strategy
+/// label) must collapse to a single token on the wire.
+std::string tokenize_label(const std::string& label) {
+  std::string out = label.empty() ? std::string("Custom") : label;
+  for (char& c : out)
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  return out;
+}
+
+}  // namespace
+
+void write_trace(const sim_trace& trace, std::ostream& os) {
+  const sim_config& c = trace.config;
+  os << magic << " v" << sim_trace::format_version << '\n';
+  os << "sys " << c.sys.node_count << ' ' << c.sys.compromised_count << '\n';
+  os << "compromised-config " << c.compromised.size();
+  for (node_id id : c.compromised) os << ' ' << id;
+  os << '\n';
+  const auto& pmf = c.lengths.dense_pmf();
+  os << "dist " << tokenize_label(c.lengths.label()) << ' ' << pmf.size();
+  for (double p : pmf) {
+    os << ' ';
+    put_double(os, p);
+  }
+  os << '\n';
+  os << "mode "
+     << (c.mode == routing_mode::source_routed ? "source_routed" : "hop_by_hop")
+     << '\n';
+  os << "forward ";
+  put_double(os, c.forward_prob);
+  os << '\n';
+  os << "messages " << c.message_count << '\n';
+  os << "rate ";
+  put_double(os, c.arrival_rate);
+  os << '\n';
+  os << "latency ";
+  put_double(os, c.latency.base);
+  os << ' ';
+  put_double(os, c.latency.jitter);
+  os << ' ';
+  put_double(os, c.latency.processing);
+  os << '\n';
+  os << "drop ";
+  put_double(os, c.drop_probability);
+  os << '\n';
+  os << "seed " << c.seed << '\n';
+  os << "adversary " << adversary_kind_label(c.adversary.kind) << ' ';
+  put_double(os, c.adversary.coverage_fraction);
+  os << ' ' << (c.adversary.receiver_compromised ? 1 : 0) << '\n';
+  os << "threshold ";
+  put_double(os, c.identified_threshold);
+  os << '\n';
+  os << "collect " << (c.collect_posteriors ? 1 : 0) << '\n';
+  os << "compromised " << trace.compromised.size();
+  for (node_id id : trace.compromised) os << ' ' << id;
+  os << '\n';
+  os << "events " << trace.events.size() << '\n';
+  for (const adversary_event& e : trace.events) {
+    switch (e.type) {
+      case adversary_event::kind::origin:
+        os << "O " << e.msg << ' ' << e.reporter << '\n';
+        break;
+      case adversary_event::kind::relay:
+        os << "T " << e.msg << ' ';
+        put_double(os, e.at);
+        os << ' ' << e.reporter << ' ' << e.predecessor << ' ' << e.successor
+           << '\n';
+        break;
+      case adversary_event::kind::receipt:
+        os << "R " << e.msg << ' ';
+        put_double(os, e.at);
+        os << ' ' << e.predecessor << '\n';
+        break;
+    }
+  }
+  os << "truths " << trace.truths.size() << '\n';
+  for (const message_truth& t : trace.truths) {
+    os << "G " << t.msg << ' ' << t.outcome.origin << ' ';
+    put_double(os, t.outcome.sent_at);
+    os << ' ';
+    put_double(os, t.outcome.delivered_at);
+    os << ' ' << (t.outcome.delivered ? 1 : 0) << ' ' << t.outcome.hops
+       << '\n';
+  }
+  os << "end\n";
+}
+
+sim_trace read_trace(std::istream& is) {
+  sim_trace trace;
+  sim_config& c = trace.config;
+
+  const std::string head = next_token(is, "magic");
+  if (head != magic) bad("not an anonpath trace (bad magic '" + head + "')");
+  const std::string version = next_token(is, "version");
+  const std::string want = "v" + std::to_string(sim_trace::format_version);
+  if (version != want)
+    bad("format version mismatch: file has '" + version + "', this build reads '" +
+        want + "'");
+
+  expect_keyword(is, "sys");
+  c.sys.node_count = get_u32(is, "node count");
+  c.sys.compromised_count = get_u32(is, "compromised count");
+
+  expect_keyword(is, "compromised-config");
+  const std::uint32_t config_comp = get_u32(is, "configured compromised size");
+  if (config_comp > c.sys.node_count) bad("configured compromised size > N");
+  c.compromised.resize(config_comp);
+  for (node_id& id : c.compromised) id = get_u32(is, "configured compromised id");
+
+  expect_keyword(is, "dist");
+  const std::string dist_label = next_token(is, "distribution label");
+  const std::uint32_t pmf_size = get_u32(is, "pmf size");
+  // Support always fits simple paths, so a count past N is corruption, not
+  // data — and must not become a giant allocation.
+  if (pmf_size == 0) bad("empty length distribution");
+  if (pmf_size > c.sys.node_count) bad("pmf size > N");
+  std::vector<double> pmf(pmf_size);
+  for (double& p : pmf) p = get_double(is, "pmf entry");
+  c.lengths = path_length_distribution::from_pmf(std::move(pmf), dist_label);
+
+  expect_keyword(is, "mode");
+  const std::string mode = next_token(is, "mode");
+  if (mode == "source_routed") c.mode = routing_mode::source_routed;
+  else if (mode == "hop_by_hop") c.mode = routing_mode::hop_by_hop;
+  else bad("unknown routing mode '" + mode + "'");
+
+  expect_keyword(is, "forward");
+  c.forward_prob = get_double(is, "forward probability");
+  expect_keyword(is, "messages");
+  c.message_count = get_u32(is, "message count");
+  expect_keyword(is, "rate");
+  c.arrival_rate = get_double(is, "arrival rate");
+  expect_keyword(is, "latency");
+  c.latency.base = get_double(is, "latency base");
+  c.latency.jitter = get_double(is, "latency jitter");
+  c.latency.processing = get_double(is, "latency processing");
+  expect_keyword(is, "drop");
+  c.drop_probability = get_double(is, "drop probability");
+  expect_keyword(is, "seed");
+  c.seed = get_u64(is, "seed");
+
+  expect_keyword(is, "adversary");
+  const std::string kind = next_token(is, "adversary kind");
+  if (kind == "full_coalition") c.adversary.kind = adversary_kind::full_coalition;
+  else if (kind == "partial_coverage")
+    c.adversary.kind = adversary_kind::partial_coverage;
+  else if (kind == "timing_correlator")
+    c.adversary.kind = adversary_kind::timing_correlator;
+  else bad("unknown adversary kind '" + kind + "'");
+  c.adversary.coverage_fraction = get_double(is, "coverage fraction");
+  c.adversary.receiver_compromised = get_u32(is, "receiver flag") != 0;
+
+  expect_keyword(is, "threshold");
+  c.identified_threshold = get_double(is, "identified threshold");
+  expect_keyword(is, "collect");
+  c.collect_posteriors = get_u32(is, "collect flag") != 0;
+
+  expect_keyword(is, "compromised");
+  const std::uint32_t effective_comp = get_u32(is, "effective compromised size");
+  if (effective_comp > c.sys.node_count) bad("effective compromised size > N");
+  trace.compromised.resize(effective_comp);
+  for (node_id& id : trace.compromised) {
+    id = get_u32(is, "effective compromised id");
+    if (id >= c.sys.node_count) bad("compromised id out of range");
+  }
+
+  expect_keyword(is, "events");
+  const std::uint32_t event_count = get_u32(is, "event count");
+  // Grow incrementally: a corrupted count then hits "truncated stream" on
+  // the first missing entry instead of pre-allocating gigabytes.
+  trace.events.reserve(std::min<std::uint32_t>(event_count, 1u << 20));
+  for (std::uint32_t i = 0; i < event_count; ++i) {
+    adversary_event e;
+    const std::string tag = next_token(is, "event tag");
+    e.msg = get_u64(is, "event message id");
+    if (tag == "O") {
+      e.type = adversary_event::kind::origin;
+      e.reporter = get_u32(is, "origin sender");
+    } else if (tag == "T") {
+      e.type = adversary_event::kind::relay;
+      e.at = get_double(is, "relay capture time");
+      e.reporter = get_u32(is, "relay reporter");
+      e.predecessor = get_u32(is, "relay predecessor");
+      e.successor = get_u32(is, "relay successor");
+    } else if (tag == "R") {
+      e.type = adversary_event::kind::receipt;
+      e.at = get_double(is, "receipt time");
+      e.predecessor = get_u32(is, "receipt predecessor");
+    } else {
+      bad("unknown event tag '" + tag + "'");
+    }
+    trace.events.push_back(e);
+  }
+
+  expect_keyword(is, "truths");
+  const std::uint32_t truth_count = get_u32(is, "truth count");
+  if (truth_count > c.message_count) bad("truth count > message count");
+  trace.truths.reserve(truth_count);
+  for (std::uint32_t i = 0; i < truth_count; ++i) {
+    message_truth t;
+    expect_keyword(is, "G");
+    t.msg = get_u64(is, "truth message id");
+    t.outcome.origin = get_u32(is, "truth origin");
+    t.outcome.sent_at = get_double(is, "truth sent time");
+    t.outcome.delivered_at = get_double(is, "truth delivery time");
+    t.outcome.delivered = get_u32(is, "truth delivered flag") != 0;
+    t.outcome.hops = get_u32(is, "truth hops");
+    trace.truths.push_back(t);
+  }
+
+  expect_keyword(is, "end");
+  return trace;
+}
+
+sim_trace capture_trace(const sim_config& config) {
+  sim_trace trace;
+  trace.config = config;
+  detail::core_result core = detail::run_core(config, &trace.events);
+  trace.compromised = core.model->compromised_ids();
+  trace.truths.reserve(core.outcomes.size());
+  for (const auto& [id, outcome] : core.outcomes)
+    trace.truths.push_back(message_truth{id, outcome});
+  return trace;
+}
+
+namespace {
+
+/// Rebuilds the adversary model a trace captured and feeds it the recorded
+/// event stream: post-run state is reproduced exactly, so scoring sees
+/// byte-identical observations.
+std::unique_ptr<adversary_model> rebuild_model(const sim_trace& trace) {
+  ANONPATH_EXPECTS(trace.config.sys.valid());
+  std::vector<bool> flags(trace.config.sys.node_count, false);
+  for (node_id id : trace.compromised) {
+    ANONPATH_EXPECTS(id < flags.size());
+    flags[id] = true;
+  }
+  auto model = make_adversary_model(trace.config.adversary, std::move(flags),
+                                    trace.config.latency);
+  for (const adversary_event& e : trace.events) {
+    switch (e.type) {
+      case adversary_event::kind::origin:
+        model->note_origin(e.msg, e.reporter);
+        break;
+      case adversary_event::kind::relay:
+        model->note_relay(e.msg, e.at, e.reporter, e.predecessor, e.successor);
+        break;
+      case adversary_event::kind::receipt:
+        model->note_receipt(e.msg, e.at, e.predecessor);
+        break;
+    }
+  }
+  return model;
+}
+
+sim_report replay_impl(const sim_trace& trace, const posterior_fn* engine) {
+  const auto model = rebuild_model(trace);
+  std::map<std::uint64_t, message_outcome> outcomes;
+  for (const message_truth& t : trace.truths) outcomes.emplace(t.msg, t.outcome);
+  return detail::score_run(trace.config, *model, outcomes, engine);
+}
+
+}  // namespace
+
+sim_report replay_trace(const sim_trace& trace) {
+  return replay_impl(trace, nullptr);
+}
+
+sim_report replay_trace(const sim_trace& trace, const posterior_fn& engine) {
+  ANONPATH_EXPECTS(static_cast<bool>(engine));
+  return replay_impl(trace, &engine);
+}
+
+}  // namespace anonpath::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "src/sim/adversary.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace anonpath::sim {
+
+/// A captured run: everything needed to re-score the adversary's view of a
+/// simulation offline, without re-running the discrete-event engine —
+/// decoupling simulation cost from inference cost, and letting one
+/// captured run be scored by any number of inference engines.
+///
+/// Contents:
+///   * `config`      — the full sim_config that produced the run (seed
+///                     included), so a trace is also a reproduction recipe;
+///   * `compromised` — the *effective* corrupted set (for partial_coverage
+///                     this is the realized Bernoulli draw, not the list in
+///                     `config.compromised`), so replay rebuilds the exact
+///                     model without re-drawing;
+///   * `events`      — every adversary-visible event in arrival order (the
+///                     recording tap of detail::run_core);
+///   * `truths`      — per-message ground-truth outcomes, which replay uses
+///                     for the delivery/latency metrics and top-1 scoring
+///                     (they are the evaluator's key, never shown to the
+///                     inference engine).
+struct message_truth {
+  std::uint64_t msg = 0;
+  message_outcome outcome;
+
+  friend bool operator==(const message_truth&, const message_truth&) = default;
+};
+
+struct sim_trace {
+  /// Bump on any change to the serialized layout; read_trace refuses
+  /// mismatched versions (no silent misparse), and the golden-file
+  /// regression test pins the committed fixture to the current value.
+  static constexpr std::uint32_t format_version = 1;
+
+  sim_config config;
+  std::vector<node_id> compromised;  ///< effective corrupted set, ascending
+  std::vector<adversary_event> events;
+  std::vector<message_truth> truths;
+};
+
+/// Runs the discrete-event half of `run_simulation(config)` and captures
+/// the adversary's event stream plus ground truth. No inference happens
+/// here — that is replay's job.
+[[nodiscard]] sim_trace capture_trace(const sim_config& config);
+
+/// Re-scores a captured run with the exact posterior engine: rebuilds the
+/// adversary model from the trace, feeds it the recorded events, and runs
+/// the same aggregation as run_simulation. For any config,
+/// replay_trace(capture_trace(cfg)) == run_simulation(cfg) bit for bit.
+[[nodiscard]] sim_report replay_trace(const sim_trace& trace);
+
+/// Same, but scores each assembled observation with a caller-supplied
+/// inference engine instead of the exact posterior engine.
+[[nodiscard]] sim_report replay_trace(const sim_trace& trace,
+                                      const posterior_fn& engine);
+
+/// Serializes a trace as versioned, line-oriented text. Deterministic and
+/// exact: floating-point fields are written as IEEE-754 bit patterns (hex),
+/// so write/read round-trips reproduce every double bit for bit and equal
+/// traces render byte-identically. See README for the line grammar.
+void write_trace(const sim_trace& trace, std::ostream& os);
+
+/// Parses a serialized trace. Throws std::invalid_argument on a malformed
+/// stream or a format-version mismatch (the message names both versions).
+[[nodiscard]] sim_trace read_trace(std::istream& is);
+
+}  // namespace anonpath::sim

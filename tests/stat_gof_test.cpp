@@ -1,0 +1,124 @@
+// Statistical goodness-of-fit layer: chi-square tests pinning (a) the
+// simulator's realized-hops histogram and (b) the path samplers' output to
+// the configured path_length_distribution, at three preset strategies.
+// Seeds are fixed and chosen so every test is deterministic and passes with
+// a comfortable margin; a change that skews sampling or routing will move
+// the statistic far past the rejection threshold.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/anonymity/path_sampler.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/stats/chi_square.hpp"
+#include "src/stats/rng.hpp"
+
+namespace anonpath {
+namespace {
+
+struct preset {
+  const char* name;
+  path_length_distribution lengths;
+};
+
+std::vector<preset> presets() {
+  return {
+      {"U(1,8)", path_length_distribution::uniform(1, 8)},
+      {"Geom(0.8,1..12)", path_length_distribution::geometric(0.8, 1, 12)},
+      {"Poisson(5,14)", path_length_distribution::poisson(5.0, 14)},
+  };
+}
+
+/// Chi-square p-value of observed counts against the distribution's dense
+/// pmf (histogram padded to the support size).
+double gof_p_value(std::vector<std::uint64_t> hist,
+                   const path_length_distribution& d) {
+  const auto& pmf = d.dense_pmf();
+  if (hist.size() < pmf.size()) hist.resize(pmf.size(), 0);
+  EXPECT_EQ(hist.size(), pmf.size()) << "observed support exceeds the pmf's";
+  return stats::chi_square_goodness_of_fit(hist, pmf).p_value;
+}
+
+TEST(StatGoF, SimulatorRealizedHopsMatchConfiguredDistribution) {
+  // Source-routed, lossless: every delivered message realizes exactly its
+  // sampled length, so the hop histogram is a direct sample of the
+  // configured distribution.
+  std::uint64_t seed = 20;
+  for (const preset& p : presets()) {
+    sim::sim_config cfg;
+    cfg.sys = {40, 1};
+    cfg.compromised = {0};
+    cfg.lengths = p.lengths;
+    cfg.message_count = 3000;
+    cfg.arrival_rate = 400.0;
+    cfg.seed = ++seed;
+    const auto report = sim::run_simulation(cfg);
+    ASSERT_EQ(report.delivered, cfg.message_count) << p.name;
+    std::uint64_t total = 0;
+    for (std::uint64_t c : report.hop_histogram) total += c;
+    EXPECT_EQ(total, report.delivered);
+    const double pv = gof_p_value(report.hop_histogram, p.lengths);
+    EXPECT_GT(pv, 0.01) << p.name << ": simulator hops diverge from strategy";
+  }
+}
+
+TEST(StatGoF, RouteSamplerLengthsMatchConfiguredDistribution) {
+  std::uint64_t seed = 50;
+  for (const preset& p : presets()) {
+    route_sampler sampler(40, p.lengths, path_model::simple);
+    stats::rng gen(++seed);
+    std::vector<std::uint64_t> hist(p.lengths.max_length() + 1, 0);
+    for (int i = 0; i < 20000; ++i) {
+      const route& r = sampler.next(gen);
+      ASSERT_LT(r.length(), hist.size() + 1);
+      ++hist[r.length()];
+    }
+    const double pv = gof_p_value(std::move(hist), p.lengths);
+    EXPECT_GT(pv, 0.01) << p.name << ": route_sampler lengths diverge";
+  }
+}
+
+TEST(StatGoF, SampleRouteLengthsMatchConfiguredDistribution) {
+  // The per-call sampler (the simulator's own draw path) against the same
+  // presets: both samplers must agree with the strategy, not just one.
+  std::uint64_t seed = 80;
+  for (const preset& p : presets()) {
+    stats::rng gen(++seed);
+    std::vector<std::uint64_t> hist(p.lengths.max_length() + 1, 0);
+    for (int i = 0; i < 20000; ++i)
+      ++hist[sample_route(40, p.lengths, path_model::simple, gen).length()];
+    const double pv = gof_p_value(std::move(hist), p.lengths);
+    EXPECT_GT(pv, 0.01) << p.name << ": sample_route lengths diverge";
+  }
+}
+
+TEST(StatGoF, RouteSamplerSendersAreUniform) {
+  const std::uint32_t n = 25;
+  route_sampler sampler(n, path_length_distribution::uniform(1, 6),
+                        path_model::simple);
+  stats::rng gen(7);
+  std::vector<std::uint64_t> hist(n, 0);
+  for (int i = 0; i < 25000; ++i) ++hist[sampler.next(gen).sender];
+  const std::vector<double> uniform(n, 1.0 / n);
+  const auto r = stats::chi_square_goodness_of_fit(hist, uniform);
+  EXPECT_GT(r.p_value, 0.01) << "senders are not uniform over V";
+}
+
+TEST(StatGoF, RejectsAMiscalibratedDistribution) {
+  // Negative control: the same machinery must reject a wrong hypothesis —
+  // U(1,8) samples scored against Geom(0.8)'s pmf on the same support.
+  route_sampler sampler(40, path_length_distribution::uniform(1, 8),
+                        path_model::simple);
+  stats::rng gen(3);
+  std::vector<std::uint64_t> hist(9, 0);
+  for (int i = 0; i < 20000; ++i) ++hist[sampler.next(gen).length()];
+  const auto wrong_dist = path_length_distribution::geometric(0.8, 1, 8);
+  const auto r =
+      stats::chi_square_goodness_of_fit(hist, wrong_dist.dense_pmf());
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+}  // namespace
+}  // namespace anonpath

@@ -5,17 +5,24 @@
 //   anonpath estimate --n 100 --c 8 --dist U:1,10 --samples 100000 --threads 0
 //   anonpath optimize --n 100 --mean 5              optimal distribution
 //   anonpath simulate --n 60 --c 2 --dist U:2,14 --messages 2000
+//   anonpath simulate --n 60 --c 2 --adversary partial:0.3:honest
 //   anonpath campaign --n 30,60 --c 1,4 --dist F:3 --dist U:1,8 \
 //                     --drop 0,0.05 --replicas 8 --threads 0   scenario sweep
+//   anonpath capture  --n 60 --c 2 --dist U:2,14 --out run.trace
+//   anonpath replay   --in run.trace                re-score a captured run
 //   anonpath figures  --n 100                       dump all paper figures
 //
 // Distribution syntax: F:l | U:a,b | G:pf,min,max (geometric) | P:lambda,max.
-// Campaign axes (--n, --c, --drop, --rate, --mode) take comma-separated
-// lists and --dist may repeat; the campaign runs their cartesian product.
+// Adversary syntax: full | partial:<f>[:honest] | timing (the coverage
+// fraction f in [0,1]; ":honest" leaves the receiver uncompromised).
+// Campaign axes (--n, --c, --drop, --rate, --mode, --adversary) take
+// comma-separated lists and --dist may repeat; the campaign runs their
+// cartesian product.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -30,6 +37,7 @@
 #include "src/repro/figures.hpp"
 #include "src/sim/campaign.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/sim/trace.hpp"
 
 namespace {
 
@@ -39,21 +47,27 @@ using namespace anonpath;
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(
       stderr,
-      "usage: anonpath <degree|estimate|optimize|simulate|campaign|figures> "
+      "usage: anonpath "
+      "<degree|estimate|optimize|simulate|campaign|capture|replay|figures> "
       "[options]\n"
       "  common:   --n <nodes>      (default 100)\n"
       "            --c <compromised> (default 1)\n"
       "            --dist F:l | U:a,b | G:pf,min,max | P:lambda,max\n"
+      "            --adversary full | partial:<f>[:honest] | timing\n"
       "  degree:   [--breakdown]\n"
       "  estimate: [--samples k] [--seed s] [--threads t (0=all cores)]\n"
       "            [--shards k] [--no-dedup]   Monte-Carlo H* for any C\n"
       "  optimize: --mean <target expected length>\n"
-      "  simulate: [--messages k] [--seed s] [--drop p]\n"
+      "  simulate: [--messages k] [--seed s] [--drop p] [--threshold x]\n"
       "  campaign: scenario-grid sweep on the simulator; CSV to stdout.\n"
-      "            axes (comma lists): --n --c --drop --rate\n"
+      "            axes (comma lists): --n --c --drop --rate --adversary\n"
       "            --mode onion,crowds; --dist may repeat (one spec each)\n"
       "            [--replicas r (default 8)] [--messages k (default 500)]\n"
-      "            [--seed s] [--threads t (0=all cores)]\n"
+      "            [--seed s] [--threads t (0=all cores)] [--via-trace]\n"
+      "  capture:  simulate flags + [--out file (default stdout)]; writes\n"
+      "            the adversary's event trace instead of scoring it\n"
+      "  replay:   --in file; re-scores a captured trace offline (same\n"
+      "            output as simulate, no event-driven re-run)\n"
       "  figures:  (dumps fig3a/3b/4/5/6 series as CSV)\n");
   std::exit(2);
 }
@@ -116,8 +130,38 @@ struct options {
   std::vector<double> drop_list;
   std::vector<double> rate_list;
   std::vector<routing_mode> mode_list;
+  std::vector<sim::adversary_config> adversary_list;
   std::uint32_t replicas = 8;
+  double threshold = 0.99;
+  bool via_trace = false;
+  std::string out_path;  ///< capture: trace destination ("" = stdout)
+  std::string in_path;   ///< replay: trace source
 };
+
+sim::adversary_config parse_adversary(const std::string& spec) {
+  sim::adversary_config cfg;
+  if (spec == "full") return cfg;
+  if (spec == "timing") {
+    cfg.kind = sim::adversary_kind::timing_correlator;
+    return cfg;
+  }
+  if (spec.rfind("partial", 0) == 0) {
+    cfg.kind = sim::adversary_kind::partial_coverage;
+    if (spec.size() == 7) return cfg;  // bare "partial": f = 1
+    if (spec[7] != ':') usage("bad --adversary (want partial:<f>[:honest])");
+    const auto honest = spec.find(":honest");
+    const std::string f = spec.substr(8, honest == std::string::npos
+                                             ? honest
+                                             : honest - 8);
+    char* end = nullptr;
+    cfg.coverage_fraction = std::strtod(f.c_str(), &end);
+    if (end == f.c_str() || *end != '\0' || !cfg.valid())
+      usage("bad --adversary coverage fraction");
+    cfg.receiver_compromised = honest == std::string::npos;
+    return cfg;
+  }
+  usage("--adversary values are full|partial:<f>[:honest]|timing");
+}
 
 std::vector<std::string> split_commas(const std::string& s) {
   std::vector<std::string> out;
@@ -201,6 +245,19 @@ options parse(int argc, char** argv) {
         else usage("--mode values are onion|crowds");
       }
     }
+    else if (flag == "--adversary") {
+      for (const std::string& tok : split_commas(next()))
+        opt.adversary_list.push_back(parse_adversary(tok));
+    }
+    else if (flag == "--threshold") {
+      char* end = nullptr;
+      const char* v = next();
+      opt.threshold = std::strtod(v, &end);
+      if (end == v || *end != '\0') usage("--threshold must be a number");
+    }
+    else if (flag == "--via-trace") opt.via_trace = true;
+    else if (flag == "--out") opt.out_path = next();
+    else if (flag == "--in") opt.in_path = next();
     else if (flag == "--replicas") {
       const int r = std::atoi(next());
       if (r <= 0) usage("--replicas must be > 0");
@@ -293,7 +350,7 @@ int cmd_optimize(const options& opt) {
   return 0;
 }
 
-int cmd_simulate(const options& opt) {
+sim::sim_config simulate_config(const options& opt) {
   sim::sim_config cfg;
   cfg.sys = {opt.n, opt.c};
   cfg.compromised = spread_compromised(opt.n, opt.c);
@@ -301,10 +358,16 @@ int cmd_simulate(const options& opt) {
   cfg.message_count = opt.messages;
   cfg.seed = opt.seed;
   cfg.drop_probability = opt.drop;
-  const auto r = sim::run_simulation(cfg);
-  std::printf("simulated %llu msgs on N=%u, C=%u, %s\n",
-              static_cast<unsigned long long>(r.submitted), opt.n, opt.c,
-              cfg.lengths.label().c_str());
+  cfg.identified_threshold = opt.threshold;
+  if (!opt.adversary_list.empty()) cfg.adversary = opt.adversary_list.front();
+  return cfg;
+}
+
+void print_sim_report(const sim::sim_config& cfg, const sim::sim_report& r) {
+  std::printf("simulated %llu msgs on N=%u, C=%u, %s, adversary %s\n",
+              static_cast<unsigned long long>(r.submitted), cfg.sys.node_count,
+              cfg.sys.compromised_count, cfg.lengths.label().c_str(),
+              cfg.adversary.label().c_str());
   std::printf("  delivered:           %llu (%.1f%%)\n",
               static_cast<unsigned long long>(r.delivered),
               100.0 * static_cast<double>(r.delivered) /
@@ -314,7 +377,40 @@ int cmd_simulate(const options& opt) {
   std::printf("  mean hops:           %.2f\n", r.realized_hops.mean());
   std::printf("  empirical H*:        %.4f +/- %.4f bits\n",
               r.empirical_entropy_bits, 1.96 * r.empirical_entropy_stderr);
-  std::printf("  identified fraction: %.2f%%\n", 100.0 * r.identified_fraction);
+  std::printf("  identified fraction: %.2f%% (threshold %g)\n",
+              100.0 * r.identified_fraction, cfg.identified_threshold);
+}
+
+int cmd_simulate(const options& opt) {
+  const sim::sim_config cfg = simulate_config(opt);
+  const auto r = sim::run_simulation(cfg);
+  print_sim_report(cfg, r);
+  return 0;
+}
+
+int cmd_capture(const options& opt) {
+  const sim::sim_config cfg = simulate_config(opt);
+  const sim::sim_trace trace = sim::capture_trace(cfg);
+  if (opt.out_path.empty()) {
+    sim::write_trace(trace, std::cout);
+  } else {
+    std::ofstream out(opt.out_path, std::ios::binary);
+    if (!out.good()) usage("cannot open --out file for writing");
+    sim::write_trace(trace, out);
+    if (!out.good()) usage("failed writing --out file");
+  }
+  std::fprintf(stderr, "# captured %zu adversary events, %zu messages\n",
+               trace.events.size(), trace.truths.size());
+  return 0;
+}
+
+int cmd_replay(const options& opt) {
+  if (opt.in_path.empty()) usage("replay requires --in <trace file>");
+  std::ifstream in(opt.in_path, std::ios::binary);
+  if (!in.good()) usage("cannot open --in file");
+  const sim::sim_trace trace = sim::read_trace(in);
+  const auto r = sim::replay_trace(trace);
+  print_sim_report(trace.config, r);
   return 0;
 }
 
@@ -326,12 +422,15 @@ int cmd_campaign(const options& opt) {
   if (!opt.mode_list.empty()) grid.modes = opt.mode_list;
   if (!opt.drop_list.empty()) grid.drop_probabilities = opt.drop_list;
   if (!opt.rate_list.empty()) grid.arrival_rates = opt.rate_list;
+  if (!opt.adversary_list.empty()) grid.adversaries = opt.adversary_list;
   grid.message_count = opt.messages_set ? opt.messages : 500;
+  grid.identified_threshold = opt.threshold;
 
   sim::campaign_config cfg;
   cfg.replicas = opt.replicas;
   cfg.master_seed = opt.seed;
   cfg.threads = opt.threads;
+  cfg.via_trace = opt.via_trace;
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto result = sim::run_campaign(grid, cfg);
@@ -379,6 +478,8 @@ int main(int argc, char** argv) {
     if (opt.command == "optimize") return cmd_optimize(opt);
     if (opt.command == "simulate") return cmd_simulate(opt);
     if (opt.command == "campaign") return cmd_campaign(opt);
+    if (opt.command == "capture") return cmd_capture(opt);
+    if (opt.command == "replay") return cmd_replay(opt);
     if (opt.command == "figures") return cmd_figures(opt);
     usage("unknown command");
   } catch (const std::exception& e) {
