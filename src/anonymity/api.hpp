@@ -21,6 +21,19 @@
 ///   optimizer                       the paper's Sec. 5.4 optimal strategy
 ///   strategy                        presets for every surveyed protocol
 ///
+/// The topology axis lives in src/net: net::topology is a weighted
+/// rerouting graph (complete — the paper's clique and the default
+/// everywhere — plus ring, random_regular, tiered, trust_weighted) with a
+/// net::churn_model taking nodes down/up on seeded renewal processes.
+/// Routing on a graph is the weighted random walk (the paper's
+/// "complicated" path model is exactly the clique instance);
+/// net::graph_oracle enumerates it exhaustively on small graphs,
+/// net::topology_posterior_engine performs exact restricted-path sender
+/// inference at simulation scale (transfer-matrix DP over honest-interior
+/// walk segments), and net::estimate_topology_degree is the walk-model
+/// Monte-Carlo H* estimator. The conformance suite pins oracle and engine
+/// to each other, and the clique instance to cyclic_brute_force_analyzer.
+///
 /// The discrete-event simulator lives in src/sim (include
 /// "src/sim/simulator.hpp"). Its threat model is pluggable
 /// (src/sim/adversary.hpp): full_coalition (the paper's Sec. 4 worst
@@ -33,11 +46,11 @@
 /// trace and replays it through any inference engine offline, bit-for-bit
 /// equal to inline scoring. On top sits the scenario-campaign engine
 /// (src/sim/campaign.hpp) — a declarative grid over (N, C, strategy,
-/// routing mode, drop rate, arrival rate, adversary model) whose cells fan
-/// out over a stats::thread_pool with deterministic per-run rng streams
-/// and aggregate into per-cell summaries, bit-identical for every thread
-/// count under a fixed master seed (the same contract as mc_config).
-/// The figure generators live in src/repro.
+/// routing mode, drop rate, arrival rate, adversary model, topology,
+/// churn) whose cells fan out over a stats::thread_pool with deterministic
+/// per-run rng streams and aggregate into per-cell summaries,
+/// bit-identical for every thread count under a fixed master seed (the
+/// same contract as mc_config). The figure generators live in src/repro.
 
 #include "src/anonymity/analytic.hpp"
 #include "src/anonymity/brute_force.hpp"
@@ -54,3 +67,8 @@
 #include "src/anonymity/posterior.hpp"
 #include "src/anonymity/strategy.hpp"
 #include "src/anonymity/types.hpp"
+#include "src/net/churn.hpp"
+#include "src/net/graph_oracle.hpp"
+#include "src/net/topology.hpp"
+#include "src/net/topology_mc.hpp"
+#include "src/net/topology_posterior.hpp"

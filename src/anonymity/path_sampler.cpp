@@ -44,6 +44,27 @@ route sample_route(std::uint32_t node_count,
              : sample_complicated_route(node_count, sender, l, gen);
 }
 
+void sample_topology_route_into(const net::topology& topo, node_id sender,
+                                path_length length, stats::rng& gen,
+                                route& out) {
+  ANONPATH_EXPECTS(sender < topo.node_count());
+  out.sender = sender;
+  out.hops.clear();
+  out.hops.reserve(length);
+  node_id cur = sender;
+  for (path_length i = 0; i < length; ++i) {
+    cur = topo.sample_neighbor(cur, gen);
+    out.hops.push_back(cur);
+  }
+}
+
+route sample_topology_route(const net::topology& topo, node_id sender,
+                            path_length length, stats::rng& gen) {
+  route r;
+  sample_topology_route_into(topo, sender, length, gen, r);
+  return r;
+}
+
 route_sampler::route_sampler(std::uint32_t node_count,
                              path_length_distribution lengths,
                              path_model model)

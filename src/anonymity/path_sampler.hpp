@@ -2,6 +2,7 @@
 
 #include "src/anonymity/length_distribution.hpp"
 #include "src/anonymity/types.hpp"
+#include "src/net/topology.hpp"
 #include "src/stats/rng.hpp"
 
 namespace anonpath {
@@ -32,6 +33,21 @@ enum class path_model {
 [[nodiscard]] route sample_route(std::uint32_t node_count,
                                  const path_length_distribution& lengths,
                                  path_model model, stats::rng& gen);
+
+/// Draws a topology-respecting route of the given length from `sender`:
+/// each hop is a weighted draw among the current node's neighbors (the
+/// walk model — net::topology documents why the clique instance coincides
+/// with `complicated` paths). Every consecutive pair of the result is a
+/// graph edge. Precondition: sender < topo.node_count().
+[[nodiscard]] route sample_topology_route(const net::topology& topo,
+                                          node_id sender, path_length length,
+                                          stats::rng& gen);
+
+/// In-place variant: fills `out`, reusing its hop buffer, so steady-state
+/// sampling (the topology Monte-Carlo loop) allocates nothing.
+void sample_topology_route_into(const net::topology& topo, node_id sender,
+                                path_length length, stats::rng& gen,
+                                route& out);
 
 /// Allocation-free bulk sampler for the hot Monte-Carlo loop: draws the same
 /// (sender, length, route) triples as sample_route but reuses internal

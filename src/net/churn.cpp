@@ -1,0 +1,49 @@
+#include "src/net/churn.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath::net {
+
+std::string churn_config::label() const {
+  if (!enabled()) return "static";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "churn(%g/%g)", down_rate, mean_downtime);
+  return buf;
+}
+
+churn_model::churn_model(std::uint32_t node_count, churn_config config,
+                         std::uint64_t seed)
+    : config_(config), seed_(seed), nodes_(node_count) {
+  ANONPATH_EXPECTS(node_count >= 1);
+  ANONPATH_EXPECTS(config_.valid());
+}
+
+double churn_model::draw_duration(node_state& s) const {
+  const double mean = s.up ? 1.0 / config_.down_rate : config_.mean_downtime;
+  // Inverse-CDF exponential; next_double() < 1 keeps the log argument > 0.
+  return -std::log(1.0 - s.gen.next_double()) * mean;
+}
+
+bool churn_model::is_up(node_id v, double at) {
+  if (!config_.enabled()) return true;
+  ANONPATH_EXPECTS(v < nodes_.size());
+  node_state& s = nodes_[v];
+  if (!s.started) {
+    // Lazily seeded so a churn model for a large fleet costs nothing for
+    // nodes that never receive traffic.
+    s.started = true;
+    s.gen = stats::rng::stream(seed_, v);
+    s.next_toggle = draw_duration(s);
+  }
+  while (s.next_toggle <= at) {
+    s.up = !s.up;
+    ++transitions_;
+    s.next_toggle += draw_duration(s);
+  }
+  return s.up;
+}
+
+}  // namespace anonpath::net

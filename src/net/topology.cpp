@@ -1,0 +1,339 @@
+#include "src/net/topology.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath::net {
+
+const char* topology_kind_name(topology_kind kind) noexcept {
+  switch (kind) {
+    case topology_kind::complete: return "complete";
+    case topology_kind::ring: return "ring";
+    case topology_kind::random_regular: return "regular";
+    case topology_kind::tiered: return "tiered";
+    case topology_kind::trust_weighted: return "trust";
+  }
+  return "?";
+}
+
+bool topology_config::valid_for(std::uint32_t node_count) const noexcept {
+  if (node_count < 2) return false;
+  switch (kind) {
+    case topology_kind::complete:
+      return true;
+    case topology_kind::ring:
+      return ring_k >= 1 && 2ull * ring_k <= node_count - 1;
+    case topology_kind::random_regular:
+      return degree >= 2 && degree < node_count &&
+             (static_cast<std::uint64_t>(node_count) * degree) % 2 == 0;
+    case topology_kind::tiered:
+      return tiers >= 2 && tiers <= node_count;
+    case topology_kind::trust_weighted:
+      return trust_decay > 0.0 && trust_decay <= 1.0;
+  }
+  return false;
+}
+
+std::string topology_config::label() const {
+  char buf[64];
+  switch (kind) {
+    case topology_kind::complete:
+      return "complete";
+    case topology_kind::ring:
+      std::snprintf(buf, sizeof buf, "ring(%u)", ring_k);
+      return buf;
+    case topology_kind::random_regular:
+      std::snprintf(buf, sizeof buf, "regular(%u@%llu)", degree,
+                    static_cast<unsigned long long>(graph_seed));
+      return buf;
+    case topology_kind::tiered:
+      std::snprintf(buf, sizeof buf, "tiered(%u)", tiers);
+      return buf;
+    case topology_kind::trust_weighted:
+      std::snprintf(buf, sizeof buf, "trust(%g)", trust_decay);
+      return buf;
+  }
+  return "?";
+}
+
+topology::topology(std::uint32_t n, topology_config cfg)
+    : n_(n),
+      cfg_(cfg),
+      adj_(n),
+      weights_(n),
+      cum_(n),
+      total_(n, 0.0) {}
+
+void topology::add_edge(node_id u, node_id v, double w) {
+  adj_[u].push_back(v);
+  weights_[u].push_back(w);
+  adj_[v].push_back(u);
+  weights_[v].push_back(w);
+}
+
+void topology::finalize() {
+  min_degree_ = ~0u;
+  max_degree_ = 0;
+  for (node_id u = 0; u < n_; ++u) {
+    // Sort adjacency ascending, carrying weights along.
+    std::vector<std::size_t> order(adj_[u].size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return adj_[u][a] < adj_[u][b];
+    });
+    std::vector<node_id> nbr(adj_[u].size());
+    std::vector<double> w(adj_[u].size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      nbr[i] = adj_[u][order[i]];
+      w[i] = weights_[u][order[i]];
+    }
+    adj_[u] = std::move(nbr);
+    weights_[u] = std::move(w);
+
+    cum_[u].resize(adj_[u].size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < adj_[u].size(); ++i) {
+      ANONPATH_EXPECTS(adj_[u][i] != u);  // no self-loops
+      ANONPATH_EXPECTS(i == 0 || adj_[u][i] != adj_[u][i - 1]);  // simple
+      ANONPATH_EXPECTS(weights_[u][i] > 0.0);
+      acc += weights_[u][i];
+      cum_[u][i] = acc;
+      if (uniform_weights_ && weights_[u][i] != weights_[u][0])
+        uniform_weights_ = false;
+    }
+    total_[u] = acc;
+    const auto deg = static_cast<std::uint32_t>(adj_[u].size());
+    min_degree_ = std::min(min_degree_, deg);
+    max_degree_ = std::max(max_degree_, deg);
+  }
+  ANONPATH_ENSURES(min_degree_ >= 1);
+  ANONPATH_ENSURES(connected());
+}
+
+bool topology::connected() const {
+  std::vector<bool> seen(n_, false);
+  std::vector<node_id> stack{0};
+  seen[0] = true;
+  std::uint32_t reached = 1;
+  while (!stack.empty()) {
+    const node_id u = stack.back();
+    stack.pop_back();
+    for (node_id v : adj_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++reached;
+        stack.push_back(v);
+      }
+    }
+  }
+  return reached == n_;
+}
+
+topology topology::complete(std::uint32_t node_count) {
+  ANONPATH_EXPECTS(node_count >= 2);
+  topology t(node_count, topology_config{});
+  for (node_id u = 0; u < node_count; ++u)
+    for (node_id v = u + 1; v < node_count; ++v) t.add_edge(u, v, 1.0);
+  t.finalize();
+  return t;
+}
+
+topology topology::ring(std::uint32_t node_count, std::uint32_t k) {
+  topology_config cfg;
+  cfg.kind = topology_kind::ring;
+  cfg.ring_k = k;
+  ANONPATH_EXPECTS(cfg.valid_for(node_count));
+  topology t(node_count, cfg);
+  for (node_id u = 0; u < node_count; ++u)
+    for (std::uint32_t j = 1; j <= k; ++j)
+      t.add_edge(u, (u + j) % node_count, 1.0);
+  t.finalize();
+  return t;
+}
+
+topology topology::random_regular(std::uint32_t node_count,
+                                  std::uint32_t degree, std::uint64_t seed) {
+  topology_config cfg;
+  cfg.kind = topology_kind::random_regular;
+  cfg.degree = degree;
+  cfg.graph_seed = seed;
+  ANONPATH_EXPECTS(cfg.valid_for(node_count));
+
+  // d == 2 specializes to a seeded random Hamiltonian cycle (double-edge
+  // swaps on 2-regular graphs split them into cycle unions almost surely).
+  if (degree == 2) {
+    stats::rng gen = stats::rng::stream(seed, 0);
+    std::vector<node_id> order(node_count);
+    for (node_id u = 0; u < node_count; ++u) order[u] = u;
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[gen.next_below(i)]);
+    topology t(node_count, cfg);
+    for (node_id i = 0; i < node_count; ++i)
+      t.add_edge(order[i], order[(i + 1) % node_count], 1.0);
+    t.finalize();
+    return t;
+  }
+
+  // d >= 3: start from a connected circulant d-regular base and randomize
+  // with seeded degree-preserving double-edge swaps (the standard Markov
+  // chain over d-regular simple graphs). Swaps can in principle disconnect
+  // the graph; a random d-regular graph is connected with overwhelming
+  // probability for d >= 3, so the per-attempt connectivity check makes a
+  // handful of deterministic attempts practically infallible.
+  for (std::uint64_t attempt = 0; attempt < 128; ++attempt) {
+    stats::rng gen = stats::rng::stream(seed, attempt);
+
+    std::vector<std::pair<node_id, node_id>> edges;
+    std::vector<std::vector<bool>> have(node_count,
+                                        std::vector<bool>(node_count, false));
+    const auto put = [&](node_id u, node_id v) {
+      if (u == v || have[u][v]) return false;
+      have[u][v] = have[v][u] = true;
+      edges.emplace_back(u, v);
+      return true;
+    };
+    for (std::uint32_t off = 1; off <= degree / 2; ++off)
+      for (node_id u = 0; u < node_count; ++u)
+        put(u, static_cast<node_id>((u + off) % node_count));
+    if (degree % 2 == 1)  // n is even here (valid_for: n*d even)
+      for (node_id u = 0; u < node_count / 2; ++u)
+        put(u, u + node_count / 2);
+
+    const std::uint64_t swaps =
+        20ull * node_count * degree;  // well past the chain's mixing regime
+    for (std::uint64_t i = 0; i < swaps; ++i) {
+      const std::size_t e1 = gen.next_below(edges.size());
+      const std::size_t e2 = gen.next_below(edges.size());
+      if (e1 == e2) continue;
+      auto [a, b] = edges[e1];
+      auto [c, d] = edges[e2];
+      if (gen.next_below(2) == 1) std::swap(c, d);
+      // Rewire (a,b),(c,d) -> (a,c),(b,d) when that keeps the graph simple.
+      if (a == c || a == d || b == c || b == d) continue;
+      if (have[a][c] || have[b][d]) continue;
+      have[a][b] = have[b][a] = false;
+      have[c][d] = have[d][c] = false;
+      have[a][c] = have[c][a] = true;
+      have[b][d] = have[d][b] = true;
+      edges[e1] = {a, c};
+      edges[e2] = {b, d};
+    }
+
+    topology t(node_count, cfg);
+    for (const auto& [u, v] : edges) t.add_edge(u, v, 1.0);
+    if (!t.connected()) continue;
+    t.finalize();
+    return t;
+  }
+  ANONPATH_EXPECTS(!"random_regular: no connected swap-randomized graph");
+  // Unreachable; EXPECTS above throws.
+  return complete(node_count);
+}
+
+topology topology::tiered(std::uint32_t node_count, std::uint32_t tiers) {
+  topology_config cfg;
+  cfg.kind = topology_kind::tiered;
+  cfg.tiers = tiers;
+  ANONPATH_EXPECTS(cfg.valid_for(node_count));
+  const auto tier_of = [&](node_id u) {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(u) * tiers) / node_count);
+  };
+  topology t(node_count, cfg);
+  for (node_id u = 0; u < node_count; ++u)
+    for (node_id v = u + 1; v < node_count; ++v) {
+      const std::uint32_t tu = tier_of(u);
+      const std::uint32_t tv = tier_of(v);
+      if (tu + 1 == tv || tv + 1 == tu) t.add_edge(u, v, 1.0);
+    }
+  t.finalize();
+  return t;
+}
+
+topology topology::trust_weighted(std::uint32_t node_count, double decay) {
+  topology_config cfg;
+  cfg.kind = topology_kind::trust_weighted;
+  cfg.trust_decay = decay;
+  ANONPATH_EXPECTS(cfg.valid_for(node_count));
+  topology t(node_count, cfg);
+  // decay^(d-1) by ring distance d, tabulated once so construction stays
+  // O(N^2) instead of O(N^3).
+  std::vector<double> power(node_count / 2 + 1, 1.0);
+  for (std::size_t d = 2; d < power.size(); ++d)
+    power[d] = power[d - 1] * decay;
+  for (node_id u = 0; u < node_count; ++u)
+    for (node_id v = u + 1; v < node_count; ++v) {
+      const std::uint32_t d = std::min(v - u, node_count - (v - u));
+      t.add_edge(u, v, power[d]);
+    }
+  t.finalize();
+  return t;
+}
+
+topology topology::make(std::uint32_t node_count, const topology_config& cfg) {
+  ANONPATH_EXPECTS(cfg.valid_for(node_count));
+  switch (cfg.kind) {
+    case topology_kind::complete:
+      return complete(node_count);
+    case topology_kind::ring:
+      return ring(node_count, cfg.ring_k);
+    case topology_kind::random_regular:
+      return random_regular(node_count, cfg.degree, cfg.graph_seed);
+    case topology_kind::tiered:
+      return tiered(node_count, cfg.tiers);
+    case topology_kind::trust_weighted:
+      return trust_weighted(node_count, cfg.trust_decay);
+  }
+  ANONPATH_EXPECTS(!"unknown topology kind");
+  return complete(node_count);
+}
+
+const std::vector<node_id>& topology::neighbors(node_id u) const {
+  ANONPATH_EXPECTS(u < n_);
+  return adj_[u];
+}
+
+const std::vector<double>& topology::neighbor_weights(node_id u) const {
+  ANONPATH_EXPECTS(u < n_);
+  return weights_[u];
+}
+
+bool topology::has_edge(node_id u, node_id v) const {
+  ANONPATH_EXPECTS(u < n_ && v < n_);
+  const auto& nbr = adj_[u];
+  return std::binary_search(nbr.begin(), nbr.end(), v);
+}
+
+double topology::edge_weight(node_id u, node_id v) const {
+  ANONPATH_EXPECTS(u < n_ && v < n_);
+  const auto& nbr = adj_[u];
+  const auto it = std::lower_bound(nbr.begin(), nbr.end(), v);
+  if (it == nbr.end() || *it != v) return 0.0;
+  return weights_[u][static_cast<std::size_t>(it - nbr.begin())];
+}
+
+double topology::total_weight(node_id u) const {
+  ANONPATH_EXPECTS(u < n_);
+  return total_[u];
+}
+
+double topology::transition_prob(node_id u, node_id v) const {
+  return edge_weight(u, v) / total_[u];
+}
+
+node_id topology::sample_neighbor(node_id u, stats::rng& gen) const {
+  ANONPATH_EXPECTS(u < n_);
+  const auto& nbr = adj_[u];
+  if (uniform_weights_)
+    return nbr[static_cast<std::size_t>(gen.next_below(nbr.size()))];
+  const double x = gen.next_double() * total_[u];
+  const auto& cum = cum_[u];
+  auto idx = static_cast<std::size_t>(
+      std::upper_bound(cum.begin(), cum.end(), x) - cum.begin());
+  if (idx >= nbr.size()) idx = nbr.size() - 1;  // x == total after rounding
+  return nbr[idx];
+}
+
+}  // namespace anonpath::net

@@ -1,0 +1,102 @@
+#include "src/net/topology_mc.hpp"
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "src/anonymity/entropy.hpp"
+#include "src/anonymity/observation.hpp"
+#include "src/anonymity/path_sampler.hpp"
+#include "src/net/topology_posterior.hpp"
+#include "src/stats/contract.hpp"
+#include "src/stats/kahan.hpp"
+#include "src/stats/rng.hpp"
+#include "src/stats/thread_pool.hpp"
+
+namespace anonpath::net {
+
+topology_mc_estimate estimate_topology_degree(
+    system_params sys, const std::vector<node_id>& compromised,
+    const path_length_distribution& lengths, const topology_config& cfg,
+    std::uint64_t samples, std::uint64_t seed, unsigned threads,
+    std::uint64_t shards) {
+  ANONPATH_EXPECTS(samples >= 1);
+  if (shards == 0) shards = 64;
+  if (shards > samples) shards = samples;
+
+  const topology topo = topology::make(sys.node_count, cfg);
+  // One shared engine: sender scoring is const and allocation-local, so
+  // every worker can use it concurrently.
+  const topology_posterior_engine engine(sys, compromised, lengths, topo);
+
+  struct shard_acc {
+    stats::kahan_sum sum;
+    stats::kahan_sum sum_sq;
+    std::uint64_t count = 0;
+  };
+  std::vector<shard_acc> accs(shards);
+
+  std::vector<bool> compromised_flag(sys.node_count, false);
+  for (node_id c : compromised) compromised_flag[c] = true;
+
+  stats::parallel_for(threads, shards, [&](std::uint64_t shard, unsigned) {
+    stats::rng gen = stats::rng::stream(seed, shard);
+    const std::uint64_t begin = shard * samples / shards;
+    const std::uint64_t end = (shard + 1) * samples / shards;
+    shard_acc& acc = accs[shard];
+    observation obs;
+    std::vector<double> post;
+    route r;
+    std::string key;
+    // Sampled walks collapse onto few distinct observation classes (the
+    // same effect the clique MC engine's dedup layer exploits); the
+    // posterior entropy depends only on the class, so memoize it per
+    // shard and pay the transfer-matrix DP once per class.
+    std::unordered_map<std::string, double> entropy_memo;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      r.sender = static_cast<node_id>(gen.next_below(sys.node_count));
+      const path_length l = lengths.sample(gen);
+      sample_topology_route_into(topo, r.sender, l, gen, r);
+      observe_into(r, compromised_flag, obs);
+      obs.key_into(key);
+      const auto it = entropy_memo.find(key);
+      double h;
+      if (it != entropy_memo.end()) {
+        h = it->second;
+      } else {
+        const bool ok = engine.try_sender_posterior(obs, post);
+        ANONPATH_ENSURES(ok);  // model-generated observations always explain
+        h = entropy_bits(post);
+        entropy_memo.emplace(key, h);
+      }
+      acc.sum.add(h);
+      acc.sum_sq.add(h * h);
+      ++acc.count;
+    }
+  });
+
+  // Reduce in shard order: bit-identical for any thread count.
+  stats::kahan_sum sum;
+  stats::kahan_sum sum_sq;
+  std::uint64_t count = 0;
+  for (const shard_acc& acc : accs) {
+    sum.add(acc.sum.value());
+    sum_sq.add(acc.sum_sq.value());
+    count += acc.count;
+  }
+
+  topology_mc_estimate est;
+  est.samples = count;
+  est.shards = shards;
+  est.degree = sum.value() / static_cast<double>(count);
+  if (count > 1) {
+    const double var =
+        (sum_sq.value() - sum.value() * est.degree) /
+        static_cast<double>(count - 1);
+    est.std_error = std::sqrt((var > 0.0 ? var : 0.0) /
+                              static_cast<double>(count));
+  }
+  return est;
+}
+
+}  // namespace anonpath::net

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/anonymity/length_distribution.hpp"
+#include "src/anonymity/types.hpp"
+#include "src/net/topology.hpp"
+
+namespace anonpath::net {
+
+/// Result of a sampled anonymity-degree estimate on a topology.
+struct topology_mc_estimate {
+  double degree = 0.0;     ///< mean posterior entropy (bits)
+  double std_error = 0.0;  ///< standard error of the mean
+  std::uint64_t samples = 0;
+  std::uint64_t shards = 0;
+
+  [[nodiscard]] double ci95() const noexcept { return 1.96 * std_error; }
+};
+
+/// Monte-Carlo H*(S) for the weighted-walk model on an arbitrary topology:
+/// samples (sender, length, walk) triples from the generative model,
+/// collects each walk's adversary observation, scores it with the exact
+/// topology_posterior_engine, and averages the posterior entropy. The
+/// graph-oracle analogue of estimate_anonymity_degree for graphs where the
+/// clique closed forms do not apply.
+///
+/// Determinism contract (mirrors mc_config): samples are split over
+/// `shards` fixed rng streams (stats::rng::stream(seed, shard)) and shard
+/// results reduce in shard order on the calling thread, so the estimate is
+/// bit-identical for every `threads` value.
+///
+/// Preconditions: sys.valid(), cfg.valid_for(node_count), compromised ids
+/// distinct and < N with |compromised| == C, samples >= 1. `shards == 0`
+/// selects the engine default (64); callers forwarding a user-facing
+/// "--shards 0 = default" knob can pass it through verbatim.
+[[nodiscard]] topology_mc_estimate estimate_topology_degree(
+    system_params sys, const std::vector<node_id>& compromised,
+    const path_length_distribution& lengths, const topology_config& cfg,
+    std::uint64_t samples, std::uint64_t seed, unsigned threads = 1,
+    std::uint64_t shards = 0);
+
+}  // namespace anonpath::net

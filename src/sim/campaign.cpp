@@ -14,12 +14,20 @@ namespace anonpath::sim {
 
 namespace {
 
-/// A cell is runnable iff run_simulation's preconditions hold for it.
+/// A cell is runnable iff run_simulation's preconditions hold for it:
+/// beyond the clique rules, the topology parameters must fit N and a
+/// restricted graph cannot face the timing correlator (no exact
+/// restricted-path likelihood for gapped observations).
 bool feasible(const campaign_grid& grid, std::uint32_t n, std::uint32_t c,
-              const path_length_distribution& lengths) {
+              const path_length_distribution& lengths,
+              const adversary_config& adv, const net::topology_config& topo,
+              const net::churn_config& churn) {
   const system_params sys{n, c};
   return sys.valid() && c < n && lengths.max_length() <= n - 1 &&
-         grid.message_count > 0;
+         grid.message_count > 0 && adv.valid() && topo.valid_for(n) &&
+         churn.valid() &&
+         (topo.kind == net::topology_kind::complete ||
+          adv.kind != adversary_kind::timing_correlator);
 }
 
 const char* mode_label(routing_mode mode) {
@@ -57,10 +65,14 @@ std::vector<scenario> expand_grid(const campaign_grid& grid) {
         for (routing_mode mode : grid.modes)
           for (double drop : grid.drop_probabilities)
             for (double rate : grid.arrival_rates)
-              for (const adversary_config& adv : grid.adversaries) {
-                if (!feasible(grid, n, c, lengths) || !adv.valid()) continue;
-                out.push_back(scenario{n, c, lengths, mode, drop, rate, adv});
-              }
+              for (const adversary_config& adv : grid.adversaries)
+                for (const net::topology_config& topo : grid.topologies)
+                  for (const net::churn_config& churn : grid.churns) {
+                    if (!feasible(grid, n, c, lengths, adv, topo, churn))
+                      continue;
+                    out.push_back(scenario{n, c, lengths, mode, drop, rate,
+                                           adv, topo, churn});
+                  }
   return out;
 }
 
@@ -77,6 +89,8 @@ sim_config scenario_config(const scenario& s, const campaign_grid& grid,
   cfg.latency = grid.latency;
   cfg.drop_probability = s.drop_probability;
   cfg.adversary = s.adversary;
+  cfg.topology = s.topology;
+  cfg.churn = s.churn;
   cfg.identified_threshold = grid.identified_threshold;
   cfg.seed = seed;
   return cfg;
@@ -134,7 +148,7 @@ campaign_result run_campaign(const campaign_grid& grid,
 }
 
 void write_csv(const campaign_result& result, std::ostream& os) {
-  os << "n,c,dist,mode,drop,rate,replicas,messages,adversary,"
+  os << "n,c,dist,mode,drop,rate,replicas,messages,adversary,topology,churn,"
         "delivered_fraction,delivered_stderr,"
         "latency_ms,latency_ms_stderr,hops,hops_stderr,"
         "entropy_bits,entropy_stderr,identified_fraction,identified_stderr,"
@@ -147,7 +161,8 @@ void write_csv(const campaign_result& result, std::ostream& os) {
     os << ',';
     put_number(os, s.arrival_rate);
     os << ',' << cell.replicas << ',' << cell.submitted << ','
-       << s.adversary.label() << ',';
+       << s.adversary.label() << ',' << s.topology.label() << ','
+       << s.churn.label() << ',';
     put_summary(os, cell.delivered_fraction);
     os << ',';
     put_summary(os, cell.latency_seconds, 1000.0);

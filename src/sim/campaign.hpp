@@ -33,6 +33,10 @@ struct campaign_grid {
   std::vector<double> arrival_rates{50.0};            ///< Poisson msgs/s axis
   std::vector<adversary_config> adversaries{
       adversary_config{}};                            ///< threat-model axis
+  std::vector<net::topology_config> topologies{
+      net::topology_config{}};                        ///< graph axis
+  std::vector<net::churn_config> churns{
+      net::churn_config{}};                           ///< availability axis
 
   // Shared (non-swept) per-run settings.
   std::uint32_t message_count = 1000;
@@ -45,7 +49,7 @@ struct campaign_grid {
     return static_cast<std::uint64_t>(node_counts.size()) *
            compromised_counts.size() * lengths.size() * modes.size() *
            drop_probabilities.size() * arrival_rates.size() *
-           adversaries.size();
+           adversaries.size() * topologies.size() * churns.size();
   }
 };
 
@@ -78,6 +82,8 @@ struct scenario {
   double drop_probability;
   double arrival_rate;
   adversary_config adversary{};
+  net::topology_config topology{};
+  net::churn_config churn{};
 };
 
 /// Cross-replica aggregates of one cell. Each replica contributes one
@@ -101,8 +107,8 @@ struct campaign_cell {
 
 /// A completed campaign: one aggregated cell per feasible grid point, in
 /// deterministic grid order (node_counts outermost, then compromised
-/// counts, lengths, modes, drop probabilities, arrival rates, adversaries
-/// innermost).
+/// counts, lengths, modes, drop probabilities, arrival rates, adversaries,
+/// topologies, churns innermost).
 struct campaign_result {
   std::vector<campaign_cell> cells;
   std::uint64_t requested_cells = 0;   ///< full cartesian product size

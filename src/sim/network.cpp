@@ -5,14 +5,19 @@
 namespace anonpath::sim {
 
 network::network(std::uint32_t node_count, latency_params params,
-                 std::uint64_t seed, double drop_probability)
+                 std::uint64_t seed, double drop_probability,
+                 const net::topology* topology, net::churn_config churn)
     : node_count_(node_count),
       latency_(params, stats::rng(seed)),
       drop_probability_(drop_probability),
       drop_rng_(seed ^ 0x5bf03635f0a5b1c5ULL),
+      topology_(topology),
+      churn_(node_count, churn, seed ^ 0x94d049bb133111ebULL),
       sinks_(node_count, nullptr) {
   ANONPATH_EXPECTS(node_count >= 2);
   ANONPATH_EXPECTS(drop_probability >= 0.0 && drop_probability < 1.0);
+  ANONPATH_EXPECTS(topology == nullptr ||
+                   topology->node_count() == node_count);
 }
 
 void network::register_node(node_id id, message_sink& sink) {
@@ -35,10 +40,25 @@ void network::originate(node_id origin, sim_time at, std::uint64_t msg_id) {
 
 void network::send(node_id from, node_id to, wire_message msg) {
   ANONPATH_EXPECTS(from < node_count_);
+  ANONPATH_EXPECTS(sinks_[from] != nullptr);  // sender must be registered too
   ANONPATH_EXPECTS(to < node_count_ || to == receiver_node);
   message_sink* sink =
       to == receiver_node ? receiver_sink_ : sinks_[to];
   ANONPATH_EXPECTS(sink != nullptr);
+  // A restricted fabric only carries edges of its graph; the receiver is an
+  // external party reachable from everywhere.
+  if (topology_ != nullptr && to != receiver_node)
+    ANONPATH_EXPECTS(topology_->has_edge(from, to));
+
+  // A churned-down destination strands the message at the dead hop (the
+  // sender's transmission is gone; there is no retry in this fabric). The
+  // receiver never churns. Checked before the loss coin so a disabled
+  // churn model leaves the drop rng stream untouched.
+  if (to != receiver_node && churn_.enabled() &&
+      !churn_.is_up(to, queue_.now())) {
+    ++stranded_;  // journey ends; the trace stays undelivered
+    return;
+  }
 
   if (drop_probability_ > 0.0 && drop_rng_.next_bernoulli(drop_probability_)) {
     ++dropped_;  // journey ends silently; the trace stays undelivered

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "src/anonymity/types.hpp"
+#include "src/net/churn.hpp"
+#include "src/net/topology.hpp"
 #include "src/sim/event_queue.hpp"
 #include "src/sim/latency.hpp"
 #include "src/sim/message.hpp"
@@ -30,18 +32,29 @@ struct message_trace {
   bool delivered = false;
 };
 
-/// The clique transport of paper Sec. 3.1: every host can reach every other
-/// host directly; a hop costs a sampled link latency. Supports lossy links
-/// (failure injection): each transmission is dropped independently with
-/// `drop_probability`, in which case the message journey simply ends —
-/// exactly how a best-effort datagram network fails. Also the keeper of
+/// The transport fabric. By default the clique of paper Sec. 3.1: every
+/// host can reach every other host directly; a hop costs a sampled link
+/// latency. A non-null `topology` restricts the wire to that graph — the
+/// fabric then *asserts* every transmission follows an edge, so a routing
+/// layer that ignores the graph fails fast instead of silently teleporting.
+/// Supports lossy links (failure injection): each transmission is dropped
+/// independently with `drop_probability`, in which case the message journey
+/// simply ends — exactly how a best-effort datagram network fails. A
+/// `churn` model additionally takes relays down and up mid-run
+/// (net::churn_model); a transmission whose destination is down at send
+/// time strands there, and the receiver R never churns. Also the keeper of
 /// ground-truth traces for validation.
 class network {
  public:
   /// Preconditions: node_count >= 2, params.valid(),
-  /// 0 <= drop_probability < 1.
+  /// 0 <= drop_probability < 1, churn.valid(); `topology`, when non-null,
+  /// must outlive the network and have node_count() == node_count. A
+  /// default-constructed (disabled) churn config draws nothing from any
+  /// generator, so static runs stay bit-identical to the pre-churn fabric.
   network(std::uint32_t node_count, latency_params params, std::uint64_t seed,
-          double drop_probability = 0.0);
+          double drop_probability = 0.0,
+          const net::topology* topology = nullptr,
+          net::churn_config churn = {});
 
   /// Registers the sink for a relay node (exactly once per id).
   void register_node(node_id id, message_sink& sink);
@@ -53,7 +66,12 @@ class network {
   void originate(node_id origin, sim_time at, std::uint64_t msg_id);
 
   /// Transmits `msg` from `from` to `to` (`receiver_node` for R) after a
-  /// sampled link delay. Preconditions: parties registered.
+  /// sampled link delay. Preconditions (each asserted, a violation throws
+  /// contract_violation): `from` is a registered node id, `to` is a
+  /// registered node id or `receiver_node` with the receiver registered,
+  /// and — when the fabric carries a topology — (from, to) is a graph
+  /// edge. Unregistered endpoints are a programming error, never a silent
+  /// no-op or a crash on a null sink.
   void send(node_id from, node_id to, wire_message msg);
 
   [[nodiscard]] event_queue& queue() noexcept { return queue_; }
@@ -67,13 +85,24 @@ class network {
   /// Transmissions lost to failure injection so far.
   [[nodiscard]] std::uint64_t dropped_count() const noexcept { return dropped_; }
 
+  /// Transmissions that stranded at a churned-down destination so far.
+  [[nodiscard]] std::uint64_t stranded_count() const noexcept {
+    return stranded_;
+  }
+
+  /// The availability model (for diagnostics; disabled by default).
+  [[nodiscard]] const net::churn_model& churn() const noexcept { return churn_; }
+
  private:
   std::uint32_t node_count_;
   event_queue queue_;
   latency_model latency_;
   double drop_probability_;
   stats::rng drop_rng_;
+  const net::topology* topology_;
+  net::churn_model churn_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t stranded_ = 0;
   std::vector<message_sink*> sinks_;
   message_sink* receiver_sink_ = nullptr;
   std::map<std::uint64_t, message_trace> traces_;

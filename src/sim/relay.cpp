@@ -32,22 +32,27 @@ void onion_relay::on_message(node_id from, wire_message msg) {
 
 crowds_relay::crowds_relay(node_id self, network& net, double processing_delay,
                            bool compromised, adversary_model* monitor,
-                           stats::rng gen)
+                           stats::rng gen, const net::topology* topology)
     : self_(self),
       net_(net),
       processing_delay_(processing_delay),
       compromised_(compromised),
       monitor_(monitor),
-      gen_(gen) {}
+      gen_(gen),
+      topology_(topology) {}
 
 void crowds_relay::on_message(node_id from, wire_message msg) {
   // Flip the coin: forward to another node with probability forward_prob,
   // otherwise submit to the receiver.
   node_id next = receiver_node;
   if (gen_.next_bernoulli(msg.forward_prob)) {
-    auto draw = static_cast<node_id>(gen_.next_below(net_.node_count() - 1));
-    if (draw >= self_) ++draw;
-    next = draw;
+    if (topology_ != nullptr) {
+      next = topology_->sample_neighbor(self_, gen_);
+    } else {
+      auto draw = static_cast<node_id>(gen_.next_below(net_.node_count() - 1));
+      if (draw >= self_) ++draw;
+      next = draw;
+    }
   }
   if (compromised_ && monitor_ != nullptr) {
     monitor_->note_relay(msg.id, net_.queue().now(), self_, from, next);

@@ -36,12 +36,17 @@ class onion_relay final : public message_sink {
 
 /// A hop-by-hop relay (Crowds / Onion Routing II / Hordes style): flips the
 /// forwarding coin carried in the message; forwards to a uniform random
-/// other node or delivers to the receiver. Payload travels unchanged — which
+/// other node — or, on a restricted fabric, to a weighted random graph
+/// neighbor — or delivers to the receiver. Payload travels unchanged — which
 /// is precisely why Crowds messages are trivially correlatable.
 class crowds_relay final : public message_sink {
  public:
+  /// `topology`, when non-null, restricts forwarding to graph neighbors
+  /// (weighted draw); it must outlive the relay. Null keeps the historical
+  /// uniform-over-others draw, bit for bit.
   crowds_relay(node_id self, network& net, double processing_delay,
-               bool compromised, adversary_model* monitor, stats::rng gen);
+               bool compromised, adversary_model* monitor, stats::rng gen,
+               const net::topology* topology = nullptr);
 
   void on_message(node_id from, wire_message msg) override;
 
@@ -54,6 +59,7 @@ class crowds_relay final : public message_sink {
   bool compromised_;
   adversary_model* monitor_;
   stats::rng gen_;
+  const net::topology* topology_;
 };
 
 }  // namespace anonpath::sim

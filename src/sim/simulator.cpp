@@ -6,10 +6,13 @@
 #include <string>
 #include <utility>
 
+#include <optional>
+
 #include "src/anonymity/entropy.hpp"
 #include "src/anonymity/path_sampler.hpp"
 #include "src/anonymity/posterior.hpp"
 #include "src/crypto/onion.hpp"
+#include "src/net/topology_posterior.hpp"
 #include "src/sim/network.hpp"
 #include "src/sim/receiver.hpp"
 #include "src/sim/relay.hpp"
@@ -86,8 +89,22 @@ core_result run_core(const sim_config& config,
   ANONPATH_EXPECTS(config.message_count > 0);
   ANONPATH_EXPECTS(config.lengths.max_length() <= config.sys.node_count - 1);
   ANONPATH_EXPECTS(config.adversary.valid());
+  ANONPATH_EXPECTS(config.churn.valid());
 
   const auto n = config.sys.node_count;
+  // A restricted topology switches routing to the walk model; `complete`
+  // must stay byte-for-byte the historical clique path, so it never even
+  // builds a graph object. Gapped (timing-correlator) observations have no
+  // restricted-path likelihood — reject the combination up front rather
+  // than score garbage.
+  const bool restricted = config.topology.kind != net::topology_kind::complete;
+  ANONPATH_EXPECTS(config.topology.valid_for(n));
+  ANONPATH_EXPECTS(!restricted ||
+                   config.adversary.kind != adversary_kind::timing_correlator);
+  std::optional<net::topology> topo;
+  if (restricted) topo.emplace(net::topology::make(n, config.topology));
+  const net::topology* graph = restricted ? &*topo : nullptr;
+
   const std::vector<bool> compromised = effective_compromised(
       config.adversary, n, config.compromised, config.seed);
 
@@ -98,7 +115,8 @@ core_result run_core(const sim_config& config,
   adversary_model& monitor = *model;
 
   stats::rng master(config.seed);
-  network net(n, config.latency, master.next_u64(), config.drop_probability);
+  network net(n, config.latency, master.next_u64(), config.drop_probability,
+              graph, config.churn);
   const crypto::key_registry keys(master.next_u64(), n);
 
   // Build the relay fleet.
@@ -111,7 +129,7 @@ core_result run_core(const sim_config& config,
     } else {
       relays.push_back(std::make_unique<crowds_relay>(
           i, net, config.latency.processing, compromised[i], &monitor,
-          master.split()));
+          master.split(), graph));
     }
     net.register_node(i, *relays.back());
   }
@@ -132,7 +150,9 @@ core_result run_core(const sim_config& config,
       msg.id = a.msg_id;
       if (config.mode == routing_mode::source_routed) {
         const path_length l = config.lengths.sample(routing);
-        const route r = sample_simple_route(n, a.sender, l, routing);
+        const route r = graph != nullptr
+                            ? sample_topology_route(*graph, a.sender, l, routing)
+                            : sample_simple_route(n, a.sender, l, routing);
         msg.kind = transport_kind::onion;
         msg.envelope = crypto::wrap_onion(r, demo_payload(a.msg_id), keys,
                                           a.msg_id);
@@ -142,10 +162,16 @@ core_result run_core(const sim_config& config,
         msg.kind = transport_kind::crowds;
         msg.payload = demo_payload(a.msg_id);
         msg.forward_prob = config.forward_prob;
-        // Hop-by-hop: always at least one jondo, chosen uniformly.
-        auto draw = static_cast<node_id>(routing.next_below(n - 1));
-        if (draw >= a.sender) ++draw;
-        net.send(a.sender, draw, std::move(msg));
+        if (graph != nullptr) {
+          // Hop-by-hop on a graph: first jondo is a weighted neighbor.
+          net.send(a.sender, graph->sample_neighbor(a.sender, routing),
+                   std::move(msg));
+        } else {
+          // Hop-by-hop: always at least one jondo, chosen uniformly.
+          auto draw = static_cast<node_id>(routing.next_below(n - 1));
+          if (draw >= a.sender) ++draw;
+          net.send(a.sender, draw, std::move(msg));
+        }
       }
     });
   }
@@ -155,6 +181,9 @@ core_result run_core(const sim_config& config,
 
   core_result result;
   result.model = std::move(model);
+  // Safe to move out from under `net`'s pointer: the queue has drained, so
+  // the fabric sends nothing further.
+  result.topology = std::move(topo);
   for (const auto& [id, trace] : net.traces()) {
     result.outcomes.emplace(
         id, message_outcome{trace.origin, trace.sent_at, trace.delivered_at,
@@ -166,7 +195,7 @@ core_result run_core(const sim_config& config,
 
 sim_report score_run(const sim_config& config, const adversary_model& model,
                      const std::map<std::uint64_t, message_outcome>& outcomes,
-                     const posterior_fn* engine) {
+                     const posterior_fn* engine, const net::topology* graph) {
   sim_report report;
   report.submitted = config.message_count;
   for (const auto& [id, outcome] : outcomes) {
@@ -190,19 +219,48 @@ sim_report score_run(const sim_config& config, const adversary_model& model,
     const system_params effective_sys{
         config.sys.node_count,
         static_cast<std::uint32_t>(effective_ids.size())};
-    const posterior_engine exact(effective_sys, effective_ids, config.lengths);
+    // Restricted graphs route walks, so their observations are scored with
+    // the restricted-path engine; the clique keeps the historical
+    // simple-path engine bit for bit. Exactly one of the two is built.
+    const bool restricted =
+        config.topology.kind != net::topology_kind::complete;
+    std::optional<posterior_engine> exact;
+    std::optional<net::topology_posterior_engine> walk;
+    if (restricted) {
+      // Only built when it will actually score (a caller-supplied engine
+      // supersedes it, and rebuilding the graph is not free on the replay
+      // path). Restricted observations are never gapped, so no screening
+      // engine is needed either.
+      if (engine == nullptr)
+        walk.emplace(effective_sys, effective_ids, config.lengths,
+                     graph != nullptr ? *graph
+                                      : net::topology::make(
+                                            config.sys.node_count,
+                                            config.topology));
+    } else {
+      // Needed even under a caller-supplied engine: gapped observations
+      // are screened for explainability before any scoring.
+      exact.emplace(effective_sys, effective_ids, config.lengths);
+    }
 
     stats::running_summary entropy_acc;
     std::uint64_t identified = 0;
     std::uint64_t top1_hits = 0;
     std::uint64_t scored = 0;
+    std::vector<double> walk_post;
     for (const std::uint64_t id : model.observed_messages()) {
       const auto obs = model.assemble(id);
       // A mis-linked timing chain can describe no path at all; it carries
       // no usable evidence and is skipped rather than scored as zero.
-      if (obs.gapped && !exact.explainable(obs)) continue;
-      const auto post =
-          engine != nullptr ? (*engine)(obs) : exact.sender_posterior(obs);
+      if (!restricted && obs.gapped && !exact->explainable(obs)) continue;
+      if (restricted && engine == nullptr &&
+          !walk->try_sender_posterior(obs, walk_post))
+        continue;
+      // walk_post is consumed by reference — no per-message copy of the
+      // N-double posterior in the scoring loop.
+      if (engine != nullptr) walk_post = (*engine)(obs);
+      else if (!restricted) walk_post = exact->sender_posterior(obs);
+      const std::vector<double>& post = walk_post;
       entropy_acc.add(entropy_bits(post));
       if (config.collect_posteriors) report.posteriors.push_back(post);
       const auto top =
@@ -240,7 +298,8 @@ sim_report score_run(const sim_config& config, const adversary_model& model,
 
 sim_report run_simulation(const sim_config& config) {
   const detail::core_result core = detail::run_core(config, nullptr);
-  return detail::score_run(config, *core.model, core.outcomes, nullptr);
+  return detail::score_run(config, *core.model, core.outcomes, nullptr,
+                           core.topology ? &*core.topology : nullptr);
 }
 
 }  // namespace anonpath::sim

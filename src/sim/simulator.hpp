@@ -4,11 +4,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/anonymity/length_distribution.hpp"
 #include "src/anonymity/strategy.hpp"
 #include "src/anonymity/types.hpp"
+#include "src/net/churn.hpp"
+#include "src/net/topology.hpp"
 #include "src/sim/adversary.hpp"
 #include "src/sim/latency.hpp"
 #include "src/stats/summary.hpp"
@@ -41,6 +44,19 @@ struct sim_config {
   /// (source-routed runs only). Off by default — the vectors are N doubles
   /// per message; the property tests and post-hoc analyses turn it on.
   bool collect_posteriors = false;
+  /// The rerouting graph the run lives on. The default (`complete`) is the
+  /// paper's clique and reproduces pre-topology behavior bit for bit: the
+  /// historical simple-path sampler, engines, and rng draw sequences are
+  /// used unchanged. Any other kind routes messages as weighted walks on
+  /// the graph and scores observations with the restricted-path
+  /// topology_posterior_engine. Restricted graphs do not support the
+  /// timing_correlator adversary (its gapped observations have no exact
+  /// graph likelihood yet); run_core rejects that combination.
+  net::topology_config topology{};
+  /// Node availability. Disabled (rate 0) reproduces the static network
+  /// bit for bit; enabled, relays go down and up on seeded renewal
+  /// processes and transmissions strand at dead hops (undelivered).
+  net::churn_config churn{};
 };
 
 /// Results of a simulation run.
@@ -110,19 +126,27 @@ namespace detail {
 struct core_result {
   std::unique_ptr<adversary_model> model;
   std::map<std::uint64_t, message_outcome> outcomes;
+  /// The graph the run routed on; engaged only for restricted topologies,
+  /// so scoring can reuse it instead of rebuilding (random_regular
+  /// construction runs a whole swap-chain randomization).
+  std::optional<net::topology> topology;
 };
 [[nodiscard]] core_result run_core(const sim_config& config,
                                    std::vector<adversary_event>* event_log);
 
 /// The inference half: walks the model's observed messages, scores each
 /// with `engine` (the exact posterior engine for the run's effective
-/// compromised set when null), and aggregates the sim_report. Unexplainable
-/// observations (possible only under the timing correlator or fuzzed logs)
-/// are skipped, not scored as zero.
+/// compromised set when null; the restricted-path engine for restricted
+/// topologies), and aggregates the sim_report. `graph`, when non-null,
+/// supplies the already-built topology of a restricted run (it is copied,
+/// not retained); when null a restricted config rebuilds it from scratch
+/// (the trace-replay path). Unexplainable observations (possible only
+/// under the timing correlator or fuzzed logs) are skipped, not scored as
+/// zero.
 [[nodiscard]] sim_report score_run(
     const sim_config& config, const adversary_model& model,
     const std::map<std::uint64_t, message_outcome>& outcomes,
-    const posterior_fn* engine);
+    const posterior_fn* engine, const net::topology* graph = nullptr);
 
 }  // namespace detail
 

@@ -131,6 +131,24 @@ void write_trace(const sim_trace& trace, std::ostream& os) {
   put_double(os, c.identified_threshold);
   os << '\n';
   os << "collect " << (c.collect_posteriors ? 1 : 0) << '\n';
+  // Topology and churn ride as optional extension lines, written only when
+  // they differ from the historical defaults: every pre-topology config
+  // still serializes byte-identically (the committed golden trace pins
+  // this), and absent lines parse back to the defaults.
+  if (c.topology.kind != net::topology_kind::complete) {
+    os << "topology " << topology_kind_name(c.topology.kind) << ' '
+       << c.topology.ring_k << ' ' << c.topology.degree << ' '
+       << c.topology.graph_seed << ' ' << c.topology.tiers << ' ';
+    put_double(os, c.topology.trust_decay);
+    os << '\n';
+  }
+  if (c.churn.enabled()) {
+    os << "churn ";
+    put_double(os, c.churn.down_rate);
+    os << ' ';
+    put_double(os, c.churn.mean_downtime);
+    os << '\n';
+  }
   os << "compromised " << trace.compromised.size();
   for (node_id id : trace.compromised) os << ' ' << id;
   os << '\n';
@@ -235,7 +253,51 @@ sim_trace read_trace(std::istream& is) {
   expect_keyword(is, "collect");
   c.collect_posteriors = get_u32(is, "collect flag") != 0;
 
-  expect_keyword(is, "compromised");
+  // Optional extension lines (absent = historical defaults). The grammar
+  // stays one-to-one with the writer: each section at most once, and the
+  // never-written defaults ("topology complete", churn rate 0) are
+  // rejected so write(read(t)) is byte-identical to any accepted t.
+  bool saw_topology = false;
+  bool saw_churn = false;
+  std::string section = next_token(is, "compromised");
+  while (section == "topology" || section == "churn") {
+    if (section == "topology") {
+      if (saw_topology) bad("duplicate 'topology' section");
+      if (saw_churn) bad("'topology' section must precede 'churn'");
+      saw_topology = true;
+      const std::string kind = next_token(is, "topology kind");
+      if (kind == "ring") c.topology.kind = net::topology_kind::ring;
+      else if (kind == "regular")
+        c.topology.kind = net::topology_kind::random_regular;
+      else if (kind == "tiered") c.topology.kind = net::topology_kind::tiered;
+      else if (kind == "trust")
+        c.topology.kind = net::topology_kind::trust_weighted;
+      else bad("unknown topology kind '" + kind + "'");
+      c.topology.ring_k = get_u32(is, "topology ring_k");
+      c.topology.degree = get_u32(is, "topology degree");
+      c.topology.graph_seed = get_u64(is, "topology graph seed");
+      c.topology.tiers = get_u32(is, "topology tiers");
+      c.topology.trust_decay = get_double(is, "topology trust decay");
+      if (!c.topology.valid_for(c.sys.node_count))
+        bad("topology parameters out of range for N");
+    } else {
+      if (saw_churn) bad("duplicate 'churn' section");
+      saw_churn = true;
+      c.churn.down_rate = get_double(is, "churn down rate");
+      c.churn.mean_downtime = get_double(is, "churn mean downtime");
+      if (!c.churn.valid() || !c.churn.enabled())
+        bad("churn parameters out of range");
+    }
+    section = next_token(is, "compromised");
+  }
+  if (section != "compromised")
+    bad("expected 'compromised', found '" + section + "'");
+  // Same combination rule run_core enforces: gapped (timing-correlator)
+  // observations have no restricted-path likelihood, so a trace claiming
+  // both is invalid input, not an engine-internal contract violation.
+  if (c.topology.kind != net::topology_kind::complete &&
+      c.adversary.kind == adversary_kind::timing_correlator)
+    bad("timing_correlator adversary is not supported on a restricted topology");
   const std::uint32_t effective_comp = get_u32(is, "effective compromised size");
   if (effective_comp > c.sys.node_count) bad("effective compromised size > N");
   trace.compromised.resize(effective_comp);

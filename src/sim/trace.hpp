@@ -35,9 +35,15 @@ struct message_truth {
 };
 
 struct sim_trace {
-  /// Bump on any change to the serialized layout; read_trace refuses
-  /// mismatched versions (no silent misparse), and the golden-file
-  /// regression test pins the committed fixture to the current value.
+  /// Bump on any change to the serialized layout that alters bytes a v1
+  /// writer could have produced; read_trace refuses mismatched versions
+  /// (no silent misparse), and the golden-file regression test pins the
+  /// committed fixture to the current value. Purely *additive* optional
+  /// lines (topology/churn, written only for non-default configs) extend
+  /// the v1 grammar without a bump: every v1 trace still parses to the
+  /// same run, every pre-extension config still serializes byte-identically,
+  /// and an older reader rejects extended traces loudly at the unknown
+  /// keyword rather than misparsing them.
   static constexpr std::uint32_t format_version = 1;
 
   sim_config config;

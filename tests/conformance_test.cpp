@@ -8,9 +8,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <string>
 #include <vector>
 
+#include <fstream>
+#include <sstream>
+
 #include "src/anonymity/api.hpp"
+#include "src/net/graph_oracle.hpp"
+#include "src/net/topology_posterior.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sim/trace.hpp"
 
 namespace anonpath {
 namespace {
@@ -145,6 +154,143 @@ TEST(Conformance, CyclicMatchesBruteForceOnCycleFreeDistributions) {
       }
     }
   }
+}
+
+// The small-graph fixture set the topology machinery is pinned on: every
+// constructor family, uniform and non-uniform weights, N <= 7.
+std::vector<anonpath::net::topology> oracle_graphs() {
+  using anonpath::net::topology;
+  std::vector<topology> graphs;
+  graphs.push_back(topology::complete(7));
+  graphs.push_back(topology::ring(7, 1));
+  graphs.push_back(topology::ring(7, 2));
+  graphs.push_back(topology::tiered(7, 3));
+  graphs.push_back(topology::trust_weighted(7, 0.5));
+  graphs.push_back(topology::random_regular(6, 3, 11));
+  return graphs;
+}
+
+TEST(Conformance, GraphOracleOnCliqueMatchesCyclicBruteForce) {
+  // The weighted walk on the complete graph IS the paper's "complicated"
+  // path model, so the graph oracle must reproduce the cyclic oracle — the
+  // bridge that anchors the whole topology subsystem to the existing,
+  // independently validated machinery.
+  for (std::uint32_t n : {5u, 7u}) {
+    const auto topo = net::topology::complete(n);
+    for (const std::vector<node_id>& comp :
+         std::vector<std::vector<node_id>>{{2}, {0, 3}}) {
+      const system_params sys{n, static_cast<std::uint32_t>(comp.size())};
+      for (const auto& d : {path_length_distribution::fixed(3),
+                            path_length_distribution::uniform(0, 4),
+                            path_length_distribution::geometric(0.7, 1, 4)}) {
+        const net::graph_oracle walk(sys, comp, d, topo);
+        const cyclic_brute_force_analyzer cyc(sys, comp, d);
+        EXPECT_NEAR(walk.anonymity_degree(), cyc.anonymity_degree(), 1e-12)
+            << "N=" << n << " C=" << comp.size() << " " << d.label();
+        EXPECT_NEAR(walk.total_probability(), 1.0, 1e-12);
+        EXPECT_EQ(walk.events().size(), cyc.events().size());
+      }
+    }
+  }
+}
+
+TEST(Conformance, TopologyEngineMatchesGraphOracleEventByEvent) {
+  // The restricted-path posterior engine against exhaustive enumeration:
+  // every observation class of every fixture graph, posterior pinned
+  // exactly. This is the graph-oracle conformance layer of the topology
+  // subsystem.
+  for (const auto& topo : oracle_graphs()) {
+    const std::uint32_t n = topo.node_count();
+    const std::vector<node_id> comp{1, n - 2};
+    const system_params sys{n, 2};
+    for (const auto& d : {path_length_distribution::uniform(0, 4),
+                          path_length_distribution::fixed(3),
+                          path_length_distribution::two_point(1, 0.3, 4)}) {
+      const net::graph_oracle oracle(sys, comp, d, topo);
+      const net::topology_posterior_engine engine(sys, comp, d, topo);
+      ASSERT_GT(oracle.events().size(), 5u) << topo.config().label();
+      for (const auto& event : oracle.events()) {
+        const auto post = engine.sender_posterior(event.obs);
+        ASSERT_EQ(post.size(), event.posterior.size());
+        for (std::size_t i = 0; i < post.size(); ++i)
+          ASSERT_NEAR(post[i], event.posterior[i], 1e-10)
+              << topo.config().label() << " " << d.label()
+              << " obs=" << event.obs.key() << " node=" << i;
+      }
+    }
+  }
+}
+
+TEST(Conformance, TopologyEngineMatchesOracleWithHonestReceiver) {
+  // receiver_observed == false (partial coverage with an honest receiver)
+  // marginalizes over the open walk tail; pin that path against the oracle
+  // by erasing the receiver report from each enumerated event and checking
+  // the engine against the re-aggregated event space.
+  for (const auto& topo : oracle_graphs()) {
+    const std::uint32_t n = topo.node_count();
+    const std::vector<node_id> comp{1, n - 2};
+    const system_params sys{n, 2};
+    const auto d = path_length_distribution::uniform(0, 4);
+    const net::graph_oracle oracle(sys, comp, d, topo);
+    const net::topology_posterior_engine engine(sys, comp, d, topo);
+
+    // Group the full event space by the receiver-blind observation.
+    struct blind_bucket {
+      observation obs;
+      std::vector<double> mass;
+    };
+    std::map<std::string, blind_bucket> blind;
+    for (const auto& event : oracle.events()) {
+      if (event.obs.origin) continue;  // origin events are unaffected
+      observation obs = event.obs;
+      obs.receiver_observed = false;
+      obs.receiver_predecessor = 0;
+      if (obs.reports.empty()) continue;  // nothing captured: never scored
+      auto [it, inserted] = blind.try_emplace(obs.key());
+      if (inserted) {
+        it->second.obs = obs;
+        it->second.mass.assign(n, 0.0);
+      }
+      for (node_id s = 0; s < n; ++s)
+        it->second.mass[s] += event.probability * event.posterior[s];
+    }
+    ASSERT_GT(blind.size(), 3u) << topo.config().label();
+    for (const auto& [key, bucket] : blind) {
+      double total = 0.0;
+      for (double m : bucket.mass) total += m;
+      const auto post = engine.sender_posterior(bucket.obs);
+      for (node_id s = 0; s < n; ++s)
+        ASSERT_NEAR(post[s], bucket.mass[s] / total, 1e-10)
+            << topo.config().label() << " obs=" << key << " node=" << s;
+    }
+  }
+}
+
+TEST(Conformance, TopologyCompleteRecapturesPreTopologyGoldenTrace) {
+  // Acceptance pin: tests/golden/trace_v1.trace was captured by the
+  // pre-topology build, so re-running its embedded config today — with
+  // the complete topology and zero churn spelled out explicitly — must
+  // reproduce the identical byte stream: same routing draws, same event
+  // order, same ground truth, and no extension lines. Any perturbation of
+  // the clique code path (an extra rng draw, a sampler change, churn
+  // touching a generator) breaks this.
+  const std::string path =
+      std::string(ANONPATH_TEST_DATA_DIR) + "/golden/trace_v1.trace";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file: " << path;
+  std::ostringstream buffered;
+  buffered << in.rdbuf();
+
+  std::istringstream is(buffered.str());
+  sim::sim_config cfg = sim::read_trace(is).config;
+  cfg.topology = net::topology_config{};  // complete, spelled out
+  cfg.churn = net::churn_config{};        // rate 0, spelled out
+
+  std::ostringstream recaptured;
+  sim::write_trace(sim::capture_trace(cfg), recaptured);
+  EXPECT_EQ(recaptured.str(), buffered.str())
+      << "complete-topology runs are no longer bit-identical to the "
+         "pre-topology simulator";
 }
 
 TEST(Conformance, CyclicDivergesOnceCyclesArePossible) {

@@ -61,6 +61,8 @@ TEST(Network, DeliversWithLatency) {
 
   onion_relay r0(0, net, keys, 0.0, false, &monitor);
   net.register_node(0, r0);
+  onion_relay r1(1, net, keys, 0.0, false, &monitor);
+  net.register_node(1, r1);  // send() requires the sender registered too
 
   // Single-hop onion: sender 1 -> relay 0 -> R.
   const route path{1, {0}};
@@ -78,9 +80,19 @@ TEST(Network, DeliversWithLatency) {
 }
 
 TEST(Network, RejectsUnregisteredTargets) {
+  // Both endpoints of a transmission must be registered — send() asserts
+  // the documented precondition instead of dereferencing a null sink.
   network net(4, {}, 7);
+  const crypto::key_registry keys(1, 4);
+  onion_relay r0(0, net, keys, 0.0, false, nullptr);
+  net.register_node(0, r0);
   wire_message msg;
-  EXPECT_THROW(net.send(0, 2, std::move(msg)), contract_violation);
+  // Registered sender, unregistered destination.
+  EXPECT_THROW(net.send(0, 2, wire_message{}), contract_violation);
+  // Unregistered sender.
+  EXPECT_THROW(net.send(3, 0, wire_message{}), contract_violation);
+  // Registered sender, unregistered receiver endpoint.
+  EXPECT_THROW(net.send(0, receiver_node, std::move(msg)), contract_violation);
 }
 
 TEST(Network, RejectsDuplicateRegistration) {

@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "src/anonymity/path_sampler.hpp"
+#include "src/net/topology.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/stats/chi_square.hpp"
 #include "src/stats/rng.hpp"
@@ -104,6 +106,83 @@ TEST(StatGoF, RouteSamplerSendersAreUniform) {
   const std::vector<double> uniform(n, 1.0 / n);
   const auto r = stats::chi_square_goodness_of_fit(hist, uniform);
   EXPECT_GT(r.p_value, 0.01) << "senders are not uniform over V";
+}
+
+/// Chi-square p-value of observed next-hop counts (indexed like
+/// topo.neighbors(from)) against the configured transition distribution.
+double neighbor_gof_p_value(const net::topology& topo, node_id from,
+                            const std::vector<std::uint64_t>& counts) {
+  const auto& w = topo.neighbor_weights(from);
+  std::vector<double> expected(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i)
+    expected[i] = w[i] / topo.total_weight(from);
+  return stats::chi_square_goodness_of_fit(counts, expected).p_value;
+}
+
+TEST(StatGoF, NeighborChoiceFrequenciesMatchEdgeWeights) {
+  // Three topology presets; sample_neighbor's draw frequencies must match
+  // the configured edge weights at every probed node.
+  struct topo_preset {
+    const char* name;
+    net::topology topo;
+  };
+  const std::vector<topo_preset> presets{
+      {"ring(3)", net::topology::ring(20, 3)},
+      {"tiered(3)", net::topology::tiered(21, 3)},
+      {"trust(0.6)", net::topology::trust_weighted(16, 0.6)},
+  };
+  std::uint64_t seed = 110;
+  for (const auto& p : presets) {
+    stats::rng gen(++seed);
+    for (const node_id from : {node_id{0}, node_id{7}, node_id{13}}) {
+      const auto& nbr = p.topo.neighbors(from);
+      std::vector<std::uint64_t> counts(nbr.size(), 0);
+      for (int i = 0; i < 20000; ++i) {
+        const node_id v = p.topo.sample_neighbor(from, gen);
+        const auto it = std::lower_bound(nbr.begin(), nbr.end(), v);
+        ASSERT_TRUE(it != nbr.end() && *it == v) << p.name;
+        ++counts[static_cast<std::size_t>(it - nbr.begin())];
+      }
+      EXPECT_GT(neighbor_gof_p_value(p.topo, from, counts), 0.01)
+          << p.name << ": neighbor draw diverges from edge weights at node "
+          << from;
+    }
+  }
+}
+
+TEST(StatGoF, WalkRouteFirstHopsMatchEdgeWeights) {
+  // The full route sampler (the simulator's own draw path on restricted
+  // graphs) must route its first hop per the weights too, not just the
+  // bare neighbor draw.
+  const net::topology topo = net::topology::trust_weighted(14, 0.5);
+  const node_id sender = 5;
+  const auto& nbr = topo.neighbors(sender);
+  stats::rng gen(131);
+  std::vector<std::uint64_t> counts(nbr.size(), 0);
+  for (int i = 0; i < 20000; ++i) {
+    const route r = sample_topology_route(topo, sender, 3, gen);
+    const auto it = std::lower_bound(nbr.begin(), nbr.end(), r.hops.front());
+    ASSERT_TRUE(it != nbr.end());
+    ++counts[static_cast<std::size_t>(it - nbr.begin())];
+  }
+  EXPECT_GT(neighbor_gof_p_value(topo, sender, counts), 0.01);
+}
+
+TEST(StatGoF, RejectsMiscalibratedEdgeWeights) {
+  // Negative control: trust-weighted draws scored against the uniform
+  // hypothesis must be rejected decisively.
+  const net::topology topo = net::topology::trust_weighted(16, 0.6);
+  stats::rng gen(149);
+  const node_id from = 0;
+  const auto& nbr = topo.neighbors(from);
+  std::vector<std::uint64_t> counts(nbr.size(), 0);
+  for (int i = 0; i < 20000; ++i) {
+    const node_id v = topo.sample_neighbor(from, gen);
+    const auto it = std::lower_bound(nbr.begin(), nbr.end(), v);
+    ++counts[static_cast<std::size_t>(it - nbr.begin())];
+  }
+  const std::vector<double> uniform(nbr.size(), 1.0 / nbr.size());
+  EXPECT_LT(stats::chi_square_goodness_of_fit(counts, uniform).p_value, 1e-6);
 }
 
 TEST(StatGoF, RejectsAMiscalibratedDistribution) {

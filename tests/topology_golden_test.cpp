@@ -1,0 +1,130 @@
+// Golden-file regression for the topology/churn axes: a 2-topology x
+// 2-churn campaign CSV pinned byte for byte (any drift in routing,
+// scoring, churn scheduling, aggregation, or CSV rendering trips it), and
+// the trace-format contract — captured traces on a tiered graph round-trip
+// through write/read and replay to the inline run exactly, while
+// default-config traces keep the historical v1 byte layout (no extension
+// lines).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/sim/campaign.hpp"
+#include "src/sim/trace.hpp"
+
+namespace anonpath::sim {
+namespace {
+
+/// The pinned grid: complete + tiered(3), static + churn(0.8/0.4).
+campaign_grid golden_grid() {
+  campaign_grid grid;
+  grid.node_counts = {16};
+  grid.compromised_counts = {2};
+  grid.lengths = {path_length_distribution::uniform(1, 4)};
+  grid.message_count = 120;
+  net::topology_config tiered;
+  tiered.kind = net::topology_kind::tiered;
+  tiered.tiers = 3;
+  grid.topologies = {net::topology_config{}, tiered};
+  grid.churns = {net::churn_config{}, net::churn_config{0.8, 0.4}};
+  return grid;
+}
+
+TEST(TopologyGolden, CampaignCsvMatchesCommittedFixture) {
+  campaign_config cfg;
+  cfg.replicas = 2;
+  cfg.master_seed = 11;
+  cfg.threads = 2;
+  const auto result = run_campaign(golden_grid(), cfg);
+  ASSERT_EQ(result.cells.size(), 4u);
+
+  std::ostringstream os;
+  write_csv(result, os);
+
+  const std::string path =
+      std::string(ANONPATH_TEST_DATA_DIR) + "/golden/campaign_topology.csv";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden fixture " << path;
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(os.str(), want.str())
+      << "topology campaign drifted from the committed golden; if the "
+         "change is intended, regenerate tests/golden/campaign_topology.csv";
+}
+
+sim_config tiered_config() {
+  sim_config cfg;
+  cfg.sys = {18, 3};
+  cfg.compromised = spread_compromised(18, 3);
+  cfg.lengths = path_length_distribution::uniform(1, 5);
+  cfg.message_count = 200;
+  cfg.seed = 23;
+  cfg.topology.kind = net::topology_kind::tiered;
+  cfg.topology.tiers = 3;
+  cfg.churn = net::churn_config{0.5, 0.3};
+  return cfg;
+}
+
+TEST(TopologyGolden, TieredTraceRoundTripsAndReplaysUnchanged) {
+  const sim_config cfg = tiered_config();
+  const sim_trace captured = capture_trace(cfg);
+
+  std::stringstream wire;
+  write_trace(captured, wire);
+  const sim_trace parsed = read_trace(wire);
+
+  // Config (topology and churn included), effective set, events, and
+  // ground truth all survive the wire exactly.
+  EXPECT_EQ(parsed.config.topology, cfg.topology);
+  EXPECT_EQ(parsed.config.churn, cfg.churn);
+  EXPECT_EQ(parsed.compromised, captured.compromised);
+  EXPECT_EQ(parsed.events, captured.events);
+  EXPECT_EQ(parsed.truths, captured.truths);
+
+  // Serialization is canonical: re-writing the parsed trace is
+  // byte-identical.
+  std::stringstream rewire;
+  write_trace(parsed, rewire);
+  EXPECT_EQ(wire.str(), rewire.str());
+
+  // Replaying the parsed trace reproduces the inline run bit for bit.
+  const sim_report inline_report = run_simulation(cfg);
+  const sim_report replayed = replay_trace(parsed);
+  EXPECT_EQ(replayed.submitted, inline_report.submitted);
+  EXPECT_EQ(replayed.delivered, inline_report.delivered);
+  EXPECT_EQ(replayed.end_to_end_latency.mean(),
+            inline_report.end_to_end_latency.mean());
+  EXPECT_EQ(replayed.empirical_entropy_bits,
+            inline_report.empirical_entropy_bits);
+  EXPECT_EQ(replayed.identified_fraction, inline_report.identified_fraction);
+  EXPECT_EQ(replayed.top1_accuracy, inline_report.top1_accuracy);
+  EXPECT_EQ(replayed.hop_histogram, inline_report.hop_histogram);
+}
+
+TEST(TopologyGolden, ExtensionLinesAppearOnlyForNonDefaultConfigs) {
+  // The v1 byte-compat contract: a default (clique, static) config writes
+  // no topology/churn lines — its serialization is what a pre-topology
+  // build produced — while restricted configs carry them.
+  sim_config plain;
+  plain.sys = {12, 1};
+  plain.compromised = {0};
+  plain.lengths = path_length_distribution::fixed(2);
+  plain.message_count = 20;
+  plain.seed = 3;
+  std::ostringstream plain_os;
+  write_trace(capture_trace(plain), plain_os);
+  EXPECT_EQ(plain_os.str().find("topology"), std::string::npos);
+  EXPECT_EQ(plain_os.str().find("churn"), std::string::npos);
+
+  std::ostringstream rich_os;
+  write_trace(capture_trace(tiered_config()), rich_os);
+  EXPECT_NE(rich_os.str().find("topology tiered 1 4 1 3 "),
+            std::string::npos);
+  EXPECT_NE(rich_os.str().find("churn "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anonpath::sim

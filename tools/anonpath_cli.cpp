@@ -6,8 +6,12 @@
 //   anonpath optimize --n 100 --mean 5              optimal distribution
 //   anonpath simulate --n 60 --c 2 --dist U:2,14 --messages 2000
 //   anonpath simulate --n 60 --c 2 --adversary partial:0.3:honest
+//   anonpath simulate --n 60 --c 2 --topology tiered:3 --churn 0.5:0.5
+//   anonpath estimate --n 40 --c 3 --topology ring:4 --samples 50000
 //   anonpath campaign --n 30,60 --c 1,4 --dist F:3 --dist U:1,8 \
 //                     --drop 0,0.05 --replicas 8 --threads 0   scenario sweep
+//   anonpath campaign --n 24 --c 2 --topology complete,ring:2,tiered:3 \
+//                     --churn 0,0.5:0.5                 topology/churn axes
 //   anonpath capture  --n 60 --c 2 --dist U:2,14 --out run.trace
 //   anonpath replay   --in run.trace                re-score a captured run
 //   anonpath figures  --n 100                       dump all paper figures
@@ -15,10 +19,15 @@
 // Distribution syntax: F:l | U:a,b | G:pf,min,max (geometric) | P:lambda,max.
 // Adversary syntax: full | partial:<f>[:honest] | timing (the coverage
 // fraction f in [0,1]; ":honest" leaves the receiver uncompromised).
-// Campaign axes (--n, --c, --drop, --rate, --mode, --adversary) take
-// comma-separated lists and --dist may repeat; the campaign runs their
-// cartesian product.
+// Topology syntax: complete | ring:<k> | regular:<d>[:<seed>] | tiered:<t>
+// | trust:<decay>; out-of-range parameters (for the given --n) are a hard
+// error, never a silent fallback to the clique.
+// Churn syntax: 0 (static) | <down_rate>[:<mean_downtime>] (seconds).
+// Campaign axes (--n, --c, --drop, --rate, --mode, --adversary,
+// --topology, --churn) take comma-separated lists and --dist may repeat;
+// the campaign runs their cartesian product.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +43,9 @@
 #include "src/anonymity/analytic.hpp"
 #include "src/anonymity/monte_carlo.hpp"
 #include "src/anonymity/optimizer.hpp"
+#include "src/net/churn.hpp"
+#include "src/net/topology.hpp"
+#include "src/net/topology_mc.hpp"
 #include "src/repro/figures.hpp"
 #include "src/sim/campaign.hpp"
 #include "src/sim/simulator.hpp"
@@ -54,14 +66,19 @@ using namespace anonpath;
       "            --c <compromised> (default 1)\n"
       "            --dist F:l | U:a,b | G:pf,min,max | P:lambda,max\n"
       "            --adversary full | partial:<f>[:honest] | timing\n"
+      "            --topology complete | ring:<k> | regular:<d>[:<seed>]\n"
+      "                       | tiered:<t> | trust:<decay>\n"
+      "            --churn 0 | <down_rate>[:<mean_downtime>]\n"
       "  degree:   [--breakdown]\n"
       "  estimate: [--samples k] [--seed s] [--threads t (0=all cores)]\n"
       "            [--shards k] [--no-dedup]   Monte-Carlo H* for any C\n"
+      "            (a restricted --topology uses the walk-model engine)\n"
       "  optimize: --mean <target expected length>\n"
       "  simulate: [--messages k] [--seed s] [--drop p] [--threshold x]\n"
       "  campaign: scenario-grid sweep on the simulator; CSV to stdout.\n"
       "            axes (comma lists): --n --c --drop --rate --adversary\n"
-      "            --mode onion,crowds; --dist may repeat (one spec each)\n"
+      "            --topology --churn; --mode onion,crowds; --dist may\n"
+      "            repeat (one spec each)\n"
       "            [--replicas r (default 8)] [--messages k (default 500)]\n"
       "            [--seed s] [--threads t (0=all cores)] [--via-trace]\n"
       "  capture:  simulate flags + [--out file (default stdout)]; writes\n"
@@ -131,6 +148,8 @@ struct options {
   std::vector<double> rate_list;
   std::vector<routing_mode> mode_list;
   std::vector<sim::adversary_config> adversary_list;
+  std::vector<net::topology_config> topology_list;
+  std::vector<net::churn_config> churn_list;
   std::uint32_t replicas = 8;
   double threshold = 0.99;
   bool via_trace = false;
@@ -163,19 +182,102 @@ sim::adversary_config parse_adversary(const std::string& spec) {
   usage("--adversary values are full|partial:<f>[:honest]|timing");
 }
 
-std::vector<std::string> split_commas(const std::string& s) {
+std::vector<std::string> split_on(const std::string& s, char delim);
+
+net::topology_config parse_topology(const std::string& spec) {
+  net::topology_config cfg;
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  std::vector<std::string> args;
+  if (colon != std::string::npos)
+    args = split_on(spec.substr(colon + 1), ':');
+  auto as_u32 = [](const std::string& tok) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (tok.empty() || tok[0] == '-' || end == tok.c_str() || *end != '\0' ||
+        v > 0xFFFFFFFFull)
+      usage("bad --topology parameter (want an unsigned integer)");
+    return static_cast<std::uint32_t>(v);
+  };
+  if (kind == "complete" && args.empty()) return cfg;
+  if (kind == "ring" && args.size() == 1) {
+    cfg.kind = net::topology_kind::ring;
+    cfg.ring_k = as_u32(args[0]);
+    if (cfg.ring_k < 1) usage("--topology ring:<k> needs k >= 1");
+    return cfg;
+  }
+  if (kind == "regular" && (args.size() == 1 || args.size() == 2)) {
+    cfg.kind = net::topology_kind::random_regular;
+    cfg.degree = as_u32(args[0]);
+    if (args.size() == 2) {
+      // The wiring seed is a full 64-bit value (matches graph_seed and the
+      // trace format), unlike the 32-bit structural parameters.
+      char* end = nullptr;
+      const std::string& tok = args[1];
+      errno = 0;
+      cfg.graph_seed = std::strtoull(tok.c_str(), &end, 10);
+      if (tok.empty() || tok[0] == '-' || end == tok.c_str() ||
+          *end != '\0' || errno == ERANGE)
+        usage("bad --topology regular seed (want a 64-bit unsigned integer)");
+    }
+    if (cfg.degree < 2) usage("--topology regular:<d> needs d >= 2");
+    return cfg;
+  }
+  if (kind == "tiered" && args.size() == 1) {
+    cfg.kind = net::topology_kind::tiered;
+    cfg.tiers = as_u32(args[0]);
+    if (cfg.tiers < 2) usage("--topology tiered:<t> needs t >= 2");
+    return cfg;
+  }
+  if (kind == "trust" && args.size() == 1) {
+    cfg.kind = net::topology_kind::trust_weighted;
+    char* end = nullptr;
+    cfg.trust_decay = std::strtod(args[0].c_str(), &end);
+    if (end == args[0].c_str() || *end != '\0' || cfg.trust_decay <= 0.0 ||
+        cfg.trust_decay > 1.0)
+      usage("--topology trust:<decay> needs decay in (0, 1]");
+    return cfg;
+  }
+  usage(
+      "--topology values are "
+      "complete|ring:<k>|regular:<d>[:<seed>]|tiered:<t>|trust:<decay>");
+}
+
+net::churn_config parse_churn(const std::string& spec) {
+  net::churn_config cfg;
+  const auto colon = spec.find(':');
+  const std::string rate = spec.substr(0, colon);
+  char* end = nullptr;
+  cfg.down_rate = std::strtod(rate.c_str(), &end);
+  if (end == rate.c_str() || *end != '\0' || cfg.down_rate < 0.0)
+    usage("bad --churn (want 0 or <down_rate>[:<mean_downtime>])");
+  if (colon != std::string::npos) {
+    const std::string mean = spec.substr(colon + 1);
+    cfg.mean_downtime = std::strtod(mean.c_str(), &end);
+    if (end == mean.c_str() || *end != '\0' || cfg.mean_downtime <= 0.0)
+      usage("--churn mean downtime must be > 0");
+  }
+  if (!cfg.valid()) usage("--churn parameters out of range");
+  return cfg;
+}
+
+std::vector<std::string> split_on(const std::string& s, char delim) {
   std::vector<std::string> out;
   std::size_t pos = 0;
   while (pos <= s.size()) {
-    const auto comma = s.find(',', pos);
+    const auto at = s.find(delim, pos);
     const std::string tok =
-        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
-    if (tok.empty()) usage("empty element in comma list");
+        s.substr(pos, at == std::string::npos ? at : at - pos);
+    if (tok.empty()) usage("empty element in delimited list");
     out.push_back(tok);
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
+    if (at == std::string::npos) break;
+    pos = at + 1;
   }
   return out;
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  return split_on(s, ',');
 }
 
 std::vector<double> parse_double_list(const char* spec) {
@@ -249,6 +351,14 @@ options parse(int argc, char** argv) {
       for (const std::string& tok : split_commas(next()))
         opt.adversary_list.push_back(parse_adversary(tok));
     }
+    else if (flag == "--topology") {
+      for (const std::string& tok : split_commas(next()))
+        opt.topology_list.push_back(parse_topology(tok));
+    }
+    else if (flag == "--churn") {
+      for (const std::string& tok : split_commas(next()))
+        opt.churn_list.push_back(parse_churn(tok));
+    }
     else if (flag == "--threshold") {
       char* end = nullptr;
       const char* v = next();
@@ -285,7 +395,23 @@ options parse(int argc, char** argv) {
   return opt;
 }
 
+/// The closed-form analytic commands are clique-only; accepting a
+/// restricted graph (or churn) and silently reporting clique numbers is
+/// exactly the fallback the topology surface promises never to do.
+void reject_topology_flags(const options& opt, const char* command) {
+  if (!opt.topology_list.empty() &&
+      opt.topology_list.front().kind != net::topology_kind::complete)
+    usage((std::string("--topology does not apply to '") + command +
+           "' (clique-only closed forms); use estimate/simulate/campaign")
+              .c_str());
+  if (!opt.churn_list.empty() && opt.churn_list.front().enabled())
+    usage((std::string("--churn does not apply to '") + command +
+           "'; use simulate/capture/campaign")
+              .c_str());
+}
+
 int cmd_degree(const options& opt) {
+  reject_topology_flags(opt, "degree");
   const system_params sys{opt.n, 1};
   const auto d = opt.dist.value_or(path_length_distribution::fixed(3));
   const double h = anonymity_degree(sys, d);
@@ -308,9 +434,37 @@ int cmd_degree(const options& opt) {
 }
 
 int cmd_estimate(const options& opt) {
+  if (!opt.churn_list.empty() && opt.churn_list.front().enabled())
+    usage("--churn does not apply to 'estimate'; use simulate/capture/campaign");
   const system_params sys{opt.n, opt.c};
   const auto d = opt.dist.value_or(path_length_distribution::uniform(1, 10));
   const std::vector<node_id> compromised = spread_compromised(opt.n, opt.c);
+  if (!opt.topology_list.empty() &&
+      opt.topology_list.front().kind != net::topology_kind::complete) {
+    // Restricted graph: walk-model Monte Carlo on the topology engine.
+    const net::topology_config& topo = opt.topology_list.front();
+    if (!topo.valid_for(opt.n))
+      usage("--topology parameters out of range for --n");
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto est = net::estimate_topology_degree(
+        sys, compromised, d, topo, opt.samples, opt.seed, opt.threads,
+        opt.shards);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+            .count();
+    std::printf("MC walk-model estimate for %s on N=%u, C=%u, topology %s:\n",
+                d.label().c_str(), opt.n, opt.c, topo.label().c_str());
+    std::printf("  H* = %.6f +/- %.6f bits (95%% CI)\n", est.degree,
+                est.ci95());
+    std::printf("  samples:       %llu in %llu shards (seed %llu)\n",
+                static_cast<unsigned long long>(est.samples),
+                static_cast<unsigned long long>(est.shards),
+                static_cast<unsigned long long>(opt.seed));
+    std::printf("  throughput:    %.0f samples/s (%.3f s)\n",
+                static_cast<double>(est.samples) / secs, secs);
+    return 0;
+  }
   mc_config cfg;
   cfg.threads = opt.threads;
   cfg.shards = opt.shards;
@@ -339,6 +493,7 @@ int cmd_estimate(const options& opt) {
 }
 
 int cmd_optimize(const options& opt) {
+  reject_topology_flags(opt, "optimize");
   const system_params sys{opt.n, 1};
   const auto cap = static_cast<path_length>(opt.n - 1);
   const auto r = optimize_for_mean(sys, opt.mean, cap);
@@ -360,14 +515,25 @@ sim::sim_config simulate_config(const options& opt) {
   cfg.drop_probability = opt.drop;
   cfg.identified_threshold = opt.threshold;
   if (!opt.adversary_list.empty()) cfg.adversary = opt.adversary_list.front();
+  if (!opt.topology_list.empty()) {
+    cfg.topology = opt.topology_list.front();
+    if (!cfg.topology.valid_for(opt.n))
+      usage("--topology parameters out of range for --n");
+    if (cfg.topology.kind != net::topology_kind::complete &&
+        cfg.adversary.kind == sim::adversary_kind::timing_correlator)
+      usage("--adversary timing is not supported on a restricted --topology");
+  }
+  if (!opt.churn_list.empty()) cfg.churn = opt.churn_list.front();
   return cfg;
 }
 
 void print_sim_report(const sim::sim_config& cfg, const sim::sim_report& r) {
-  std::printf("simulated %llu msgs on N=%u, C=%u, %s, adversary %s\n",
-              static_cast<unsigned long long>(r.submitted), cfg.sys.node_count,
-              cfg.sys.compromised_count, cfg.lengths.label().c_str(),
-              cfg.adversary.label().c_str());
+  std::printf(
+      "simulated %llu msgs on N=%u, C=%u, %s, adversary %s, topology %s, %s\n",
+      static_cast<unsigned long long>(r.submitted), cfg.sys.node_count,
+      cfg.sys.compromised_count, cfg.lengths.label().c_str(),
+      cfg.adversary.label().c_str(), cfg.topology.label().c_str(),
+      cfg.churn.label().c_str());
   std::printf("  delivered:           %llu (%.1f%%)\n",
               static_cast<unsigned long long>(r.delivered),
               100.0 * static_cast<double>(r.delivered) /
@@ -423,8 +589,19 @@ int cmd_campaign(const options& opt) {
   if (!opt.drop_list.empty()) grid.drop_probabilities = opt.drop_list;
   if (!opt.rate_list.empty()) grid.arrival_rates = opt.rate_list;
   if (!opt.adversary_list.empty()) grid.adversaries = opt.adversary_list;
+  if (!opt.topology_list.empty()) grid.topologies = opt.topology_list;
+  if (!opt.churn_list.empty()) grid.churns = opt.churn_list;
   grid.message_count = opt.messages_set ? opt.messages : 500;
   grid.identified_threshold = opt.threshold;
+
+  // Surface an empty grid as a usage error here; run_campaign's internal
+  // precondition is not a user-facing message. The usual cause is a
+  // --topology whose parameters fit none of the --n values (or a
+  // timing-adversary x restricted-topology product).
+  if (sim::expand_grid(grid).empty())
+    usage("campaign grid has no feasible cells (check --topology/--churn "
+          "parameters against --n, and --adversary timing with restricted "
+          "topologies)");
 
   sim::campaign_config cfg;
   cfg.replicas = opt.replicas;
@@ -455,6 +632,7 @@ int cmd_campaign(const options& opt) {
 }
 
 int cmd_figures(const options& opt) {
+  reject_topology_flags(opt, "figures");
   const system_params sys{opt.n, 1};
   repro::print_figure(repro::fig3a(sys), std::cout);
   repro::print_figure(repro::fig3b(sys), std::cout);
