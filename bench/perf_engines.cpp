@@ -1,8 +1,17 @@
 // Performance benchmarks for every engine in the library: the analytic
 // closed form, the general posterior, Monte-Carlo sampling, the optimizer,
 // the onion crypto, and the discrete-event fabric.
+//
+//   bench_perf_engines --json[=FILE]   machine-readable results (defaults
+//                                      to BENCH_perf.json) — the CI perf
+//                                      trajectory artifact. All other flags
+//                                      pass through to google-benchmark.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "src/anonymity/analytic.hpp"
 #include "src/anonymity/brute_force.hpp"
@@ -186,4 +195,37 @@ BENCHMARK(BM_SimpleRouteSampling);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Translate --json[=FILE] into google-benchmark's out-file flags before
+  // Initialize() consumes the command line; everything else passes through.
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  args.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      const std::string path =
+          arg == "--json" ? std::string("BENCH_perf.json") : arg.substr(7);
+      if (path.empty()) {
+        // benchmark silently disables file output on an empty name; a
+        // script checking only the exit status would then trust a
+        // missing/stale artifact.
+        std::fprintf(stderr, "error: --json= requires a file name\n");
+        return 1;
+      }
+      args.emplace_back("--benchmark_out=" + path);
+      args.emplace_back("--benchmark_out_format=json");
+    } else {
+      args.emplace_back(arg);
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  ::benchmark::Initialize(&argc2, argv2.data());
+  if (::benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

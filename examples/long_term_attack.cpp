@@ -1,0 +1,109 @@
+// Long-term disclosure attacks: why per-message anonymity is not enough.
+//
+// A population of users communicates through a threshold mix in batched
+// rounds. One persistent pair (Alice -> Bob) re-communicates across rounds;
+// everything else is background traffic from a Zipf receiver law. Each
+// round the adversary only learns *membership* — who submitted and which
+// receivers got mail — yet all three longitudinal attacks converge on Bob:
+// the exact intersection in a handful of rounds, sequential Bayes almost as
+// fast, and the statistical disclosure estimator more slowly but at scales
+// where the exact attack is infeasible.
+//
+// The second half runs the same story end to end through the discrete-event
+// simulator: the rerouting layer (the paper's per-message defense) is live,
+// the adversary's per-message posteriors feed the sequential-Bayes fusion,
+// and the persistent pair still falls.
+
+#include <cstdio>
+
+#include "src/attack/disclosure.hpp"
+#include "src/attack/intersection.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/workload/population.hpp"
+
+using namespace anonpath;
+
+namespace {
+
+void run_pure_workload() {
+  workload::population_config cfg;
+  cfg.seed = 2026;
+  cfg.user_count = 2000;
+  cfg.receiver_count = 2000;
+  cfg.round_count = 600;
+  cfg.persistent_pairs = 1;
+  cfg.persistent_rate = 0.8;
+  cfg.round_size = 12;
+  cfg.receiver_law = {workload::popularity_kind::zipf, 1.0};
+  const workload::population pop(cfg);
+  const workload::persistent_pair truth = pop.pairs().front();
+  std::printf("workload %s\n", cfg.label().c_str());
+  std::printf("ground truth: user %u persistently writes to receiver %u\n\n",
+              truth.sender, truth.receiver);
+
+  for (const attack::attack_kind kind :
+       {attack::attack_kind::intersection, attack::attack_kind::sda,
+        attack::attack_kind::sequential_bayes}) {
+    const double threshold = kind == attack::attack_kind::sda ? 0.2 : 0.99;
+    auto engine = attack::make_attack(kind, cfg.receiver_count);
+    const auto result =
+        attack::run_workload_attack(pop, 0, *engine, threshold, 25);
+    std::printf("%-16s: ", attack::attack_kind_label(kind));
+    if (result.identified_round)
+      std::printf("identified receiver %u at round %u (%s, mass %.3f)\n",
+                  result.top_receiver, *result.identified_round,
+                  result.top_receiver == truth.receiver ? "correct" : "wrong",
+                  result.top_mass);
+    else
+      std::printf("not identified in %u rounds (top %u, mass %.3f, H=%.2f)\n",
+                  result.rounds, result.top_receiver, result.top_mass,
+                  result.entropy_bits);
+    std::printf("                  entropy trajectory (bits):");
+    for (std::size_t i = 0; i < result.trajectory.size(); i += 6)
+      std::printf(" %.2f", result.trajectory[i].entropy_bits);
+    std::printf("\n");
+  }
+}
+
+void run_sim_session() {
+  sim::sim_config cfg;
+  cfg.sys = {40, 4};
+  cfg.compromised = spread_compromised(40, 4);
+  cfg.lengths = path_length_distribution::uniform(1, 6);
+  cfg.message_count = 4000;
+  cfg.arrival_rate = 200.0;
+  cfg.seed = 7;
+  cfg.session.rounds = 100;
+  cfg.session.receiver_count = 25;
+  cfg.session.receiver_law = {workload::popularity_kind::zipf, 1.0};
+  cfg.session.target_sender = 1;  // node 0 is compromised
+  cfg.session.partner = 3;
+  cfg.session.attack = attack::attack_kind::sequential_bayes;
+  const sim::sim_report report = sim::run_simulation(cfg);
+
+  std::printf("\nsimulator session: N=%u, C=%u, %u msgs in %u rounds, "
+              "%u pseudonymous receivers\n",
+              cfg.sys.node_count, cfg.sys.compromised_count,
+              cfg.message_count, cfg.session.rounds,
+              cfg.session.receiver_count);
+  std::printf("per-message view:  H* = %.3f bits, identified %.1f%%\n",
+              report.empirical_entropy_bits,
+              100.0 * report.identified_fraction);
+  const sim::session_report& s = *report.session;
+  std::printf("longitudinal view: sequential Bayes over %u rounds -> "
+              "receiver %u (mass %.3f, %s)\n",
+              s.rounds, s.top_receiver, s.top_mass,
+              s.correct ? "correct" : "wrong");
+  if (s.identified_round > 0)
+    std::printf("                   partner pinned at round %u despite the "
+                "rerouting layer\n",
+                s.identified_round);
+}
+
+}  // namespace
+
+int main() {
+  run_pure_workload();
+  run_sim_session();
+  return 0;
+}

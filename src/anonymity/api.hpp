@@ -34,6 +34,27 @@
 /// Monte-Carlo H* estimator. The conformance suite pins oracle and engine
 /// to each other, and the clique instance to cyclic_brute_force_analyzer.
 ///
+/// The longitudinal axis lives in src/workload and src/attack: a
+/// workload::population is a seeded, population-scale traffic model — M
+/// persistent (sender -> receiver) pairs embedded in background traffic
+/// drawn from uniform/Zipf popularity laws, emitted in threshold or timed
+/// mix rounds, each round a pure function of (seed, index) via
+/// stats::rng::stream so generation is thread-safe, order-free, and never
+/// materialized in full (1e5 users x 1e4 rounds streams in well under a
+/// second). workload::accumulate_cooccurrence shards the rounds over a
+/// stats::thread_pool and merges in fixed shard order — bit-identical for
+/// every thread count. attack::disclosure_attack is the inference family
+/// over those rounds (mirroring sim::adversary_model):
+/// attack::intersection_attack (exact candidate-set intersection, plus the
+/// minimum_hitting_sets oracle the statistical attacks are
+/// conformance-pinned against), attack::sda_attack (background-subtracted
+/// receiver-frequency estimation with z-score confidence, seedable from the
+/// parallel accumulator), and attack::sequential_bayes_attack (per-round
+/// Bayesian fusion whose soft-weight mode consumes per-message
+/// posterior_engine / topology_posterior_engine scores — the seam between
+/// the paper's per-message analysis and long-term disclosure). All report
+/// entropy / identified trajectories per round.
+///
 /// The discrete-event simulator lives in src/sim (include
 /// "src/sim/simulator.hpp"). Its threat model is pluggable
 /// (src/sim/adversary.hpp): full_coalition (the paper's Sec. 4 worst
@@ -44,13 +65,21 @@
 /// weakened observation shapes. sim::trace (src/sim/trace.hpp) captures a
 /// run's adversary-visible events into a versioned, exactly-serializable
 /// trace and replays it through any inference engine offline, bit-for-bit
-/// equal to inline scoring. On top sits the scenario-campaign engine
-/// (src/sim/campaign.hpp) — a declarative grid over (N, C, strategy,
-/// routing mode, drop rate, arrival rate, adversary model, topology,
-/// churn) whose cells fan out over a stats::thread_pool with deterministic
-/// per-run rng streams and aggregate into per-cell summaries,
-/// bit-identical for every thread count under a fixed master seed (the
-/// same contract as mc_config). The figure generators live in src/repro.
+/// equal to inline scoring. sim::session_config (src/sim/session.hpp)
+/// opens the time axis inside the simulator: the workload batches into mix
+/// rounds, every message carries a pseudonymous destination (the tracked
+/// sender always writes to their partner), and scoring runs a longitudinal
+/// attack whose sequential-Bayes mode fuses the run's own per-message
+/// posteriors — disabled sessions are byte-identical to pre-session
+/// behavior, and enabled ones ride trace v1 as an optional line. On top
+/// sits the scenario-campaign engine (src/sim/campaign.hpp) — a
+/// declarative grid over (N, C, strategy, routing mode, drop rate, arrival
+/// rate, adversary model, topology, churn, session population/rounds/
+/// attack) whose cells fan out over a stats::thread_pool with
+/// deterministic per-run rng streams and aggregate into per-cell
+/// summaries, bit-identical for every thread count under a fixed master
+/// seed (the same contract as mc_config). The figure generators live in
+/// src/repro.
 
 #include "src/anonymity/analytic.hpp"
 #include "src/anonymity/brute_force.hpp"

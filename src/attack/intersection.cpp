@@ -1,0 +1,102 @@
+#include "src/attack/intersection.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath::attack {
+
+intersection_attack::intersection_attack(std::uint32_t receiver_count)
+    : disclosure_attack(receiver_count) {}
+
+void intersection_attack::observe_round(const round_observation& round) {
+  if (!round.target_present) return;  // background rounds carry no set evidence
+  // A target round with zero deliveries is loss, not contradiction: the
+  // partner's message was dropped along with everything else, so the round
+  // carries no set evidence (mirrors sequential_bayes's empty-round skip).
+  if (round.receivers.empty()) return;
+  ++target_rounds_;
+  if (!consistent_) return;
+  std::vector<node_id> seen(round.receivers);
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  ANONPATH_EXPECTS(seen.empty() || seen.back() < receiver_count_);
+  if (target_rounds_ == 1) {
+    candidates_ = std::move(seen);
+  } else {
+    std::vector<node_id> next;
+    std::set_intersection(candidates_.begin(), candidates_.end(),
+                          seen.begin(), seen.end(), std::back_inserter(next));
+    candidates_ = std::move(next);
+  }
+  if (candidates_.empty()) consistent_ = false;
+}
+
+std::vector<double> intersection_attack::posterior() const {
+  std::vector<double> post(receiver_count_, 0.0);
+  if (target_rounds_ == 0 || !consistent_) {
+    const double u = 1.0 / static_cast<double>(receiver_count_);
+    for (double& p : post) p = u;
+    return post;
+  }
+  const double u = 1.0 / static_cast<double>(candidates_.size());
+  for (node_id c : candidates_) post[c] = u;
+  return post;
+}
+
+std::vector<node_id> intersection_attack::candidates() const {
+  if (target_rounds_ == 0 || !consistent_) {
+    std::vector<node_id> all(receiver_count_);
+    for (std::uint32_t i = 0; i < receiver_count_; ++i) all[i] = i;
+    return all;
+  }
+  return candidates_;
+}
+
+std::vector<std::vector<node_id>> minimum_hitting_sets(
+    const std::vector<std::vector<node_id>>& family, std::uint32_t universe) {
+  ANONPATH_EXPECTS(universe >= 1 && universe <= 20);
+  ANONPATH_EXPECTS(!family.empty());
+  std::vector<std::uint32_t> masks;
+  masks.reserve(family.size());
+  for (const auto& set : family) {
+    ANONPATH_EXPECTS(!set.empty());
+    std::uint32_t m = 0;
+    for (node_id v : set) {
+      ANONPATH_EXPECTS(v < universe);
+      m |= 1u << v;
+    }
+    masks.push_back(m);
+  }
+
+  std::vector<std::vector<node_id>> best;
+  std::uint32_t best_size = universe + 1;
+  const std::uint32_t limit = 1u << universe;
+  for (std::uint32_t cand = 1; cand < limit; ++cand) {
+    const auto size = static_cast<std::uint32_t>(std::popcount(cand));
+    if (size > best_size) continue;
+    bool hits = true;
+    for (std::uint32_t m : masks) {
+      if ((m & cand) == 0) {
+        hits = false;
+        break;
+      }
+    }
+    if (!hits) continue;
+    if (size < best_size) {
+      best_size = size;
+      best.clear();
+    }
+    std::vector<node_id> set;
+    for (std::uint32_t v = 0; v < universe; ++v)
+      if ((cand >> v) & 1u) set.push_back(v);
+    best.push_back(std::move(set));
+  }
+  // Mask enumeration order is not lexicographic on the id lists (it sorts
+  // low bit first); sort to the documented order.
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+}  // namespace anonpath::attack

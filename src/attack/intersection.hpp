@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/attack/disclosure.hpp"
+
+namespace anonpath::attack {
+
+/// The exact (set-theoretic) disclosure attack: the partner is in every
+/// round the target participates in, so the candidate set is the running
+/// intersection of those rounds' receiver sets. On lossless membership data
+/// this is the information-theoretic optimum for "which single receiver is
+/// consistent with everything seen" — the oracle the statistical attacks
+/// are conformance-pinned against.
+class intersection_attack final : public disclosure_attack {
+ public:
+  explicit intersection_attack(std::uint32_t receiver_count);
+
+  void observe_round(const round_observation& round) override;
+
+  /// Uniform over the surviving candidates; uniform over everyone before
+  /// the first target round — or after inconsistent evidence (see
+  /// consistent()).
+  [[nodiscard]] std::vector<double> posterior() const override;
+
+  [[nodiscard]] attack_kind kind() const noexcept override {
+    return attack_kind::intersection;
+  }
+
+  /// Surviving candidates, ascending. Everyone before the first target
+  /// round.
+  [[nodiscard]] std::vector<node_id> candidates() const;
+
+  /// False once the intersection emptied — possible only on lossy or
+  /// mis-attributed data (e.g. the target's message was dropped before
+  /// delivery), where the exact attack's premise fails. The posterior then
+  /// degrades to uniform rather than asserting certainty about nothing.
+  [[nodiscard]] bool consistent() const noexcept { return consistent_; }
+
+  [[nodiscard]] std::uint64_t target_rounds() const noexcept {
+    return target_rounds_;
+  }
+
+ private:
+  std::vector<node_id> candidates_;  // ascending; empty before first round
+  std::uint64_t target_rounds_ = 0;
+  bool consistent_ = true;
+};
+
+/// Exact minimum-hitting-set oracle for small instances: all hitting sets
+/// of minimum cardinality for `family` over universe {0..universe-1}, each
+/// ascending, in lexicographic order. Generalizes the single-partner
+/// intersection (a singleton hitting set) to targets with several
+/// persistent partners. Exponential enumeration — the conformance fixture
+/// tool, not a production path. Preconditions: universe in [1, 20]; family
+/// non-empty; every set non-empty with ids < universe.
+[[nodiscard]] std::vector<std::vector<node_id>> minimum_hitting_sets(
+    const std::vector<std::vector<node_id>>& family, std::uint32_t universe);
+
+}  // namespace anonpath::attack

@@ -1,0 +1,109 @@
+#include "src/attack/sda.hpp"
+
+#include <cmath>
+
+#include "src/stats/contract.hpp"
+#include "src/stats/kahan.hpp"
+
+namespace anonpath::attack {
+
+sda_attack::sda_attack(std::uint32_t receiver_count)
+    : disclosure_attack(receiver_count),
+      target_counts_(receiver_count, 0),
+      background_counts_(receiver_count, 0) {}
+
+void sda_attack::observe_round(const round_observation& round) {
+  // Zero deliveries is loss, not evidence (family-wide rule, see
+  // intersection_attack): counting such a round would dilute the mean
+  // batch size m-bar that the background subtraction scales by.
+  if (round.receivers.empty()) return;
+  auto& counts = round.target_present ? target_counts_ : background_counts_;
+  for (node_id v : round.receivers) {
+    ANONPATH_EXPECTS(v < receiver_count_);
+    ++counts[v];
+  }
+  if (round.target_present) {
+    ++target_rounds_;
+    target_messages_ += round.receivers.size();
+  } else {
+    ++background_rounds_;
+    background_messages_ += round.receivers.size();
+  }
+}
+
+std::vector<double> sda_attack::signal() const {
+  std::vector<double> out(receiver_count_, 0.0);
+  if (target_messages_ == 0) return out;
+  const double mbar = static_cast<double>(target_messages_) /
+                      static_cast<double>(target_rounds_);
+  for (std::uint32_t r = 0; r < receiver_count_; ++r) {
+    const double p_target = static_cast<double>(target_counts_[r]) /
+                            static_cast<double>(target_messages_);
+    // No background rounds yet: fall back to the uniform prior for q̂ (the
+    // subtraction then just recenters; evidence still ranks receivers).
+    const double q = background_messages_ > 0
+                         ? static_cast<double>(background_counts_[r]) /
+                               static_cast<double>(background_messages_)
+                         : 1.0 / static_cast<double>(receiver_count_);
+    out[r] = mbar * p_target - (mbar - 1.0) * q;
+  }
+  return out;
+}
+
+std::vector<double> sda_attack::confidence() const {
+  std::vector<double> out(receiver_count_, 0.0);
+  if (target_messages_ == 0) return out;
+  const double n = static_cast<double>(target_messages_);
+  for (std::uint32_t r = 0; r < receiver_count_; ++r) {
+    // Laplace-smoothed background rate keeps the null variance positive for
+    // receivers the background never touched.
+    const double q = (static_cast<double>(background_counts_[r]) + 1.0) /
+                     (static_cast<double>(background_messages_) +
+                      static_cast<double>(receiver_count_));
+    const double expected = n * q;
+    const double sd = std::sqrt(n * q * (1.0 - q));
+    out[r] = (static_cast<double>(target_counts_[r]) - expected) / sd;
+  }
+  return out;
+}
+
+std::vector<double> sda_attack::posterior() const {
+  std::vector<double> post = signal();
+  stats::kahan_sum z;
+  for (double& p : post) {
+    if (p < 0.0) p = 0.0;
+    z.add(p);
+  }
+  if (target_messages_ == 0 || z.value() <= 0.0) {
+    const double u = 1.0 / static_cast<double>(receiver_count_);
+    for (double& p : post) p = u;
+    return post;
+  }
+  for (double& p : post) p /= z.value();
+  return post;
+}
+
+sda_attack sda_attack::from_counts(const workload::cooccurrence_result& totals,
+                                   std::uint32_t pair_index,
+                                   std::uint32_t receiver_count) {
+  ANONPATH_EXPECTS(pair_index < totals.per_pair.size());
+  const workload::pair_counts& pc = totals.per_pair[pair_index];
+  sda_attack out(receiver_count);
+  for (const auto& [r, c] : pc.target_receiver_counts) {
+    ANONPATH_EXPECTS(r < receiver_count);
+    out.target_counts_[r] = c;
+  }
+  // Background is the exact complement of the target rounds within the
+  // global accumulation.
+  for (const auto& [r, c] : totals.global_receiver_counts) {
+    ANONPATH_EXPECTS(r < receiver_count);
+    out.background_counts_[r] = c - out.target_counts_[r];
+  }
+  out.target_rounds_ = pc.target_rounds;
+  out.target_messages_ = pc.target_messages;
+  out.background_rounds_ = totals.rounds - pc.target_rounds;
+  out.background_messages_ = totals.messages - pc.target_messages;
+  return out;
+}
+
+}  // namespace anonpath::attack

@@ -1,0 +1,158 @@
+#include "src/attack/sequential_bayes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/stats/contract.hpp"
+#include "src/stats/kahan.hpp"
+
+namespace anonpath::attack {
+
+namespace {
+constexpr double neg_inf = -std::numeric_limits<double>::infinity();
+}
+
+sequential_bayes_attack::sequential_bayes_attack(
+    std::uint32_t receiver_count, sequential_bayes_config config)
+    : disclosure_attack(receiver_count),
+      config_(std::move(config)),
+      log_posterior_(receiver_count, 0.0),
+      background_counts_(receiver_count, 0),
+      scratch_weight_(receiver_count, 0.0),
+      touched_flag_(receiver_count, 0) {
+  ANONPATH_EXPECTS(config_.background_pmf.empty() ||
+                   config_.background_pmf.size() == receiver_count);
+  // Zero-rate receivers would divide the evidence ratio by zero and poison
+  // the posterior with NaN; the documented contract is strictly positive
+  // entries for any receiver that can appear.
+  for (double q : config_.background_pmf) ANONPATH_EXPECTS(q > 0.0);
+  ANONPATH_EXPECTS(config_.membership_noise >= 0.0 &&
+                   config_.membership_noise < 1.0);
+}
+
+double sequential_bayes_attack::background_rate(std::uint32_t r) const {
+  if (!config_.background_pmf.empty()) return config_.background_pmf[r];
+  // Online Laplace estimate from non-target rounds: strictly positive even
+  // for never-seen receivers, so evidence ratios stay finite.
+  return (static_cast<double>(background_counts_[r]) + 1.0) /
+         (static_cast<double>(background_messages_) +
+          static_cast<double>(receiver_count_));
+}
+
+void sequential_bayes_attack::observe_round(const round_observation& round) {
+  if (!round.target_present) {
+    for (node_id v : round.receivers) {
+      ANONPATH_EXPECTS(v < receiver_count_);
+      ++background_counts_[v];
+    }
+    background_messages_ += round.receivers.size();
+    return;
+  }
+  if (round.receivers.empty()) return;  // nothing delivered: no evidence
+  ++target_rounds_;
+  ANONPATH_EXPECTS(round.target_weight.empty() ||
+                   round.target_weight.size() == round.receivers.size());
+
+  // Per-receiver evidence mass Σ_j w_j [recv_j = r], sparse via the
+  // touched list; uniform w_j = 1/m in crisp mode.
+  const double uniform_w = 1.0 / static_cast<double>(round.receivers.size());
+  stats::kahan_sum total_w;
+  touched_.clear();
+  for (std::size_t j = 0; j < round.receivers.size(); ++j) {
+    const node_id v = round.receivers[j];
+    ANONPATH_EXPECTS(v < receiver_count_);
+    const double w =
+        round.target_weight.empty() ? uniform_w : round.target_weight[j];
+    ANONPATH_EXPECTS(w >= 0.0 && w <= 1.0);
+    // Dedup by explicit flag, not by scratch == 0: a zero-weight delivery
+    // leaves scratch at 0 and would re-push the receiver, double-applying
+    // the round's likelihood ratio in the update loop below.
+    if (touched_flag_[v] == 0) {
+      touched_flag_[v] = 1;
+      touched_.push_back(v);
+    }
+    scratch_weight_[v] += w;
+    total_w.add(w);
+  }
+  // Residual mass for "the target's message is not among the deliveries"
+  // (dropped, or unobserved by a lossy collector). Soft weights can
+  // overshoot 1 when several messages look target-like; clamp. Crisp mode
+  // is exactly zero by construction — the m * (1/m) float sum may land at
+  // 1 - ulp, and a nonzero residual would break the documented
+  // support-equals-intersection invariant for those round sizes.
+  const double residual =
+      round.target_weight.empty() ? 0.0
+                                  : std::max(0.0, 1.0 - total_w.value());
+
+  // Mixture over "this round's membership is genuine" (weight 1 - nu) vs
+  // "coincidental or lossy" (weight nu, under which the receivers are pure
+  // background and carry no partner evidence). nu = 0 keeps absence as
+  // hard -inf evidence — the conformance-pinned exact behavior.
+  //
+  // Every receiver the round did not touch gets the identical evidence
+  // c0 = (1-nu)*residual + nu. When c0 > 0 that is a common factor across
+  // all live candidates, which cancels in the softmax — so only the
+  // touched receivers need updating (by their log-ratio against c0), and
+  // the round costs O(deliveries), not O(receiver population). Only the
+  // annihilating case (c0 == 0, crisp lossless evidence) must visit the
+  // untouched — and then only the still-live candidates, a set the first
+  // such round shrinks to at most that round's receiver count.
+  const double nu = config_.membership_noise;
+  const double c0 = (1.0 - nu) * residual + nu;
+  if (c0 > 0.0) {
+    const double log_c0 = std::log(c0);
+    for (std::uint32_t r : touched_) {
+      if (log_posterior_[r] == neg_inf) continue;
+      const double evidence =
+          (1.0 - nu) * (scratch_weight_[r] / background_rate(r) + residual) +
+          nu;
+      log_posterior_[r] += std::log(evidence) - log_c0;
+    }
+  } else {
+    if (!live_valid_) {
+      // First annihilating round: enumerate the live set once.
+      live_.clear();
+      for (std::uint32_t r = 0; r < receiver_count_; ++r)
+        if (log_posterior_[r] != neg_inf) live_.push_back(r);
+      live_valid_ = true;
+    }
+    std::vector<std::uint32_t> next_live;
+    next_live.reserve(touched_.size());
+    for (std::uint32_t r : live_) {
+      const double evidence =
+          (1.0 - nu) * scratch_weight_[r] / background_rate(r);
+      if (evidence > 0.0) {
+        log_posterior_[r] += std::log(evidence);
+        next_live.push_back(r);
+      } else {
+        log_posterior_[r] = neg_inf;
+      }
+    }
+    live_ = std::move(next_live);
+  }
+  for (std::uint32_t v : touched_) {
+    scratch_weight_[v] = 0.0;
+    touched_flag_[v] = 0;
+  }
+}
+
+std::vector<double> sequential_bayes_attack::posterior() const {
+  const double hi =
+      *std::max_element(log_posterior_.begin(), log_posterior_.end());
+  std::vector<double> post(receiver_count_, 0.0);
+  if (target_rounds_ == 0 || hi == neg_inf) {
+    const double u = 1.0 / static_cast<double>(receiver_count_);
+    for (double& p : post) p = u;
+    return post;
+  }
+  stats::kahan_sum z;
+  for (std::uint32_t r = 0; r < receiver_count_; ++r) {
+    post[r] = std::exp(log_posterior_[r] - hi);
+    z.add(post[r]);
+  }
+  for (double& p : post) p /= z.value();
+  return post;
+}
+
+}  // namespace anonpath::attack

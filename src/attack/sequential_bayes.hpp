@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/attack/disclosure.hpp"
+
+namespace anonpath::attack {
+
+/// Sequential Bayesian disclosure: maintains a log-posterior over candidate
+/// partners and multiplies in one likelihood factor per target round.
+/// Marginalizing over which of the round's m messages is the target's,
+///
+///   Pr(round | partner = r) ∝ Σ_j w_j·[recv_j = r] / q(r) + (1 − Σ_j w_j)
+///
+/// with w_j = Pr(message j is the target's) and q the background receiver
+/// law. Crisp membership (w_j = 1/m) recovers the classic count/q ratio —
+/// and a receiver absent from a target round gets factor 0, so on lossless
+/// data the support equals the intersection attack's candidate set exactly
+/// (the conformance pin). Soft w from the per-message posterior_engine /
+/// topology_posterior_engine is the fusion path: rerouting-layer evidence
+/// reweights the round-membership evidence, and the residual 1 − Σw keeps a
+/// round survivable when the target's message may not have been observed.
+class sequential_bayes_attack final : public disclosure_attack {
+ public:
+  /// With an empty config.background_pmf, q is learned online from
+  /// non-target rounds (Laplace-smoothed); otherwise the supplied pmf is
+  /// used as-is (size must equal receiver_count, entries > 0 required for
+  /// any receiver that can appear).
+  sequential_bayes_attack(std::uint32_t receiver_count,
+                          sequential_bayes_config config = {});
+
+  void observe_round(const round_observation& round) override;
+
+  /// Softmax of the accumulated log-posterior; uniform before any target
+  /// round, and uniform again if every candidate has been annihilated
+  /// (possible only on inconsistent/lossy data, mirroring
+  /// intersection_attack::consistent()).
+  [[nodiscard]] std::vector<double> posterior() const override;
+
+  [[nodiscard]] attack_kind kind() const noexcept override {
+    return attack_kind::sequential_bayes;
+  }
+
+  [[nodiscard]] std::uint64_t target_rounds() const noexcept {
+    return target_rounds_;
+  }
+
+ private:
+  /// Background rate q̂(r), from the configured pmf or the online counts.
+  [[nodiscard]] double background_rate(std::uint32_t r) const;
+
+  sequential_bayes_config config_;
+  std::vector<double> log_posterior_;        // unnormalized, uniform prior
+  std::vector<std::uint64_t> background_counts_;
+  std::uint64_t background_messages_ = 0;
+  std::uint64_t target_rounds_ = 0;
+  std::vector<double> scratch_weight_;       // per-receiver Σ w_j [recv_j = r]
+  std::vector<std::uint32_t> touched_;       // receivers hit this round, unique
+  std::vector<char> touched_flag_;           // membership flags for touched_
+  /// Candidates not yet annihilated, maintained from the first hard
+  /// (zero-common-evidence) round on so later rounds cost O(live), not
+  /// O(receiver population). Invalid (and unused) until then.
+  std::vector<std::uint32_t> live_;
+  bool live_valid_ = false;
+};
+
+}  // namespace anonpath::attack

@@ -1,5 +1,6 @@
 #include "src/sim/campaign.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
@@ -19,13 +20,24 @@ namespace {
 /// restricted graph cannot face the timing correlator (no exact
 /// restricted-path likelihood for gapped observations).
 bool feasible(const campaign_grid& grid, std::uint32_t n, std::uint32_t c,
-              const path_length_distribution& lengths,
+              const path_length_distribution& lengths, routing_mode mode,
               const adversary_config& adv, const net::topology_config& topo,
-              const net::churn_config& churn) {
+              const net::churn_config& churn, std::uint32_t population,
+              std::uint32_t rounds, attack::attack_kind atk) {
   const system_params sys{n, c};
+  // Session coordinates must be coherent: population and rounds are both
+  // off or both on, attacks need rounds, enabled sessions need a population
+  // of at least two, at least one message per round, and source routing
+  // (run_core's own precondition).
+  const bool session_ok =
+      (population == 0) == (rounds == 0) &&
+      (atk == attack::attack_kind::none || rounds > 0) &&
+      (rounds == 0 ||
+       (population >= 2 && rounds <= grid.message_count &&
+        mode == routing_mode::source_routed));
   return sys.valid() && c < n && lengths.max_length() <= n - 1 &&
          grid.message_count > 0 && adv.valid() && topo.valid_for(n) &&
-         churn.valid() &&
+         churn.valid() && session_ok &&
          (topo.kind == net::topology_kind::complete ||
           adv.kind != adversary_kind::timing_correlator);
 }
@@ -67,12 +79,17 @@ std::vector<scenario> expand_grid(const campaign_grid& grid) {
             for (double rate : grid.arrival_rates)
               for (const adversary_config& adv : grid.adversaries)
                 for (const net::topology_config& topo : grid.topologies)
-                  for (const net::churn_config& churn : grid.churns) {
-                    if (!feasible(grid, n, c, lengths, adv, topo, churn))
-                      continue;
-                    out.push_back(scenario{n, c, lengths, mode, drop, rate,
-                                           adv, topo, churn});
-                  }
+                  for (const net::churn_config& churn : grid.churns)
+                    for (std::uint32_t population : grid.populations)
+                      for (std::uint32_t rounds : grid.session_rounds)
+                        for (attack::attack_kind atk : grid.attacks) {
+                          if (!feasible(grid, n, c, lengths, mode, adv, topo,
+                                        churn, population, rounds, atk))
+                            continue;
+                          out.push_back(scenario{n, c, lengths, mode, drop,
+                                                 rate, adv, topo, churn,
+                                                 population, rounds, atk});
+                        }
   return out;
 }
 
@@ -92,6 +109,18 @@ sim_config scenario_config(const scenario& s, const campaign_grid& grid,
   cfg.topology = s.topology;
   cfg.churn = s.churn;
   cfg.identified_threshold = grid.identified_threshold;
+  if (s.rounds > 0) {
+    cfg.session.rounds = s.rounds;
+    cfg.session.receiver_count = s.population;
+    cfg.session.receiver_law = grid.session_receiver_law;
+    cfg.session.attack = s.attack;
+    cfg.session.partner = canonical_partner(s.population);
+    // The effective flags, not the configured list: a partial_coverage
+    // adversary supersedes cfg.compromised with a seeded draw, and the
+    // target must be honest under what the run actually corrupts.
+    cfg.session.target_sender = lowest_honest_node(effective_compromised(
+        cfg.adversary, s.node_count, cfg.compromised, seed));
+  }
   cfg.seed = seed;
   return cfg;
 }
@@ -125,7 +154,7 @@ campaign_result run_campaign(const campaign_grid& grid,
   result.cells.reserve(scenarios.size());
   for (std::size_t cell = 0; cell < scenarios.size(); ++cell) {
     campaign_cell agg{scenarios[cell], config.replicas, 0, 0,
-                      {}, {}, {}, {}, {}, {}};
+                      {}, {}, {}, {}, {}, {}, {}, {}, {}};
     for (std::uint32_t rep = 0; rep < config.replicas; ++rep) {
       const sim_report& r = reports[cell * config.replicas + rep];
       agg.submitted += r.submitted;
@@ -141,6 +170,16 @@ campaign_result run_campaign(const campaign_grid& grid,
         agg.identified_fraction.add(r.identified_fraction);
         agg.top1_accuracy.add(r.top1_accuracy);
       }
+      if (r.session) {
+        agg.attack_entropy_bits.add(r.session->entropy_bits);
+        agg.attack_identified.add(r.session->identified ? 1.0 : 0.0);
+        // Only replicas that END identified contribute: a transient
+        // threshold crossing a later inconsistent round revoked would
+        // otherwise make this column disagree with attack_identified.
+        if (r.session->identified && r.session->identified_round > 0)
+          agg.rounds_to_identify.add(
+              static_cast<double>(r.session->identified_round));
+      }
     }
     result.cells.push_back(std::move(agg));
   }
@@ -148,11 +187,22 @@ campaign_result run_campaign(const campaign_grid& grid,
 }
 
 void write_csv(const campaign_result& result, std::ostream& os) {
+  // Session columns only when the campaign actually swept sessions: a
+  // deterministic function of the result, so pre-session grids keep their
+  // historical byte-identical rendering (pinned by the topology golden).
+  bool sessions = false;
+  for (const campaign_cell& cell : result.cells)
+    if (cell.scene.population > 0) sessions = true;
   os << "n,c,dist,mode,drop,rate,replicas,messages,adversary,topology,churn,"
         "delivered_fraction,delivered_stderr,"
         "latency_ms,latency_ms_stderr,hops,hops_stderr,"
         "entropy_bits,entropy_stderr,identified_fraction,identified_stderr,"
-        "top1_accuracy,top1_stderr\n";
+        "top1_accuracy,top1_stderr";
+  if (sessions)
+    os << ",population,rounds,attack,attack_entropy_bits,"
+          "attack_entropy_stderr,attack_identified,attack_identified_stderr,"
+          "rounds_to_identify,rounds_to_identify_stderr";
+  os << '\n';
   for (const campaign_cell& cell : result.cells) {
     const scenario& s = cell.scene;
     os << s.node_count << ',' << s.compromised_count << ",\""
@@ -174,6 +224,15 @@ void write_csv(const campaign_result& result, std::ostream& os) {
     put_summary(os, cell.identified_fraction);
     os << ',';
     put_summary(os, cell.top1_accuracy);
+    if (sessions) {
+      os << ',' << s.population << ',' << s.rounds << ','
+         << attack::attack_kind_label(s.attack) << ',';
+      put_summary(os, cell.attack_entropy_bits);
+      os << ',';
+      put_summary(os, cell.attack_identified);
+      os << ',';
+      put_summary(os, cell.rounds_to_identify);
+    }
     os << '\n';
   }
 }

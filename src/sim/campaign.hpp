@@ -37,19 +37,30 @@ struct campaign_grid {
       net::topology_config{}};                        ///< graph axis
   std::vector<net::churn_config> churns{
       net::churn_config{}};                           ///< availability axis
+  /// Longitudinal session axes (src/sim/session.hpp). `populations` is the
+  /// pseudonymous receiver population, `session_rounds` the mix-round
+  /// count, `attacks` the disclosure engine. The defaults (0 / 0 / none)
+  /// keep sessions off; a cell is feasible only when population and rounds
+  /// are both zero or both set (and any non-none attack has rounds).
+  std::vector<std::uint32_t> populations{0};
+  std::vector<std::uint32_t> session_rounds{0};
+  std::vector<attack::attack_kind> attacks{attack::attack_kind::none};
 
   // Shared (non-swept) per-run settings.
   std::uint32_t message_count = 1000;
   double forward_prob = 0.75;                         ///< crowds-mode coin
   latency_params latency{};
   double identified_threshold = 0.99;                 ///< sim_report scoring
+  /// Background destination law for session cells (target pair excluded).
+  workload::popularity_law session_receiver_law{};
 
   /// Cells in the full cartesian product, before feasibility filtering.
   [[nodiscard]] std::uint64_t cell_count() const noexcept {
     return static_cast<std::uint64_t>(node_counts.size()) *
            compromised_counts.size() * lengths.size() * modes.size() *
            drop_probabilities.size() * arrival_rates.size() *
-           adversaries.size() * topologies.size() * churns.size();
+           adversaries.size() * topologies.size() * churns.size() *
+           populations.size() * session_rounds.size() * attacks.size();
   }
 };
 
@@ -84,6 +95,9 @@ struct scenario {
   adversary_config adversary{};
   net::topology_config topology{};
   net::churn_config churn{};
+  std::uint32_t population = 0;     ///< session receiver population (0 = off)
+  std::uint32_t rounds = 0;         ///< session mix rounds (0 = off)
+  attack::attack_kind attack = attack::attack_kind::none;
 };
 
 /// Cross-replica aggregates of one cell. Each replica contributes one
@@ -103,12 +117,17 @@ struct campaign_cell {
   stats::running_summary entropy_bits;          ///< per-replica empirical H*
   stats::running_summary identified_fraction;
   stats::running_summary top1_accuracy;
+  /// Longitudinal metrics; empty (count() == 0) for session-less cells.
+  stats::running_summary attack_entropy_bits;   ///< final posterior entropy
+  stats::running_summary attack_identified;     ///< 0/1 per replica
+  /// First identifying round, over the replicas that identified at all.
+  stats::running_summary rounds_to_identify;
 };
 
 /// A completed campaign: one aggregated cell per feasible grid point, in
 /// deterministic grid order (node_counts outermost, then compromised
 /// counts, lengths, modes, drop probabilities, arrival rates, adversaries,
-/// topologies, churns innermost).
+/// topologies, churns, populations, session rounds, attacks innermost).
 struct campaign_result {
   std::vector<campaign_cell> cells;
   std::uint64_t requested_cells = 0;   ///< full cartesian product size
@@ -139,7 +158,10 @@ struct campaign_result {
 /// Inference columns are "nan" for hop-by-hop cells; the strategy label is
 /// double-quoted because it may contain commas. The rendering is
 /// deterministic: byte-identical output for byte-identical results, which
-/// is how the determinism tests and the CI smoke check compare runs.
+/// is how the determinism tests and the CI smoke check compare runs. The
+/// session columns (population, rounds, attack and their metrics) appear
+/// only when some cell enables a session, so session-less campaigns render
+/// byte-identically to their pre-session output.
 void write_csv(const campaign_result& result, std::ostream& os);
 
 }  // namespace anonpath::sim

@@ -1,0 +1,66 @@
+#include "src/sim/session.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+
+#include "src/stats/contract.hpp"
+#include "src/stats/discrete_sampler.hpp"
+#include "src/stats/rng.hpp"
+
+namespace anonpath::sim {
+
+namespace {
+/// Dedicated stream index for destination draws: disjoint from every seed
+/// the simulator derives (network, keys, traffic, routing all come from
+/// sequential splits of rng(seed), never from rng::stream of it), so
+/// enabling a session perturbs no historical draw.
+constexpr std::uint64_t session_stream = 0xFFFFFFFF00000011ULL;
+}  // namespace
+
+std::string session_config::label() const {
+  if (!enabled()) return "off";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "rounds=%u;pop=%u;%s", rounds, receiver_count,
+                attack::attack_kind_label(attack));
+  return buf;
+}
+
+std::vector<session_assignment> assign_session_destinations(
+    const session_config& session, std::uint64_t seed,
+    std::span<const node_id> origins_by_msg) {
+  ANONPATH_EXPECTS(session.enabled());
+  const auto count = static_cast<std::uint32_t>(origins_by_msg.size());
+  ANONPATH_EXPECTS(count >= session.rounds);
+  stats::rng gen = stats::rng::stream(seed, session_stream);
+  std::optional<stats::discrete_sampler> law;
+  if (session.receiver_law.kind != workload::popularity_kind::uniform)
+    law.emplace(workload::popularity_pmf(session.receiver_law,
+                                         session.receiver_count));
+  std::vector<session_assignment> out(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    // Threshold batching by submission order: consecutive equal batches
+    // (the Poisson workload assigns ids in arrival order).
+    out[i].round = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(i) * session.rounds / count);
+    if (origins_by_msg[i] == session.target_sender) {
+      out[i].destination = session.partner;
+    } else {
+      out[i].destination =
+          law ? static_cast<std::uint32_t>(law->sample(gen))
+              : static_cast<std::uint32_t>(
+                    gen.next_below(session.receiver_count));
+    }
+  }
+  return out;
+}
+
+node_id lowest_honest_node(const std::vector<bool>& compromised_flags) {
+  const auto it = std::find(compromised_flags.begin(),
+                            compromised_flags.end(), false);
+  return it == compromised_flags.end()
+             ? node_id{0}
+             : static_cast<node_id>(it - compromised_flags.begin());
+}
+
+}  // namespace anonpath::sim

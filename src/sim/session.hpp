@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/anonymity/types.hpp"
+#include "src/attack/disclosure.hpp"
+#include "src/workload/population.hpp"
+
+namespace anonpath::sim {
+
+/// Round-batched session mode: opens the time axis inside the simulator.
+/// The message workload is partitioned into `rounds` consecutive threshold
+/// batches; every message is addressed to a pseudonymous destination in a
+/// receiver population of `receiver_count` mailboxes behind the mix exit —
+/// background senders draw theirs from `receiver_law`, while the tracked
+/// `target_sender` always writes to `partner` (the persistent relationship
+/// under attack). Destinations are metadata riding on the existing traffic:
+/// routing, latency, and every rng draw of the historical pipeline are
+/// untouched, so a disabled session (`rounds == 0`, the default) is
+/// byte-identical to pre-session behavior and an enabled one reuses the
+/// run's exact per-message adversary observations as fusion evidence.
+struct session_config {
+  std::uint32_t rounds = 0;          ///< 0 = disabled (historical behavior)
+  std::uint32_t receiver_count = 0;  ///< pseudonym population (>= 2 if enabled)
+  workload::popularity_law receiver_law{};
+  node_id target_sender = 0;         ///< the persistent sender under attack
+  std::uint32_t partner = 0;         ///< their fixed destination pseudonym
+  /// Longitudinal engine run by scoring; `none` records destinations only.
+  attack::attack_kind attack = attack::attack_kind::none;
+
+  [[nodiscard]] bool enabled() const noexcept { return rounds > 0; }
+
+  [[nodiscard]] bool valid_for(std::uint32_t node_count,
+                               std::uint32_t message_count) const noexcept {
+    if (!enabled())
+      return receiver_count == 0 && attack == attack::attack_kind::none;
+    return receiver_count >= 2 && partner < receiver_count &&
+           target_sender < node_count && rounds <= message_count &&
+           receiver_law.valid();
+  }
+
+  /// "off" or e.g. "rounds=50;pop=20;sda" — stable CSV/CLI label.
+  [[nodiscard]] std::string label() const;
+
+  friend bool operator==(const session_config&,
+                         const session_config&) = default;
+};
+
+/// What session scoring adds to a sim_report (engaged only when the config
+/// enables a session with an attack).
+struct session_report {
+  std::uint32_t rounds = 0;
+  std::uint64_t target_messages = 0;  ///< messages the target actually sent
+  /// Final posterior summary over the receiver population.
+  double entropy_bits = 0.0;
+  double top_mass = 0.0;
+  std::uint32_t top_receiver = 0;
+  bool identified = false;  ///< top_mass > identified_threshold at the end
+  bool correct = false;     ///< top_receiver == config partner
+  /// First round whose posterior crossed the threshold; 0 = never (rounds
+  /// are 1-based in trajectories). A crossing can be transient — later
+  /// inconsistent evidence (loss) may collapse the posterior again — so
+  /// consumers wanting "identified, and when" must gate on `identified`,
+  /// as the campaign's rounds_to_identify column does.
+  std::uint32_t identified_round = 0;
+  std::vector<attack::trajectory_point> trajectory;  ///< one point per round
+};
+
+/// The destination plan: round index and destination pseudonym per message,
+/// indexed by message id - 1 (ids are 1-based). A pure function of
+/// (session, seed, per-message origins): the draws run on a dedicated rng
+/// stream in message-id order, so capture, inline scoring, and trace replay
+/// all reconstruct the identical plan without persisting it.
+struct session_assignment {
+  std::uint32_t round = 0;
+  std::uint32_t destination = 0;
+};
+
+/// Preconditions: session.enabled(); origins_by_msg[i] is the origin of
+/// message id i+1 and covers every message.
+[[nodiscard]] std::vector<session_assignment> assign_session_destinations(
+    const session_config& session, std::uint64_t seed,
+    std::span<const node_id> origins_by_msg);
+
+/// The lowest-id honest node under the run's *effective* corruption flags
+/// (for partial_coverage that is the seeded Bernoulli draw, not the
+/// configured list) — the canonical session target, since a compromised
+/// persistent sender is identified at submission, which would only flatten
+/// the longitudinal curves. Shared by the campaign expansion and the CLI
+/// so the two surfaces cannot drift. Degenerate case: if every node drew
+/// compromised, returns 0 (the session then only strengthens an adversary
+/// that already owns everything; never a crash).
+[[nodiscard]] node_id lowest_honest_node(
+    const std::vector<bool>& compromised_flags);
+
+/// The canonical partner pseudonym for auto-configured sessions: the
+/// mid-population id. Never 0 — summarize_posterior breaks argmax ties
+/// toward the smallest id, so a partner pinned at 0 would read "correct"
+/// off a completely uninformative (uniform) posterior — and never the
+/// Zipf head, which would conflate partnership with popularity.
+/// Precondition: receiver_count >= 2.
+[[nodiscard]] constexpr std::uint32_t canonical_partner(
+    std::uint32_t receiver_count) noexcept {
+  return receiver_count / 2;
+}
+
+}  // namespace anonpath::sim

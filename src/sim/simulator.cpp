@@ -90,6 +90,13 @@ core_result run_core(const sim_config& config,
   ANONPATH_EXPECTS(config.lengths.max_length() <= config.sys.node_count - 1);
   ANONPATH_EXPECTS(config.adversary.valid());
   ANONPATH_EXPECTS(config.churn.valid());
+  // Session destinations are metadata on source-routed traffic; hop-by-hop
+  // runs have no per-message inference to fuse with, so the combination is
+  // rejected rather than silently scored without evidence.
+  ANONPATH_EXPECTS(
+      config.session.valid_for(config.sys.node_count, config.message_count));
+  ANONPATH_EXPECTS(!config.session.enabled() ||
+                   config.mode == routing_mode::source_routed);
 
   const auto n = config.sys.node_count;
   // A restricted topology switches routing to the walk model; `complete`
@@ -198,6 +205,16 @@ sim_report score_run(const sim_config& config, const adversary_model& model,
                      const posterior_fn* engine, const net::topology* graph) {
   sim_report report;
   report.submitted = config.message_count;
+  // Per-message Pr(sender == target) for the sequential-Bayes fusion: the
+  // rerouting layer's evidence about who originated each delivery, fed to
+  // the longitudinal attack as soft round membership. Indexed by id - 1
+  // (ids are dense 1..message_count); 0 = unscored, which downstream reads
+  // as "the adversary saw nothing about this delivery".
+  const bool want_target_mass =
+      config.session.enabled() &&
+      config.session.attack == attack::attack_kind::sequential_bayes;
+  std::vector<double> target_mass(want_target_mass ? config.message_count : 0,
+                                  0.0);
   for (const auto& [id, outcome] : outcomes) {
     if (!outcome.delivered) continue;
     ++report.delivered;
@@ -262,6 +279,8 @@ sim_report score_run(const sim_config& config, const adversary_model& model,
       else if (!restricted) walk_post = exact->sender_posterior(obs);
       const std::vector<double>& post = walk_post;
       entropy_acc.add(entropy_bits(post));
+      if (want_target_mass && id >= 1 && id <= config.message_count)
+        target_mass[id - 1] = post[config.session.target_sender];
       if (config.collect_posteriors) report.posteriors.push_back(post);
       const auto top =
           std::max_element(post.begin(), post.end()) - post.begin();
@@ -290,6 +309,84 @@ sim_report score_run(const sim_config& config, const adversary_model& model,
   } else {
     report.empirical_entropy_bits = std::numeric_limits<double>::quiet_NaN();
     report.empirical_entropy_stderr = std::numeric_limits<double>::quiet_NaN();
+  }
+
+  if (config.session.enabled() &&
+      config.session.attack != attack::attack_kind::none) {
+    // Reconstruct the destination plan (a pure function of config, seed and
+    // origins — identical on the inline and replay paths) and batch the
+    // delivered destinations into per-round observations.
+    ANONPATH_EXPECTS(outcomes.size() == config.message_count);
+    std::vector<node_id> origins(config.message_count);
+    for (const auto& [id, outcome] : outcomes) {
+      ANONPATH_EXPECTS(id >= 1 && id <= config.message_count);
+      origins[id - 1] = outcome.origin;
+    }
+    const std::vector<session_assignment> plan =
+        assign_session_destinations(config.session, config.seed, origins);
+
+    struct round_data {
+      bool target_present = false;
+      std::vector<node_id> receivers;
+      std::vector<double> weights;
+    };
+    std::vector<round_data> rounds(config.session.rounds);
+    std::uint64_t target_messages = 0;
+    for (std::uint64_t id = 1; id <= config.message_count; ++id) {
+      const session_assignment& a = plan[id - 1];
+      round_data& rd = rounds[a.round];
+      // Submission membership is public in a batching mix, delivered or not.
+      if (origins[id - 1] == config.session.target_sender) {
+        rd.target_present = true;
+        ++target_messages;
+      }
+      if (!outcomes.at(id).delivered) continue;
+      rd.receivers.push_back(a.destination);
+      // Deliveries the adversary never observed (or could not explain)
+      // carry weight 0: the residual mass in the Bayes update covers them.
+      if (want_target_mass) rd.weights.push_back(target_mass[id - 1]);
+    }
+
+    // Two ways a target-present round can lack partner evidence: the
+    // target's messages were dropped before delivery (drop_probability),
+    // or they were delivered but the collector missed/mislinked them —
+    // possible exactly when the adversary is not the full coalition
+    // (partial coverage loses reports, the timing correlator mislinks).
+    // Either way the Bayes engine needs a noise floor so one such round
+    // cannot irreversibly annihilate the true partner; 0.25 is a coarse
+    // stand-in for the unobserved-message probability, which depends on
+    // the realized corrupted set per path and has no closed form here.
+    const bool lossy_observation =
+        config.adversary.kind != adversary_kind::full_coalition;
+    attack::sequential_bayes_config bayes;
+    bayes.membership_noise = std::min(
+        std::max(config.drop_probability, lossy_observation ? 0.25 : 0.0),
+        0.9);
+    const auto engine_ptr = attack::make_attack(
+        config.session.attack, config.session.receiver_count, bayes);
+    session_report sr;
+    sr.rounds = config.session.rounds;
+    sr.target_messages = target_messages;
+    sr.trajectory.reserve(rounds.size());
+    attack::round_observation obs;
+    for (std::uint32_t r = 0; r < rounds.size(); ++r) {
+      obs.target_present = rounds[r].target_present;
+      obs.receivers = std::move(rounds[r].receivers);
+      obs.target_weight = std::move(rounds[r].weights);
+      engine_ptr->observe_round(obs);
+      const attack::trajectory_point pt = attack::summarize_posterior(
+          engine_ptr->posterior(), r + 1, config.identified_threshold);
+      if (pt.identified && sr.identified_round == 0)
+        sr.identified_round = pt.round;
+      sr.trajectory.push_back(pt);
+    }
+    const attack::trajectory_point& last = sr.trajectory.back();
+    sr.entropy_bits = last.entropy_bits;
+    sr.top_mass = last.top_mass;
+    sr.top_receiver = last.top_receiver;
+    sr.identified = last.identified;
+    sr.correct = last.top_receiver == config.session.partner;
+    report.session = std::move(sr);
   }
   return report;
 }

@@ -14,6 +14,7 @@
 #include "src/net/topology.hpp"
 #include "src/sim/adversary.hpp"
 #include "src/sim/latency.hpp"
+#include "src/sim/session.hpp"
 #include "src/stats/summary.hpp"
 
 namespace anonpath::sim {
@@ -57,6 +58,11 @@ struct sim_config {
   /// bit for bit; enabled, relays go down and up on seeded renewal
   /// processes and transmissions strand at dead hops (undelivered).
   net::churn_config churn{};
+  /// Round-batched session mode (src/sim/session.hpp): pseudonymous
+  /// destinations over mix rounds plus an optional longitudinal disclosure
+  /// attack scored per round. Disabled (the default) is byte-identical to
+  /// pre-session behavior; enabled requires source_routed mode.
+  session_config session{};
 };
 
 /// Results of a simulation run.
@@ -89,6 +95,9 @@ struct sim_report {
   /// Only filled when sim_config::collect_posteriors is set on a
   /// source-routed run; empty otherwise.
   std::vector<std::vector<double>> posteriors;
+  /// Longitudinal attack results; engaged only when the config enables a
+  /// session with an attack kind other than none.
+  std::optional<session_report> session;
 };
 
 /// Builds the network, relays, receiver, adversary and workload from the

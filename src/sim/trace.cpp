@@ -131,10 +131,21 @@ void write_trace(const sim_trace& trace, std::ostream& os) {
   put_double(os, c.identified_threshold);
   os << '\n';
   os << "collect " << (c.collect_posteriors ? 1 : 0) << '\n';
-  // Topology and churn ride as optional extension lines, written only when
-  // they differ from the historical defaults: every pre-topology config
-  // still serializes byte-identically (the committed golden trace pins
-  // this), and absent lines parse back to the defaults.
+  // Session, topology and churn ride as optional extension lines, written
+  // only when they differ from the historical defaults: every pre-extension
+  // config still serializes byte-identically (the committed golden trace
+  // pins this), and absent lines parse back to the defaults.
+  if (c.session.enabled()) {
+    os << "session " << c.session.rounds << ' ' << c.session.receiver_count
+       << ' '
+       << (c.session.receiver_law.kind == workload::popularity_kind::uniform
+               ? "uniform"
+               : "zipf")
+       << ' ';
+    put_double(os, c.session.receiver_law.exponent);
+    os << ' ' << c.session.target_sender << ' ' << c.session.partner << ' '
+       << attack::attack_kind_label(c.session.attack) << '\n';
+  }
   if (c.topology.kind != net::topology_kind::complete) {
     os << "topology " << topology_kind_name(c.topology.kind) << ' '
        << c.topology.ring_k << ' ' << c.topology.degree << ' '
@@ -257,11 +268,43 @@ sim_trace read_trace(std::istream& is) {
   // stays one-to-one with the writer: each section at most once, and the
   // never-written defaults ("topology complete", churn rate 0) are
   // rejected so write(read(t)) is byte-identical to any accepted t.
+  bool saw_session = false;
   bool saw_topology = false;
   bool saw_churn = false;
   std::string section = next_token(is, "compromised");
-  while (section == "topology" || section == "churn") {
-    if (section == "topology") {
+  while (section == "session" || section == "topology" || section == "churn") {
+    if (section == "session") {
+      if (saw_session) bad("duplicate 'session' section");
+      if (saw_topology || saw_churn)
+        bad("'session' section must precede 'topology' and 'churn'");
+      saw_session = true;
+      c.session.rounds = get_u32(is, "session rounds");
+      c.session.receiver_count = get_u32(is, "session receiver count");
+      const std::string law = next_token(is, "session receiver law");
+      if (law == "uniform")
+        c.session.receiver_law.kind = workload::popularity_kind::uniform;
+      else if (law == "zipf")
+        c.session.receiver_law.kind = workload::popularity_kind::zipf;
+      else bad("unknown session receiver law '" + law + "'");
+      c.session.receiver_law.exponent = get_double(is, "session law exponent");
+      c.session.target_sender = get_u32(is, "session target sender");
+      c.session.partner = get_u32(is, "session partner");
+      const std::string atk = next_token(is, "session attack kind");
+      const auto parsed = attack::parse_attack_kind(atk);
+      // Canonical labels only (no CLI aliases like "bayes"): the writer
+      // emits attack_kind_label, and write(read(t)) must be byte-identical
+      // for any accepted t.
+      if (!parsed || attack::attack_kind_label(*parsed) != atk)
+        bad("unknown session attack kind '" + atk + "'");
+      c.session.attack = *parsed;
+      // The never-written default (rounds 0) is rejected so write(read(t))
+      // stays byte-identical, same as topology/churn.
+      if (!c.session.enabled() ||
+          !c.session.valid_for(c.sys.node_count, c.message_count))
+        bad("session parameters out of range");
+      if (c.mode != routing_mode::source_routed)
+        bad("session mode requires source_routed routing");
+    } else if (section == "topology") {
       if (saw_topology) bad("duplicate 'topology' section");
       if (saw_churn) bad("'topology' section must precede 'churn'");
       saw_topology = true;

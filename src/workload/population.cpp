@@ -1,0 +1,147 @@
+#include "src/workload/population.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/stats/contract.hpp"
+#include "src/stats/kahan.hpp"
+#include "src/stats/rng.hpp"
+
+namespace anonpath::workload {
+
+namespace {
+
+/// Stream-index salts keeping setup draws disjoint from per-round draws:
+/// rounds use indices 0 .. round_count-1 (round_count < 2^32), setup
+/// streams live in the high half of the 64-bit index space.
+constexpr std::uint64_t pair_sender_stream = 0xFFFFFFFF00000001ULL;
+constexpr std::uint64_t pair_receiver_stream = 0xFFFFFFFF00000002ULL;
+
+/// Poisson draw by counting unit-rate exponential arrivals until their sum
+/// passes lambda — the log-space form of Knuth's product-of-uniforms, which
+/// underflows to a hard ~745 cap once exp(-lambda) rounds to zero. This
+/// form is exact for any lambda; O(lambda) per call, fine for per-round
+/// batch sizes (the timed mix collects at most a few thousand messages per
+/// interval).
+std::uint32_t poisson_draw(double lambda, stats::rng& gen) {
+  if (lambda <= 0.0) return 0;
+  std::uint32_t k = 0;
+  double sum = 0.0;
+  for (;;) {
+    sum += -std::log(std::max(gen.next_double(), 1e-300));
+    if (sum >= lambda) return k;
+    ++k;
+  }
+}
+
+}  // namespace
+
+std::string popularity_law::label() const {
+  if (kind == popularity_kind::uniform) return "uniform";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "zipf(%g)", exponent);
+  return buf;
+}
+
+std::vector<double> popularity_pmf(const popularity_law& law,
+                                   std::uint32_t count) {
+  ANONPATH_EXPECTS(law.valid());
+  ANONPATH_EXPECTS(count >= 1);
+  std::vector<double> pmf(count);
+  if (law.kind == popularity_kind::uniform) {
+    const double p = 1.0 / static_cast<double>(count);
+    for (double& x : pmf) x = p;
+    return pmf;
+  }
+  stats::kahan_sum z;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    pmf[i] = std::pow(static_cast<double>(i) + 1.0, -law.exponent);
+    z.add(pmf[i]);
+  }
+  for (double& x : pmf) x /= z.value();
+  return pmf;
+}
+
+std::string population_config::label() const {
+  char buf[160];
+  if (mode == round_mode::threshold) {
+    std::snprintf(buf, sizeof buf, "U=%u,P=%u,R=%u,M=%u,thr=%u,recv=%s",
+                  user_count, receiver_count, round_count, persistent_pairs,
+                  round_size, receiver_law.label().c_str());
+  } else {
+    std::snprintf(buf, sizeof buf, "U=%u,P=%u,R=%u,M=%u,timed=%g*%g,recv=%s",
+                  user_count, receiver_count, round_count, persistent_pairs,
+                  arrival_rate, round_interval, receiver_law.label().c_str());
+  }
+  return buf;
+}
+
+population::population(population_config cfg) : cfg_(cfg) {
+  ANONPATH_EXPECTS(cfg_.valid());
+  if (cfg_.sender_law.kind != popularity_kind::uniform)
+    sender_sampler_.emplace(popularity_pmf(cfg_.sender_law, cfg_.user_count));
+  if (cfg_.receiver_law.kind != popularity_kind::uniform)
+    receiver_sampler_.emplace(
+        popularity_pmf(cfg_.receiver_law, cfg_.receiver_count));
+
+  // Persistent placement on setup-only streams: distinct senders (one
+  // long-term relationship per tracked user), receivers from the background
+  // law (a popular receiver can also be somebody's long-term partner, which
+  // is exactly the hard case for background subtraction).
+  stats::rng sender_gen = stats::rng::stream(cfg_.seed, pair_sender_stream);
+  stats::rng receiver_gen =
+      stats::rng::stream(cfg_.seed, pair_receiver_stream);
+  const auto senders =
+      sender_gen.sample_distinct(cfg_.user_count, cfg_.persistent_pairs, {});
+  pairs_.reserve(cfg_.persistent_pairs);
+  for (std::uint32_t i = 0; i < cfg_.persistent_pairs; ++i) {
+    persistent_pair p;
+    p.sender = senders[i];
+    p.receiver = receiver_sampler_
+                     ? static_cast<node_id>(
+                           receiver_sampler_->sample(receiver_gen))
+                     : static_cast<node_id>(
+                           receiver_gen.next_below(cfg_.receiver_count));
+    pairs_.push_back(p);
+  }
+}
+
+round_batch population::round(std::uint32_t index) const {
+  ANONPATH_EXPECTS(index < cfg_.round_count);
+  stats::rng gen = stats::rng::stream(cfg_.seed, index);
+  round_batch b;
+  b.round = index;
+
+  // Persistent emissions first (ascending pair order — the documented
+  // ground-truth prefix).
+  for (std::uint32_t p = 0; p < pairs_.size(); ++p) {
+    if (!gen.next_bernoulli(cfg_.persistent_rate)) continue;
+    b.active_pairs.push_back(p);
+    b.senders.push_back(pairs_[p].sender);
+    b.receivers.push_back(pairs_[p].receiver);
+  }
+
+  // Background fill: to the threshold (a threshold mix fires *at* its batch
+  // size, so persistent emissions displace background), or the timed
+  // interval's Poisson count.
+  const std::uint32_t emitted = static_cast<std::uint32_t>(b.senders.size());
+  const std::uint32_t background =
+      cfg_.mode == round_mode::threshold
+          ? (cfg_.round_size > emitted ? cfg_.round_size - emitted : 0)
+          : poisson_draw(cfg_.arrival_rate * cfg_.round_interval, gen);
+  b.senders.reserve(emitted + background);
+  b.receivers.reserve(emitted + background);
+  for (std::uint32_t i = 0; i < background; ++i) {
+    b.senders.push_back(
+        sender_sampler_
+            ? static_cast<node_id>(sender_sampler_->sample(gen))
+            : static_cast<node_id>(gen.next_below(cfg_.user_count)));
+    b.receivers.push_back(
+        receiver_sampler_
+            ? static_cast<node_id>(receiver_sampler_->sample(gen))
+            : static_cast<node_id>(gen.next_below(cfg_.receiver_count)));
+  }
+  return b;
+}
+
+}  // namespace anonpath::workload

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/anonymity/types.hpp"
+#include "src/stats/discrete_sampler.hpp"
+
+namespace anonpath::workload {
+
+/// Population-scale traffic modelling: the longitudinal threat surface the
+/// per-message analysis cannot see. A handful of *persistent* (sender ->
+/// receiver) pairs re-communicate across mix rounds, embedded in background
+/// traffic drawn from configurable popularity laws; what one round leaks is
+/// bounded by the paper's per-message strategy, but *set membership across
+/// rounds* erodes anonymity round by round (Ando-Lysyanskaya-Upfal; the
+/// statistical disclosure literature). src/attack consumes these rounds.
+
+/// How background senders/receivers are distributed over the population.
+enum class popularity_kind : std::uint8_t { uniform, zipf };
+
+struct popularity_law {
+  popularity_kind kind = popularity_kind::uniform;
+  /// zipf only: weight of rank i is (i+1)^-exponent; must be > 0.
+  double exponent = 1.0;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return kind == popularity_kind::uniform || exponent > 0.0;
+  }
+
+  /// "uniform" or "zipf(1.2)" — stable label for CSV/CLI surfaces.
+  [[nodiscard]] std::string label() const;
+
+  friend bool operator==(const popularity_law&,
+                         const popularity_law&) = default;
+};
+
+/// The law's pmf over `count` categories (rank order; no shuffling — user
+/// ids double as popularity ranks). Preconditions: law.valid(), count >= 1.
+[[nodiscard]] std::vector<double> popularity_pmf(const popularity_law& law,
+                                                 std::uint32_t count);
+
+/// When a mix round fires: `threshold` batches exactly round_size messages
+/// per round; `timed` collects a Poisson(arrival_rate * round_interval)
+/// count of background messages per interval.
+enum class round_mode : std::uint8_t { threshold, timed };
+
+/// A seeded population traffic model: M persistent pairs plus background.
+struct population_config {
+  std::uint64_t seed = 1;
+  std::uint32_t user_count = 1000;      ///< sender population size
+  std::uint32_t receiver_count = 1000;  ///< receiver population size
+  std::uint32_t round_count = 100;      ///< mix rounds to model
+  std::uint32_t persistent_pairs = 1;   ///< M tracked (sender, receiver) pairs
+  double persistent_rate = 1.0;         ///< per-round send prob. of each pair
+  round_mode mode = round_mode::threshold;
+  std::uint32_t round_size = 32;        ///< threshold: messages per round
+  double arrival_rate = 32.0;           ///< timed: background msgs/second
+  double round_interval = 1.0;          ///< timed: seconds per round
+  popularity_law sender_law{};          ///< background sender popularity
+  popularity_law receiver_law{};        ///< background receiver popularity
+
+  [[nodiscard]] bool valid() const noexcept {
+    return user_count >= 1 && receiver_count >= 1 && round_count >= 1 &&
+           persistent_pairs <= user_count && persistent_rate >= 0.0 &&
+           persistent_rate <= 1.0 && sender_law.valid() &&
+           receiver_law.valid() &&
+           (mode == round_mode::threshold
+                ? round_size >= 1
+                : arrival_rate >= 0.0 && round_interval > 0.0);
+  }
+
+  /// Compact label, e.g. "U=1000,R=100,M=1,thr=32,recv=zipf(1.2)".
+  [[nodiscard]] std::string label() const;
+};
+
+/// One tracked long-term communication relationship.
+struct persistent_pair {
+  node_id sender = 0;
+  node_id receiver = 0;
+
+  friend bool operator==(const persistent_pair&,
+                         const persistent_pair&) = default;
+};
+
+/// One mix round, as the batching mix fires it. The adversary's view is the
+/// sender multiset and the receiver multiset (membership, never the
+/// per-message bijection); `active_pairs` is evaluator-only ground truth.
+struct round_batch {
+  std::uint32_t round = 0;
+  /// Parallel per-message arrays: message i goes senders[i] -> receivers[i].
+  /// The first active_pairs.size() messages are the persistent emissions, in
+  /// ascending pair order; the rest are background.
+  std::vector<node_id> senders;
+  std::vector<node_id> receivers;
+  /// Indices (into population::pairs()) of the pairs that emitted this
+  /// round, ascending. Ground truth for evaluation — not adversary-visible.
+  std::vector<std::uint32_t> active_pairs;
+};
+
+/// The generator: builds the pair placement and popularity tables once, then
+/// materializes any round on demand. round(i) is a pure function of
+/// (config.seed, i) via a dedicated stats::rng::stream per round, so rounds
+/// can be generated in any order, on any thread, with no shared mutable
+/// state — the property the sharded co-occurrence accumulator and every
+/// determinism guarantee in this subsystem rest on. Scales to 1e5 users x
+/// 1e4 rounds: per-round cost is O(messages * log-free alias draws) and no
+/// cross-round state is ever materialized.
+class population {
+ public:
+  /// Precondition: cfg.valid(). Persistent senders are a uniform distinct
+  /// sample of the user population; persistent receivers draw from the
+  /// receiver law (both on setup-only rng streams).
+  explicit population(population_config cfg);
+
+  [[nodiscard]] const population_config& config() const noexcept {
+    return cfg_;
+  }
+  [[nodiscard]] const std::vector<persistent_pair>& pairs() const noexcept {
+    return pairs_;
+  }
+
+  /// Materializes round `index`. Thread-safe (const, no mutable state) and
+  /// deterministic: depends only on (config.seed, index).
+  /// Precondition: index < config().round_count.
+  [[nodiscard]] round_batch round(std::uint32_t index) const;
+
+ private:
+  population_config cfg_;
+  std::vector<persistent_pair> pairs_;
+  /// Alias tables for non-uniform laws; disengaged for uniform (a plain
+  /// next_below draw is cheaper and needs no table).
+  std::optional<stats::discrete_sampler> sender_sampler_;
+  std::optional<stats::discrete_sampler> receiver_sampler_;
+};
+
+}  // namespace anonpath::workload

@@ -1,0 +1,108 @@
+// Golden-file regression for the session/attack axes: a 2-population x
+// 2-attack campaign CSV pinned byte for byte (any drift in the destination
+// plan, round batching, attack scoring, aggregation, or the conditional
+// session columns trips it), the thread-count invariance of a session
+// campaign, and the no-session CSV's byte-compatibility contract.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/sim/campaign.hpp"
+
+namespace anonpath::sim {
+namespace {
+
+/// The pinned grid: populations {12, 24} x attacks {sda, sequential_bayes}.
+campaign_grid golden_grid() {
+  campaign_grid grid;
+  grid.node_counts = {20};
+  grid.compromised_counts = {2};
+  grid.lengths = {path_length_distribution::uniform(1, 4)};
+  grid.message_count = 600;
+  grid.populations = {12, 24};
+  grid.session_rounds = {30};
+  grid.attacks = {attack::attack_kind::sda,
+                  attack::attack_kind::sequential_bayes};
+  grid.session_receiver_law = {workload::popularity_kind::zipf, 1.0};
+  return grid;
+}
+
+TEST(AttackGolden, CampaignCsvMatchesCommittedFixture) {
+  campaign_config cfg;
+  cfg.replicas = 2;
+  cfg.master_seed = 17;
+  cfg.threads = 2;
+  const auto result = run_campaign(golden_grid(), cfg);
+  ASSERT_EQ(result.cells.size(), 4u);
+
+  std::ostringstream os;
+  write_csv(result, os);
+
+  const std::string path =
+      std::string(ANONPATH_TEST_DATA_DIR) + "/golden/campaign_attack.csv";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden fixture " << path;
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(os.str(), want.str())
+      << "session campaign drifted from the committed golden; if the "
+         "change is intended, regenerate tests/golden/campaign_attack.csv";
+}
+
+TEST(AttackGolden, SessionCampaignIsThreadCountInvariant) {
+  campaign_config one;
+  one.replicas = 2;
+  one.master_seed = 29;
+  one.threads = 1;
+  campaign_config eight = one;
+  eight.threads = 8;
+  std::ostringstream a, b;
+  write_csv(run_campaign(golden_grid(), one), a);
+  write_csv(run_campaign(golden_grid(), eight), b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(AttackGolden, SessionlessCsvKeepsHistoricalColumns) {
+  // The conditional-column contract: a grid that never enables sessions
+  // renders the pre-session header (no attack columns), so pre-PR
+  // consumers and the committed topology golden stay byte-identical.
+  campaign_grid grid;
+  grid.node_counts = {12};
+  grid.compromised_counts = {1};
+  grid.lengths = {path_length_distribution::fixed(2)};
+  grid.message_count = 60;
+  campaign_config cfg;
+  cfg.replicas = 1;
+  std::ostringstream os;
+  write_csv(run_campaign(grid, cfg), os);
+  const std::string header = os.str().substr(0, os.str().find('\n'));
+  EXPECT_EQ(header.find("population"), std::string::npos);
+  EXPECT_EQ(header.find("attack"), std::string::npos);
+  EXPECT_EQ(header.substr(header.size() - 25), "top1_accuracy,top1_stderr");
+}
+
+TEST(AttackGolden, IncoherentSessionCellsAreSkipped) {
+  // population without rounds (and vice versa), attacks without sessions,
+  // and session x hop-by-hop are all filtered at expansion, loudly visible
+  // as skipped cells rather than invalid runs.
+  campaign_grid grid;
+  grid.node_counts = {12};
+  grid.compromised_counts = {1};
+  grid.lengths = {path_length_distribution::fixed(2)};
+  grid.message_count = 60;
+  grid.populations = {0, 10};
+  grid.session_rounds = {0, 20};
+  grid.attacks = {attack::attack_kind::none, attack::attack_kind::sda};
+  // Coherent: (0,0,none), (10,20,none), (10,20,sda). Everything else skips.
+  EXPECT_EQ(expand_grid(grid).size(), 3u);
+
+  grid.modes = {routing_mode::hop_by_hop};
+  // Hop-by-hop keeps only the session-less cell.
+  EXPECT_EQ(expand_grid(grid).size(), 1u);
+}
+
+}  // namespace
+}  // namespace anonpath::sim

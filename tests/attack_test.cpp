@@ -1,0 +1,333 @@
+// Unit tests for the longitudinal disclosure-attack family: intersection
+// semantics and the hitting-set oracle, SDA estimation/confidence, the
+// sequential-Bayes update in crisp and soft (fusion-weight) modes, and the
+// trajectory runner.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/attack/disclosure.hpp"
+#include "src/attack/intersection.hpp"
+#include "src/attack/sda.hpp"
+#include "src/attack/sequential_bayes.hpp"
+#include "src/stats/contract.hpp"
+
+namespace anonpath::attack {
+namespace {
+
+round_observation target_round(std::vector<node_id> receivers) {
+  round_observation obs;
+  obs.target_present = true;
+  obs.receivers = std::move(receivers);
+  return obs;
+}
+
+round_observation background_round(std::vector<node_id> receivers) {
+  round_observation obs;
+  obs.target_present = false;
+  obs.receivers = std::move(receivers);
+  return obs;
+}
+
+TEST(AttackKinds, LabelsRoundTrip) {
+  for (const attack_kind k :
+       {attack_kind::none, attack_kind::intersection, attack_kind::sda,
+        attack_kind::sequential_bayes}) {
+    const auto parsed = parse_attack_kind(attack_kind_label(k));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_EQ(parse_attack_kind("bayes"), attack_kind::sequential_bayes);
+  EXPECT_FALSE(parse_attack_kind("frequency").has_value());
+  EXPECT_THROW(make_attack(attack_kind::none, 10), contract_violation);
+}
+
+TEST(IntersectionAttack, NarrowsToThePartner) {
+  intersection_attack atk(6);
+  // Partner 4 is in every target round; each other receiver misses one.
+  atk.observe_round(target_round({4, 0, 1, 2}));
+  EXPECT_EQ(atk.candidates(), (std::vector<node_id>{0, 1, 2, 4}));
+  atk.observe_round(target_round({4, 0, 1, 3}));
+  EXPECT_EQ(atk.candidates(), (std::vector<node_id>{0, 1, 4}));
+  atk.observe_round(target_round({4, 1, 5}));
+  EXPECT_EQ(atk.candidates(), (std::vector<node_id>{1, 4}));
+  atk.observe_round(target_round({4, 0, 5}));
+  EXPECT_EQ(atk.candidates(), (std::vector<node_id>{4}));
+  const auto post = atk.posterior();
+  EXPECT_DOUBLE_EQ(post[4], 1.0);
+  for (node_id r : {0u, 1u, 2u, 3u, 5u}) EXPECT_DOUBLE_EQ(post[r], 0.0);
+}
+
+TEST(IntersectionAttack, BackgroundRoundsCarryNoSetEvidence) {
+  intersection_attack atk(5);
+  atk.observe_round(target_round({2, 3}));
+  atk.observe_round(background_round({0, 1, 4}));
+  EXPECT_EQ(atk.candidates(), (std::vector<node_id>{2, 3}));
+}
+
+TEST(IntersectionAttack, EmptyTargetRoundIsLossNotContradiction) {
+  // A target round where nothing was delivered (total loss) carries no set
+  // evidence; it must not empty the intersection and disable the attack.
+  intersection_attack atk(5);
+  atk.observe_round(target_round({2, 3}));
+  atk.observe_round(target_round({}));
+  EXPECT_TRUE(atk.consistent());
+  EXPECT_EQ(atk.candidates(), (std::vector<node_id>{2, 3}));
+  atk.observe_round(target_round({2}));
+  EXPECT_EQ(atk.candidates(), (std::vector<node_id>{2}));
+}
+
+TEST(IntersectionAttack, InconsistentEvidenceDegradesToUniform) {
+  intersection_attack atk(4);
+  atk.observe_round(target_round({1}));
+  // The target's message was dropped this round: disjoint receiver set.
+  atk.observe_round(target_round({2, 3}));
+  EXPECT_FALSE(atk.consistent());
+  const auto post = atk.posterior();
+  for (double p : post) EXPECT_DOUBLE_EQ(p, 0.25);
+}
+
+TEST(HittingSets, SingletonAndPairInstances) {
+  // {0,1},{1,2},{1,3}: 1 hits everything alone.
+  EXPECT_EQ(minimum_hitting_sets({{0, 1}, {1, 2}, {1, 3}}, 4),
+            (std::vector<std::vector<node_id>>{{1}}));
+  // {0,1},{2,3}: no singleton; all four cross pairs, lexicographic.
+  EXPECT_EQ(minimum_hitting_sets({{0, 1}, {2, 3}}, 4),
+            (std::vector<std::vector<node_id>>{{0, 2}, {0, 3}, {1, 2},
+                                               {1, 3}}));
+  // Disjoint singletons force size 3.
+  EXPECT_EQ(minimum_hitting_sets({{0}, {1}, {2}}, 3),
+            (std::vector<std::vector<node_id>>{{0, 1, 2}}));
+  EXPECT_THROW(minimum_hitting_sets({}, 3), contract_violation);
+  EXPECT_THROW(minimum_hitting_sets({{21}}, 22), contract_violation);
+}
+
+TEST(SdaAttack, RecoversThePartnerWithConfidence) {
+  // Partner 7 in every target round over uniform background on 10
+  // receivers; rotating background keeps non-partners symmetric.
+  sda_attack atk(10);
+  for (std::uint32_t r = 0; r < 60; ++r) {
+    atk.observe_round(target_round(
+        {7, static_cast<node_id>(r % 7), static_cast<node_id>((r + 3) % 7)}));
+    atk.observe_round(background_round(
+        {static_cast<node_id>(r % 10), static_cast<node_id>((r + 5) % 10)}));
+  }
+  const auto signal = atk.signal();
+  const auto top =
+      std::max_element(signal.begin(), signal.end()) - signal.begin();
+  EXPECT_EQ(top, 7);
+  // The estimator targets the target's sending pmf: a point mass on 7.
+  EXPECT_NEAR(signal[7], 1.0, 0.25);
+  const auto z = atk.confidence();
+  EXPECT_GT(z[7], 5.0) << "partner should be many sigma above the null";
+  for (node_id r = 0; r < 7; ++r)
+    EXPECT_LT(z[r], 3.5) << "non-partner " << r;
+  const auto post = atk.posterior();
+  EXPECT_EQ(std::max_element(post.begin(), post.end()) - post.begin(), 7);
+}
+
+TEST(SdaAttack, UniformBeforeEvidence) {
+  sda_attack atk(4);
+  atk.observe_round(background_round({0, 1}));
+  for (double p : atk.posterior()) EXPECT_DOUBLE_EQ(p, 0.25);
+}
+
+TEST(SequentialBayes, CrispModeEliminatesAbsentReceivers) {
+  // With a known uniform background, one round annihilates every receiver
+  // not in it — matching intersection semantics exactly.
+  sequential_bayes_config cfg;
+  cfg.background_pmf = std::vector<double>(6, 1.0 / 6.0);
+  sequential_bayes_attack atk(6, cfg);
+  atk.observe_round(target_round({4, 0, 1}));
+  auto post = atk.posterior();
+  EXPECT_DOUBLE_EQ(post[2], 0.0);
+  EXPECT_DOUBLE_EQ(post[3], 0.0);
+  EXPECT_DOUBLE_EQ(post[5], 0.0);
+  atk.observe_round(target_round({4, 2, 3}));
+  post = atk.posterior();
+  EXPECT_DOUBLE_EQ(post[4], 1.0);
+}
+
+TEST(SequentialBayes, CrispResidualIsExactlyZeroForAnyRoundSize) {
+  // m = 49 is the smallest round size where the float sum of m copies of
+  // 1/m lands below 1, which used to leave a 1-ulp residual and keep
+  // absent receivers alive at ~5e-17 instead of annihilating them.
+  sequential_bayes_config cfg;
+  cfg.background_pmf = std::vector<double>(60, 1.0 / 60.0);
+  sequential_bayes_attack atk(60, cfg);
+  std::vector<node_id> receivers(49);
+  for (std::size_t j = 0; j < receivers.size(); ++j)
+    receivers[j] = static_cast<node_id>(j % 40);  // 40..59 absent
+  atk.observe_round(target_round(std::move(receivers)));
+  const auto post = atk.posterior();
+  for (node_id r = 40; r < 60; ++r)
+    EXPECT_EQ(post[r], 0.0) << "receiver " << r << " must be annihilated";
+}
+
+TEST(SequentialBayes, PopularReceiversNeedMoreEvidence) {
+  // Against a skewed known background, co-occurrence with a popular
+  // receiver is weaker evidence than with an unpopular one: after one round
+  // containing both, the unpopular receiver ranks higher.
+  sequential_bayes_config cfg;
+  cfg.background_pmf = {0.7, 0.1, 0.1, 0.1};
+  sequential_bayes_attack atk(4, cfg);
+  atk.observe_round(target_round({0, 1}));
+  const auto post = atk.posterior();
+  EXPECT_GT(post[1], post[0]);
+}
+
+TEST(SequentialBayes, OnlineBackgroundLearningIdentifies) {
+  // No configured pmf: q is learned from background rounds. Partner 9 with
+  // rotating uniform-ish background still converges.
+  sequential_bayes_attack atk(12);
+  for (std::uint32_t r = 0; r < 40; ++r) {
+    atk.observe_round(background_round({static_cast<node_id>(r % 12),
+                                        static_cast<node_id>((r + 4) % 12)}));
+    atk.observe_round(target_round(
+        {9, static_cast<node_id>(r % 9), static_cast<node_id>((r + 2) % 9)}));
+  }
+  const auto post = atk.posterior();
+  EXPECT_EQ(std::max_element(post.begin(), post.end()) - post.begin(), 9);
+  EXPECT_GT(post[9], 0.99);
+}
+
+TEST(SequentialBayes, SoftWeightsKeepUnobservedRoundsSurvivable) {
+  // All weights zero (the adversary saw nothing): evidence is the residual
+  // alone, identical for every receiver — the posterior must stay uniform,
+  // where crisp mode would have annihilated the absentees.
+  sequential_bayes_config cfg;
+  cfg.background_pmf = std::vector<double>(5, 0.2);
+  sequential_bayes_attack atk(5, cfg);
+  round_observation obs = target_round({1, 2});
+  obs.target_weight = {0.0, 0.0};
+  atk.observe_round(obs);
+  for (double p : atk.posterior()) EXPECT_DOUBLE_EQ(p, 0.2);
+
+  // Confident weight on the message to receiver 3 dominates a diffuse one.
+  round_observation strong = target_round({3, 4});
+  strong.target_weight = {0.9, 0.05};
+  atk.observe_round(strong);
+  const auto post = atk.posterior();
+  EXPECT_GT(post[3], post[4]);
+  EXPECT_GT(post[4], 0.0) << "soft mode must not annihilate";
+}
+
+TEST(SequentialBayes, DuplicateReceiverWithZeroWeightAppliesEvidenceOnce) {
+  // A zero-weight delivery used to re-push the receiver into the touched
+  // list (scratch still 0), double-applying the round's likelihood ratio.
+  // Weight order for the same receiver must not matter.
+  sequential_bayes_config cfg;
+  cfg.background_pmf = std::vector<double>(6, 1.0 / 6.0);
+  sequential_bayes_attack a(6, cfg);
+  round_observation zero_first = target_round({3, 3, 1});
+  zero_first.target_weight = {0.0, 0.5, 0.2};
+  a.observe_round(zero_first);
+
+  sequential_bayes_attack b(6, cfg);
+  round_observation zero_last = target_round({3, 3, 1});
+  zero_last.target_weight = {0.5, 0.0, 0.2};
+  b.observe_round(zero_last);
+
+  const auto pa = a.posterior();
+  const auto pb = b.posterior();
+  for (node_id r = 0; r < 6; ++r) EXPECT_DOUBLE_EQ(pa[r], pb[r]) << r;
+}
+
+TEST(SequentialBayes, MembershipNoiseSurvivesMisattributedRounds) {
+  // One partnerless "target" round (a coincidental background send, or the
+  // target's message dropped) between clean rounds: with noise 0 the true
+  // partner 4 is annihilated irreversibly; with a noise floor the penalty
+  // is log(nu) and the clean evidence recovers the partner.
+  sequential_bayes_config crisp;
+  crisp.background_pmf = std::vector<double>(8, 1.0 / 8.0);
+  sequential_bayes_attack hard(8, crisp);
+  sequential_bayes_config noisy = crisp;
+  noisy.membership_noise = 0.05;
+  sequential_bayes_attack soft(8, noisy);
+  for (sequential_bayes_attack* atk : {&hard, &soft}) {
+    for (std::uint32_t r = 0; r < 6; ++r)
+      atk->observe_round(
+          target_round({4, static_cast<node_id>(r % 4)}));
+    atk->observe_round(target_round({0, 1}));  // partner absent
+    for (std::uint32_t r = 0; r < 6; ++r)
+      atk->observe_round(
+          target_round({4, static_cast<node_id>((r + 2) % 4)}));
+  }
+  // Noise 0: the bad round annihilates 4 (the only survivor), so the
+  // posterior collapses to the documented uniform fallback — total failure.
+  for (double p : hard.posterior()) EXPECT_DOUBLE_EQ(p, 1.0 / 8.0);
+  const auto post = soft.posterior();
+  EXPECT_EQ(std::max_element(post.begin(), post.end()) - post.begin(), 4);
+  EXPECT_GT(post[4], 0.9);
+}
+
+TEST(Workload, EstimatedMembershipNoiseIsZeroAtFullRateAndPositiveBelow) {
+  workload::population_config cfg;
+  cfg.seed = 3;
+  cfg.user_count = 300;
+  cfg.receiver_count = 100;
+  cfg.round_count = 10;
+  cfg.round_size = 16;
+  cfg.persistent_rate = 1.0;
+  EXPECT_EQ(estimated_membership_noise(workload::population(cfg), 0), 0.0);
+  cfg.persistent_rate = 0.7;
+  const double nu =
+      estimated_membership_noise(workload::population(cfg), 0);
+  EXPECT_GT(nu, 0.0);
+  EXPECT_LT(nu, 0.5) << "coincidence should be the minority explanation";
+}
+
+TEST(Runner, TrajectoryConvergesOnWorkload) {
+  workload::population_config cfg;
+  cfg.seed = 5;
+  // Large sender population: a crisp (set-theoretic) attack is brittle
+  // against coincidental background sends from the tracked user, which
+  // mis-attribute a round and can annihilate the true partner — rare only
+  // when users >> background draws.
+  cfg.user_count = 20000;
+  cfg.receiver_count = 120;
+  cfg.round_count = 80;
+  cfg.persistent_pairs = 2;
+  // Below 1 so the two pairs' round sets differ: at rate 1 both partners
+  // appear in *every* round and are information-theoretically
+  // indistinguishable (no attack could separate them).
+  cfg.persistent_rate = 0.6;
+  cfg.round_size = 6;
+  const workload::population pop(cfg);
+  for (std::uint32_t pair = 0; pair < 2; ++pair) {
+    auto atk = make_attack(attack_kind::sequential_bayes, 120);
+    const attack_result result = run_workload_attack(pop, pair, *atk, 0.99, 4);
+    ASSERT_FALSE(result.trajectory.empty());
+    EXPECT_EQ(result.trajectory.back().round, 80u);
+    ASSERT_TRUE(result.identified_round.has_value());
+    EXPECT_EQ(result.top_receiver, pop.pairs()[pair].receiver);
+    EXPECT_LT(result.trajectory.back().entropy_bits,
+              result.trajectory.front().entropy_bits + 1e-9);
+    // identified_round is the first identified trajectory point.
+    for (const trajectory_point& pt : result.trajectory) {
+      if (pt.round < *result.identified_round) EXPECT_FALSE(pt.identified);
+      if (pt.round == *result.identified_round) EXPECT_TRUE(pt.identified);
+    }
+  }
+}
+
+TEST(Runner, StrideOneSamplesEveryRound) {
+  workload::population_config cfg;
+  cfg.seed = 9;
+  cfg.user_count = 50;
+  cfg.receiver_count = 40;
+  cfg.round_count = 12;
+  cfg.round_size = 4;
+  const workload::population pop(cfg);
+  auto atk = make_attack(attack_kind::intersection, 40);
+  const attack_result result = run_workload_attack(pop, 0, *atk, 0.99, 1);
+  ASSERT_EQ(result.trajectory.size(), 12u);
+  for (std::uint32_t r = 0; r < 12; ++r)
+    EXPECT_EQ(result.trajectory[r].round, r + 1);
+}
+
+}  // namespace
+}  // namespace anonpath::attack

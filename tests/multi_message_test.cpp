@@ -45,6 +45,58 @@ TEST(CombinePosteriors, ManyFactorsStayNormalizedAndFinite) {
   EXPECT_GT(fused[0], 0.999999);
 }
 
+TEST(CombinePosteriors, TenThousandFactorsRegression) {
+  // Underflow audit at large k (the longitudinal regime src/attack opened):
+  // 10^4 factors drive per-candidate products to ~e^-7000, far below the
+  // smallest subnormal double, so any linear-space accumulation collapses
+  // every candidate to 0/0. The log-space path must keep the fused result
+  // exact: argmax pinned to the candidate with the largest average log
+  // weight, output normalized, and the runner-up's odds matching the
+  // closed-form log-odds ratio.
+  constexpr std::size_t k = 10000;
+  constexpr std::size_t n = 24;
+  std::vector<std::vector<double>> ps;
+  ps.reserve(k);
+  std::vector<double> factor(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    // Deterministic near-uniform factors with a tiny persistent tilt toward
+    // candidate 17 and a j-dependent wobble elsewhere — every entry is
+    // small, no entry is zero.
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      factor[i] = 1.0 + 0.02 * ((i * 31 + j * 7) % 11) / 11.0 +
+                  (i == 17 ? 0.015 : 0.0);
+      sum += factor[i];
+    }
+    for (double& x : factor) x /= sum;
+    ps.push_back(factor);
+  }
+  const auto fused = combine_posteriors(ps);
+  ASSERT_EQ(fused.size(), n);
+  double total = 0.0;
+  for (double p : fused) {
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  const auto top =
+      std::max_element(fused.begin(), fused.end()) - fused.begin();
+  EXPECT_EQ(top, 17);
+  EXPECT_GT(fused[17], 0.999999) << "10^4 consistent tilts must concentrate";
+
+  // Cross-check one odds ratio against a direct long-double log-space
+  // recomputation: the function's output is exact fusion, not just "some
+  // large number".
+  long double log_odds = 0.0L;
+  for (const auto& p : ps)
+    log_odds += std::log(static_cast<long double>(p[17])) -
+                std::log(static_cast<long double>(p[16]));
+  EXPECT_GT(fused[16], 0.0);
+  EXPECT_NEAR(std::log(fused[17] / fused[16]),
+              static_cast<double>(log_odds), 1e-6);
+}
+
 TEST(CombinePosteriors, RejectsBadInput) {
   EXPECT_THROW((void)combine_posteriors({}), contract_violation);
   const std::vector<std::vector<double>> mismatched{{0.5, 0.5}, {1.0}};

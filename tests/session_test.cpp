@@ -1,0 +1,185 @@
+// Round-batched session mode: default-off invariance, destination-plan
+// determinism, longitudinal scoring through the simulator, trace round
+// trips with the optional session line, and replay == inline equality.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+#include "src/sim/trace.hpp"
+#include "src/stats/contract.hpp"
+
+namespace anonpath::sim {
+namespace {
+
+sim_config session_config_for_test() {
+  sim_config cfg;
+  cfg.sys = {30, 3};
+  cfg.compromised = spread_compromised(30, 3);
+  cfg.lengths = path_length_distribution::uniform(1, 5);
+  cfg.message_count = 1200;
+  cfg.arrival_rate = 150.0;
+  cfg.seed = 21;
+  cfg.session.rounds = 40;
+  cfg.session.receiver_count = 25;
+  cfg.session.target_sender = 1;  // node 0 is compromised
+  cfg.session.partner = 4;
+  cfg.session.attack = attack::attack_kind::sequential_bayes;
+  return cfg;
+}
+
+TEST(Session, DisabledConfigReportsNoSession) {
+  sim_config cfg = session_config_for_test();
+  cfg.session = session_config{};
+  const sim_report report = run_simulation(cfg);
+  EXPECT_FALSE(report.session.has_value());
+}
+
+TEST(Session, ConfigValidation) {
+  const session_config off{};
+  EXPECT_TRUE(off.valid_for(10, 100));
+  EXPECT_EQ(off.label(), "off");
+
+  session_config on;
+  on.rounds = 20;
+  on.receiver_count = 8;
+  on.attack = attack::attack_kind::sda;
+  EXPECT_TRUE(on.valid_for(10, 100));
+  EXPECT_EQ(on.label(), "rounds=20;pop=8;sda");
+  EXPECT_FALSE(on.valid_for(10, 10)) << "more rounds than messages";
+  on.partner = 8;
+  EXPECT_FALSE(on.valid_for(10, 100)) << "partner outside the population";
+  on.partner = 0;
+  on.target_sender = 10;
+  EXPECT_FALSE(on.valid_for(10, 100)) << "target outside the node set";
+
+  // Enabled session on hop-by-hop routing is rejected by run_core.
+  sim_config cfg = session_config_for_test();
+  cfg.mode = routing_mode::hop_by_hop;
+  EXPECT_THROW(run_simulation(cfg), contract_violation);
+}
+
+TEST(Session, DestinationPlanIsDeterministicAndTargetPinned) {
+  const sim_config cfg = session_config_for_test();
+  std::vector<node_id> origins(cfg.message_count);
+  for (std::uint32_t i = 0; i < cfg.message_count; ++i)
+    origins[i] = static_cast<node_id>(i % cfg.sys.node_count);
+  const auto plan =
+      assign_session_destinations(cfg.session, cfg.seed, origins);
+  const auto again =
+      assign_session_destinations(cfg.session, cfg.seed, origins);
+  ASSERT_EQ(plan.size(), cfg.message_count);
+  for (std::uint32_t i = 0; i < cfg.message_count; ++i) {
+    EXPECT_EQ(plan[i].round, again[i].round);
+    EXPECT_EQ(plan[i].destination, again[i].destination);
+    EXPECT_LT(plan[i].round, cfg.session.rounds);
+    EXPECT_LT(plan[i].destination, cfg.session.receiver_count);
+    if (origins[i] == cfg.session.target_sender)
+      EXPECT_EQ(plan[i].destination, cfg.session.partner);
+  }
+  // Threshold batching: rounds are consecutive equal batches.
+  for (std::uint32_t i = 1; i < cfg.message_count; ++i)
+    EXPECT_LE(plan[i - 1].round, plan[i].round);
+}
+
+TEST(Session, LongitudinalAttackIdentifiesThePartner) {
+  for (const attack::attack_kind kind :
+       {attack::attack_kind::intersection,
+        attack::attack_kind::sequential_bayes}) {
+    sim_config cfg = session_config_for_test();
+    cfg.session.attack = kind;
+    const sim_report report = run_simulation(cfg);
+    ASSERT_TRUE(report.session.has_value());
+    const session_report& s = *report.session;
+    EXPECT_EQ(s.rounds, cfg.session.rounds);
+    ASSERT_EQ(s.trajectory.size(), cfg.session.rounds);
+    EXPECT_GT(s.target_messages, 0u);
+    EXPECT_TRUE(s.correct) << attack::attack_kind_label(kind);
+    EXPECT_EQ(s.top_receiver, cfg.session.partner);
+    EXPECT_TRUE(s.identified);
+    EXPECT_GT(s.identified_round, 0u);
+    EXPECT_LE(s.identified_round, s.rounds);
+  }
+}
+
+TEST(Session, AttackNoneRecordsNoSessionReport) {
+  sim_config cfg = session_config_for_test();
+  cfg.session.attack = attack::attack_kind::none;
+  const sim_report report = run_simulation(cfg);
+  EXPECT_FALSE(report.session.has_value());
+}
+
+TEST(Session, RunsAreDeterministic) {
+  const sim_config cfg = session_config_for_test();
+  const sim_report a = run_simulation(cfg);
+  const sim_report b = run_simulation(cfg);
+  ASSERT_TRUE(a.session && b.session);
+  EXPECT_EQ(a.session->entropy_bits, b.session->entropy_bits);
+  EXPECT_EQ(a.session->top_receiver, b.session->top_receiver);
+  EXPECT_EQ(a.session->identified_round, b.session->identified_round);
+}
+
+TEST(Session, TraceRoundTripPreservesSessionConfig) {
+  const sim_config cfg = session_config_for_test();
+  const sim_trace trace = capture_trace(cfg);
+  std::stringstream ss;
+  write_trace(trace, ss);
+  EXPECT_NE(ss.str().find("\nsession 40 25 uniform"), std::string::npos);
+  const sim_trace back = read_trace(ss);
+  EXPECT_EQ(back.config.session, cfg.session);
+  // Byte-stable second serialization (write(read(t)) == t).
+  std::stringstream ss2;
+  write_trace(back, ss2);
+  EXPECT_EQ(ss.str(), ss2.str());
+}
+
+TEST(Session, ReplayEqualsInlineScoring) {
+  const sim_config cfg = session_config_for_test();
+  const sim_report inline_report = run_simulation(cfg);
+  const sim_report replayed = replay_trace(capture_trace(cfg));
+  ASSERT_TRUE(inline_report.session && replayed.session);
+  const session_report& a = *inline_report.session;
+  const session_report& b = *replayed.session;
+  EXPECT_EQ(a.target_messages, b.target_messages);
+  EXPECT_EQ(a.entropy_bits, b.entropy_bits);
+  EXPECT_EQ(a.top_mass, b.top_mass);
+  EXPECT_EQ(a.top_receiver, b.top_receiver);
+  EXPECT_EQ(a.identified_round, b.identified_round);
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+  for (std::size_t i = 0; i < a.trajectory.size(); ++i) {
+    EXPECT_EQ(a.trajectory[i].entropy_bits, b.trajectory[i].entropy_bits);
+    EXPECT_EQ(a.trajectory[i].top_mass, b.trajectory[i].top_mass);
+  }
+}
+
+TEST(Session, MalformedSessionLinesAreRejected) {
+  const sim_config cfg = session_config_for_test();
+  const sim_trace trace = capture_trace(cfg);
+  std::stringstream ss;
+  write_trace(trace, ss);
+  const std::string good = ss.str();
+
+  auto reject = [](std::string text, const char* what) {
+    std::stringstream in(text);
+    EXPECT_THROW((void)read_trace(in), std::invalid_argument) << what;
+  };
+  // The never-written default (rounds 0) must not parse back.
+  std::string zero = good;
+  zero.replace(zero.find("session 40"), 10, "session 0 ");
+  reject(zero, "disabled session line");
+  // Unknown attack kinds fail loudly.
+  std::string bad_kind = good;
+  bad_kind.replace(bad_kind.find("sequential_bayes"), 16, "sequential_bayez");
+  reject(bad_kind, "unknown attack kind");
+  // Duplicate session sections are rejected.
+  const auto at = good.find("session 40");
+  const auto line_end = good.find('\n', at);
+  std::string dup = good;
+  dup.insert(line_end + 1, good.substr(at, line_end - at + 1));
+  reject(dup, "duplicate session section");
+}
+
+}  // namespace
+}  // namespace anonpath::sim

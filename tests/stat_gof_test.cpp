@@ -16,6 +16,7 @@
 #include "src/sim/simulator.hpp"
 #include "src/stats/chi_square.hpp"
 #include "src/stats/rng.hpp"
+#include "src/workload/population.hpp"
 
 namespace anonpath {
 namespace {
@@ -183,6 +184,77 @@ TEST(StatGoF, RejectsMiscalibratedEdgeWeights) {
   }
   const std::vector<double> uniform(nbr.size(), 1.0 / nbr.size());
   EXPECT_LT(stats::chi_square_goodness_of_fit(counts, uniform).p_value, 1e-6);
+}
+
+/// Histograms the *background* emissions of a population workload
+/// (persistent-pair prefix messages excluded via the ground-truth prefix),
+/// either senders or receivers.
+std::vector<std::uint64_t> background_histogram(
+    const workload::population& pop, bool senders, std::uint32_t bins) {
+  std::vector<std::uint64_t> hist(bins, 0);
+  for (std::uint32_t r = 0; r < pop.config().round_count; ++r) {
+    const workload::round_batch b = pop.round(r);
+    for (std::size_t i = b.active_pairs.size(); i < b.senders.size(); ++i)
+      ++hist[senders ? b.senders[i] : b.receivers[i]];
+  }
+  return hist;
+}
+
+TEST(StatGoF, WorkloadEmissionMatchesConfiguredLaws) {
+  // Background senders and receivers against uniform and Zipf laws, per
+  // configured law — the population model's own emission calibration.
+  struct law_preset {
+    const char* name;
+    workload::popularity_law law;
+  };
+  const std::vector<law_preset> laws{
+      {"uniform", {workload::popularity_kind::uniform, 1.0}},
+      {"zipf(1.0)", {workload::popularity_kind::zipf, 1.0}},
+      {"zipf(1.6)", {workload::popularity_kind::zipf, 1.6}},
+  };
+  std::uint64_t seed = 170;
+  for (const law_preset& p : laws) {
+    workload::population_config cfg;
+    cfg.seed = ++seed;
+    cfg.user_count = 40;
+    cfg.receiver_count = 30;
+    cfg.round_count = 800;
+    cfg.persistent_pairs = 2;
+    cfg.round_size = 25;
+    cfg.sender_law = p.law;
+    cfg.receiver_law = p.law;
+    const workload::population pop(cfg);
+    const auto sender_pmf = workload::popularity_pmf(p.law, cfg.user_count);
+    const auto recv_pmf = workload::popularity_pmf(p.law, cfg.receiver_count);
+    const auto sender_hist = background_histogram(pop, true, cfg.user_count);
+    const auto recv_hist =
+        background_histogram(pop, false, cfg.receiver_count);
+    EXPECT_GT(
+        stats::chi_square_goodness_of_fit(sender_hist, sender_pmf).p_value,
+        0.01)
+        << p.name << ": background senders diverge from the configured law";
+    EXPECT_GT(stats::chi_square_goodness_of_fit(recv_hist, recv_pmf).p_value,
+              0.01)
+        << p.name << ": background receivers diverge from the configured law";
+  }
+}
+
+TEST(StatGoF, RejectsAMiscalibratedWorkloadLaw) {
+  // Negative control: Zipf(1.2) receiver draws scored against the uniform
+  // hypothesis must be rejected decisively.
+  workload::population_config cfg;
+  cfg.seed = 199;
+  cfg.user_count = 40;
+  cfg.receiver_count = 30;
+  cfg.round_count = 800;
+  cfg.persistent_pairs = 0;
+  cfg.round_size = 25;
+  cfg.receiver_law = {workload::popularity_kind::zipf, 1.2};
+  const workload::population pop(cfg);
+  const auto hist = background_histogram(pop, false, cfg.receiver_count);
+  const std::vector<double> uniform(cfg.receiver_count,
+                                    1.0 / cfg.receiver_count);
+  EXPECT_LT(stats::chi_square_goodness_of_fit(hist, uniform).p_value, 1e-6);
 }
 
 TEST(StatGoF, RejectsAMiscalibratedDistribution) {

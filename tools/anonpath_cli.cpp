@@ -14,6 +14,11 @@
 //                     --churn 0,0.5:0.5                 topology/churn axes
 //   anonpath capture  --n 60 --c 2 --dist U:2,14 --out run.trace
 //   anonpath replay   --in run.trace                re-score a captured run
+//   anonpath attack   --users 100000 --rounds 10000 --round-size 12 \
+//                     --attack sda --threads 8      longitudinal disclosure
+//   anonpath simulate --n 60 --c 2 --population 20 --rounds 50 --attack bayes
+//   anonpath campaign --n 30 --c 2 --population 0,20 --rounds 0,50 \
+//                     --attack none,sda             session axes
 //   anonpath figures  --n 100                       dump all paper figures
 //
 // Distribution syntax: F:l | U:a,b | G:pf,min,max (geometric) | P:lambda,max.
@@ -23,10 +28,15 @@
 // | trust:<decay>; out-of-range parameters (for the given --n) are a hard
 // error, never a silent fallback to the clique.
 // Churn syntax: 0 (static) | <down_rate>[:<mean_downtime>] (seconds).
+// Popularity-law syntax: uniform | zipf:<s> (s > 0).
+// Attack syntax: none | intersection | sda | bayes (sequential_bayes).
 // Campaign axes (--n, --c, --drop, --rate, --mode, --adversary,
-// --topology, --churn) take comma-separated lists and --dist may repeat;
-// the campaign runs their cartesian product.
+// --topology, --churn, --population, --rounds, --attack) take
+// comma-separated lists and --dist may repeat; the campaign runs their
+// cartesian product. Out-of-range or unknown values exit loudly (status 2),
+// never silently fall back.
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -39,10 +49,13 @@
 #include <vector>
 
 #include <chrono>
+#include <thread>
 
 #include "src/anonymity/analytic.hpp"
 #include "src/anonymity/monte_carlo.hpp"
 #include "src/anonymity/optimizer.hpp"
+#include "src/attack/disclosure.hpp"
+#include "src/attack/sda.hpp"
 #include "src/net/churn.hpp"
 #include "src/net/topology.hpp"
 #include "src/net/topology_mc.hpp"
@@ -50,6 +63,8 @@
 #include "src/sim/campaign.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/sim/trace.hpp"
+#include "src/workload/cooccurrence.hpp"
+#include "src/workload/population.hpp"
 
 namespace {
 
@@ -60,8 +75,8 @@ using namespace anonpath;
   std::fprintf(
       stderr,
       "usage: anonpath "
-      "<degree|estimate|optimize|simulate|campaign|capture|replay|figures> "
-      "[options]\n"
+      "<degree|estimate|optimize|simulate|campaign|capture|replay|attack"
+      "|figures> [options]\n"
       "  common:   --n <nodes>      (default 100)\n"
       "            --c <compromised> (default 1)\n"
       "            --dist F:l | U:a,b | G:pf,min,max | P:lambda,max\n"
@@ -75,12 +90,21 @@ using namespace anonpath;
       "            (a restricted --topology uses the walk-model engine)\n"
       "  optimize: --mean <target expected length>\n"
       "  simulate: [--messages k] [--seed s] [--drop p] [--threshold x]\n"
+      "            [--population P --rounds R --attack a] session mode\n"
       "  campaign: scenario-grid sweep on the simulator; CSV to stdout.\n"
       "            axes (comma lists): --n --c --drop --rate --adversary\n"
-      "            --topology --churn; --mode onion,crowds; --dist may\n"
-      "            repeat (one spec each)\n"
+      "            --topology --churn --population --rounds --attack;\n"
+      "            --mode onion,crowds; --dist may repeat (one spec each)\n"
       "            [--replicas r (default 8)] [--messages k (default 500)]\n"
       "            [--seed s] [--threads t (0=all cores)] [--via-trace]\n"
+      "            [--receiver-law uniform|zipf:<s>]\n"
+      "  attack:   longitudinal disclosure on a population workload (no\n"
+      "            rerouting sim): --attack intersection|sda|bayes plus\n"
+      "            [--users U] [--population P (default U)] [--rounds R]\n"
+      "            [--pairs M] [--round-size B] [--send-rate p]\n"
+      "            [--sender-law L] [--receiver-law L] [--threshold x]\n"
+      "            [--seed s] [--every k] [--threads t (sda cross-check)]\n"
+      "            trajectory CSV to stdout, summary to stderr\n"
       "  capture:  simulate flags + [--out file (default stdout)]; writes\n"
       "            the adversary's event trace instead of scoring it\n"
       "  replay:   --in file; re-scores a captured trace offline (same\n"
@@ -151,10 +175,25 @@ struct options {
   std::vector<net::topology_config> topology_list;
   std::vector<net::churn_config> churn_list;
   std::uint32_t replicas = 8;
+  bool replicas_set = false;
   double threshold = 0.99;
   bool via_trace = false;
   std::string out_path;  ///< capture: trace destination ("" = stdout)
   std::string in_path;   ///< replay: trace source
+  // Session / longitudinal-attack surface.
+  std::vector<std::uint32_t> population_list;
+  std::vector<std::uint32_t> rounds_list;
+  std::vector<attack::attack_kind> attack_list;
+  std::uint32_t users = 1000;         ///< attack: sender population
+  std::uint32_t pairs = 1;            ///< attack: persistent pairs
+  std::uint32_t round_size = 32;      ///< attack: threshold batch size
+  double send_rate = 1.0;             ///< attack: per-round pair send prob.
+  bool workload_flag_set = false;     ///< any of the four above (or --every)
+  workload::popularity_law sender_law{};
+  bool sender_law_set = false;
+  workload::popularity_law receiver_law{};
+  bool receiver_law_set = false;
+  std::uint32_t every = 0;            ///< attack: trajectory stride (0=auto)
 };
 
 sim::adversary_config parse_adversary(const std::string& spec) {
@@ -241,6 +280,27 @@ net::topology_config parse_topology(const std::string& spec) {
   usage(
       "--topology values are "
       "complete|ring:<k>|regular:<d>[:<seed>]|tiered:<t>|trust:<decay>");
+}
+
+workload::popularity_law parse_law(const std::string& spec) {
+  workload::popularity_law law;
+  if (spec == "uniform") return law;
+  if (spec.rfind("zipf:", 0) == 0) {
+    law.kind = workload::popularity_kind::zipf;
+    const std::string s = spec.substr(5);
+    char* end = nullptr;
+    law.exponent = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0' || !law.valid())
+      usage("bad popularity law (want zipf:<s> with s > 0)");
+    return law;
+  }
+  usage("popularity-law values are uniform|zipf:<s>");
+}
+
+attack::attack_kind parse_attack(const std::string& spec) {
+  const auto kind = attack::parse_attack_kind(spec);
+  if (!kind) usage("--attack values are none|intersection|sda|bayes");
+  return *kind;
 }
 
 net::churn_config parse_churn(const std::string& spec) {
@@ -359,6 +419,54 @@ options parse(int argc, char** argv) {
       for (const std::string& tok : split_commas(next()))
         opt.churn_list.push_back(parse_churn(tok));
     }
+    else if (flag == "--population")
+      opt.population_list = parse_u32_list(next());
+    else if (flag == "--rounds") opt.rounds_list = parse_u32_list(next());
+    else if (flag == "--attack") {
+      for (const std::string& tok : split_commas(next()))
+        opt.attack_list.push_back(parse_attack(tok));
+    }
+    else if (flag == "--users") {
+      const auto v = parse_u32_list(next());
+      if (v.size() != 1 || v[0] < 2) usage("--users wants one value >= 2");
+      opt.users = v[0];
+      opt.workload_flag_set = true;
+    }
+    else if (flag == "--pairs") {
+      const auto v = parse_u32_list(next());
+      if (v.size() != 1 || v[0] < 1) usage("--pairs wants one value >= 1");
+      opt.pairs = v[0];
+      opt.workload_flag_set = true;
+    }
+    else if (flag == "--round-size") {
+      const auto v = parse_u32_list(next());
+      if (v.size() != 1 || v[0] < 1) usage("--round-size wants one value >= 1");
+      opt.round_size = v[0];
+      opt.workload_flag_set = true;
+    }
+    else if (flag == "--send-rate") {
+      char* end = nullptr;
+      const char* v = next();
+      opt.send_rate = std::strtod(v, &end);
+      if (end == v || *end != '\0' || opt.send_rate < 0.0 ||
+          opt.send_rate > 1.0)
+        usage("--send-rate must be in [0, 1]");
+      opt.workload_flag_set = true;
+    }
+    else if (flag == "--sender-law") {
+      opt.sender_law = parse_law(next());
+      opt.sender_law_set = true;
+    }
+    else if (flag == "--receiver-law") {
+      opt.receiver_law = parse_law(next());
+      opt.receiver_law_set = true;
+    }
+    else if (flag == "--every") {
+      const auto v = parse_u32_list(next());
+      if (v.size() != 1 || v[0] < 1) usage("--every wants one value >= 1");
+      opt.every = v[0];
+      opt.workload_flag_set = true;
+    }
     else if (flag == "--threshold") {
       char* end = nullptr;
       const char* v = next();
@@ -372,6 +480,7 @@ options parse(int argc, char** argv) {
       const int r = std::atoi(next());
       if (r <= 0) usage("--replicas must be > 0");
       opt.replicas = static_cast<std::uint32_t>(r);
+      opt.replicas_set = true;
     }
     else if (flag == "--breakdown") opt.breakdown = true;
     else if (flag == "--samples") {
@@ -410,8 +519,34 @@ void reject_topology_flags(const options& opt, const char* command) {
               .c_str());
 }
 
+/// Commands with no longitudinal surface must reject the session/attack
+/// flags loudly, mirroring reject_topology_flags — silently dropping a
+/// sweep axis is exactly the fallback this CLI promises never to do.
+void reject_session_flags(const options& opt, const char* command) {
+  if (!opt.population_list.empty() || !opt.rounds_list.empty() ||
+      !opt.attack_list.empty())
+    usage((std::string("--population/--rounds/--attack do not apply to '") +
+           command + "'; use simulate/capture/campaign or the 'attack' "
+                     "command")
+              .c_str());
+  if (opt.sender_law_set)
+    usage((std::string("--sender-law does not apply to '") + command +
+           "'; only the 'attack' workload draws senders from a law")
+              .c_str());
+  if (opt.receiver_law_set)
+    usage((std::string("--receiver-law does not apply to '") + command +
+           "'; use simulate/capture/campaign or the 'attack' command")
+              .c_str());
+  if (opt.workload_flag_set)
+    usage((std::string("--users/--pairs/--round-size/--send-rate/--every do "
+                       "not apply to '") +
+           command + "'; they configure the 'attack' workload")
+              .c_str());
+}
+
 int cmd_degree(const options& opt) {
   reject_topology_flags(opt, "degree");
+  reject_session_flags(opt, "degree");
   const system_params sys{opt.n, 1};
   const auto d = opt.dist.value_or(path_length_distribution::fixed(3));
   const double h = anonymity_degree(sys, d);
@@ -434,6 +569,7 @@ int cmd_degree(const options& opt) {
 }
 
 int cmd_estimate(const options& opt) {
+  reject_session_flags(opt, "estimate");
   if (!opt.churn_list.empty() && opt.churn_list.front().enabled())
     usage("--churn does not apply to 'estimate'; use simulate/capture/campaign");
   const system_params sys{opt.n, opt.c};
@@ -494,6 +630,7 @@ int cmd_estimate(const options& opt) {
 
 int cmd_optimize(const options& opt) {
   reject_topology_flags(opt, "optimize");
+  reject_session_flags(opt, "optimize");
   const system_params sys{opt.n, 1};
   const auto cap = static_cast<path_length>(opt.n - 1);
   const auto r = optimize_for_mean(sys, opt.mean, cap);
@@ -506,10 +643,23 @@ int cmd_optimize(const options& opt) {
 }
 
 sim::sim_config simulate_config(const options& opt) {
+  if (opt.sender_law_set)
+    usage("--sender-law only applies to the 'attack' command (simulator "
+          "senders are the N nodes, drawn uniformly)");
+  if (opt.workload_flag_set)
+    usage("--users/--pairs/--round-size/--send-rate/--every configure the "
+          "'attack' workload; simulator sessions batch --messages into "
+          "--rounds");
   sim::sim_config cfg;
   cfg.sys = {opt.n, opt.c};
   cfg.compromised = spread_compromised(opt.n, opt.c);
   cfg.lengths = opt.dist.value_or(path_length_distribution::uniform(1, 8));
+  if (!opt.mode_list.empty()) {
+    if (opt.mode_list.size() > 1)
+      usage("simulate/capture take a single --mode (the comma-list axis "
+            "belongs to 'campaign')");
+    cfg.mode = opt.mode_list.front();
+  }
   cfg.message_count = opt.messages;
   cfg.seed = opt.seed;
   cfg.drop_probability = opt.drop;
@@ -524,6 +674,44 @@ sim::sim_config simulate_config(const options& opt) {
       usage("--adversary timing is not supported on a restricted --topology");
   }
   if (!opt.churn_list.empty()) cfg.churn = opt.churn_list.front();
+  // Single scalars here; a comma list would otherwise run only its first
+  // value — a silent drop (the axes belong to 'campaign').
+  if (opt.population_list.size() > 1 || opt.rounds_list.size() > 1 ||
+      opt.attack_list.size() > 1)
+    usage("simulate/capture take single values for "
+          "--population/--rounds/--attack (comma-list axes belong to "
+          "'campaign')");
+  const std::uint32_t population =
+      opt.population_list.empty() ? 0 : opt.population_list.front();
+  const std::uint32_t rounds =
+      opt.rounds_list.empty() ? 0 : opt.rounds_list.front();
+  if ((population == 0) != (rounds == 0))
+    usage("session mode wants both --population and --rounds (or neither)");
+  if (rounds > 0) {
+    if (cfg.mode != routing_mode::source_routed)
+      usage("session mode (--population/--rounds) requires onion routing; "
+            "crowds mode has no per-message inference to fuse");
+    cfg.session.rounds = rounds;
+    cfg.session.receiver_count = population;
+    cfg.session.partner = sim::canonical_partner(population);
+    cfg.session.receiver_law = opt.receiver_law;
+    if (!opt.attack_list.empty()) cfg.session.attack = opt.attack_list.front();
+    // Honest under the run's *effective* corruption (partial_coverage
+    // draws its own set from the seed, superseding the configured list).
+    cfg.session.target_sender = sim::lowest_honest_node(
+        sim::effective_compromised(cfg.adversary, opt.n, cfg.compromised,
+                                   cfg.seed));
+    if (!cfg.session.valid_for(opt.n, cfg.message_count))
+      usage("session parameters out of range (need --population >= 2 and "
+            "--rounds <= --messages)");
+  } else {
+    if (!opt.attack_list.empty() &&
+        opt.attack_list.front() != attack::attack_kind::none)
+      usage("--attack on 'simulate' needs --population and --rounds");
+    if (opt.receiver_law_set)
+      usage("--receiver-law on 'simulate'/'capture' needs --population and "
+            "--rounds (it is the session destination law)");
+  }
   return cfg;
 }
 
@@ -545,6 +733,20 @@ void print_sim_report(const sim::sim_config& cfg, const sim::sim_report& r) {
               r.empirical_entropy_bits, 1.96 * r.empirical_entropy_stderr);
   std::printf("  identified fraction: %.2f%% (threshold %g)\n",
               100.0 * r.identified_fraction, cfg.identified_threshold);
+  if (r.session) {
+    const sim::session_report& s = *r.session;
+    std::printf("  session %s: target %u sent %llu msgs over %u rounds\n",
+                cfg.session.label().c_str(), cfg.session.target_sender,
+                static_cast<unsigned long long>(s.target_messages), s.rounds);
+    std::printf("    attack posterior:  H = %.4f bits, top receiver %u "
+                "(mass %.4f, %s)\n",
+                s.entropy_bits, s.top_receiver, s.top_mass,
+                s.correct ? "correct" : "wrong");
+    if (s.identified && s.identified_round > 0)
+      std::printf("    identified at round %u\n", s.identified_round);
+    else
+      std::printf("    not identified within %u rounds\n", s.rounds);
+  }
 }
 
 int cmd_simulate(const options& opt) {
@@ -571,6 +773,8 @@ int cmd_capture(const options& opt) {
 }
 
 int cmd_replay(const options& opt) {
+  // Replay's run (session included) is defined entirely by the trace.
+  reject_session_flags(opt, "replay");
   if (opt.in_path.empty()) usage("replay requires --in <trace file>");
   std::ifstream in(opt.in_path, std::ios::binary);
   if (!in.good()) usage("cannot open --in file");
@@ -581,6 +785,39 @@ int cmd_replay(const options& opt) {
 }
 
 int cmd_campaign(const options& opt) {
+  if (opt.sender_law_set)
+    usage("--sender-law only applies to the 'attack' command (simulator "
+          "senders are the N nodes, drawn uniformly)");
+  if (opt.receiver_law_set && opt.population_list.empty() &&
+      opt.rounds_list.empty())
+    usage("--receiver-law on 'campaign' needs session axes "
+          "(--population/--rounds); it is the session destination law");
+  if (opt.workload_flag_set)
+    usage("--users/--pairs/--round-size/--send-rate/--every configure the "
+          "'attack' workload; campaign sessions batch --messages into "
+          "--rounds");
+  // Session axes must be swept together: a --population axis with no
+  // --rounds axis (or vice versa) would make every session cell incoherent
+  // and silently filter the sweep the user asked for down to its
+  // session-less cells.
+  const auto has_nonzero = [](const std::vector<std::uint32_t>& v) {
+    for (std::uint32_t x : v)
+      if (x != 0) return true;
+    return false;
+  };
+  const bool wants_population = has_nonzero(opt.population_list);
+  const bool wants_rounds = has_nonzero(opt.rounds_list);
+  if (wants_population != wants_rounds)
+    usage("session axes come in pairs: sweep --population and --rounds "
+          "together (zeros in either list mean 'session off' cells)");
+  const bool wants_attack = [&opt] {
+    for (attack::attack_kind k : opt.attack_list)
+      if (k != attack::attack_kind::none) return true;
+    return false;
+  }();
+  if (wants_attack && !wants_rounds)
+    usage("--attack on 'campaign' needs the session axes "
+          "(--population/--rounds)");
   sim::campaign_grid grid;
   if (!opt.n_list.empty()) grid.node_counts = opt.n_list;
   if (!opt.c_list.empty()) grid.compromised_counts = opt.c_list;
@@ -591,8 +828,21 @@ int cmd_campaign(const options& opt) {
   if (!opt.adversary_list.empty()) grid.adversaries = opt.adversary_list;
   if (!opt.topology_list.empty()) grid.topologies = opt.topology_list;
   if (!opt.churn_list.empty()) grid.churns = opt.churn_list;
+  if (!opt.population_list.empty()) grid.populations = opt.population_list;
+  if (!opt.rounds_list.empty()) grid.session_rounds = opt.rounds_list;
+  if (!opt.attack_list.empty()) grid.attacks = opt.attack_list;
+  grid.session_receiver_law = opt.receiver_law;
   grid.message_count = opt.messages_set ? opt.messages : 500;
   grid.identified_threshold = opt.threshold;
+  // Out-of-range axis values are a hard error at parse time, not a silent
+  // feasibility filter: a sweep must never quietly shrink.
+  for (std::uint32_t p : grid.populations)
+    if (p == 1)
+      usage("--population values must be 0 (session off) or >= 2");
+  for (std::uint32_t r : grid.session_rounds)
+    if (r > grid.message_count)
+      usage("--rounds values must be <= --messages (at least one message "
+            "per mix round)");
 
   // Surface an empty grid as a usage error here; run_campaign's internal
   // precondition is not a user-facing message. The usual cause is a
@@ -600,8 +850,9 @@ int cmd_campaign(const options& opt) {
   // timing-adversary x restricted-topology product).
   if (sim::expand_grid(grid).empty())
     usage("campaign grid has no feasible cells (check --topology/--churn "
-          "parameters against --n, and --adversary timing with restricted "
-          "topologies)");
+          "parameters against --n, --adversary timing with restricted "
+          "topologies, and --population/--rounds/--attack coherence: both "
+          "axes on or both off, rounds <= messages, onion mode)");
 
   sim::campaign_config cfg;
   cfg.replicas = opt.replicas;
@@ -631,8 +882,138 @@ int cmd_campaign(const options& opt) {
   return 0;
 }
 
+int cmd_attack(const options& opt) {
+  reject_topology_flags(opt, "attack");
+  // Axes are a campaign concept; here every flag is a single scalar, and a
+  // comma list would otherwise run only its first value — a silent drop.
+  if (opt.attack_list.size() > 1 || opt.population_list.size() > 1 ||
+      opt.rounds_list.size() > 1)
+    usage("'attack' takes single values for --attack/--population/--rounds "
+          "(comma-list axes belong to 'campaign')");
+  // Simulator-only flags have no meaning on the pure workload path; run
+  // the attack through 'simulate'/'campaign' sessions to combine them.
+  if (!opt.drop_list.empty() || opt.messages_set || !opt.dist_list.empty() ||
+      !opt.adversary_list.empty() || !opt.mode_list.empty() ||
+      !opt.rate_list.empty() || opt.via_trace || opt.replicas_set)
+    usage("--drop/--messages/--dist/--adversary/--mode/--rate/--via-trace/"
+          "--replicas do not apply to 'attack'; use simulate/campaign "
+          "session mode to combine the rerouting simulator with a "
+          "longitudinal attack");
+  if (!opt.n_list.empty() || !opt.c_list.empty())
+    usage("--n/--c do not apply to 'attack' (no rerouting network here); "
+          "the workload population is --users/--population");
+  if (opt.attack_list.empty() ||
+      opt.attack_list.front() == attack::attack_kind::none)
+    usage("attack requires --attack intersection|sda|bayes");
+  const attack::attack_kind kind = opt.attack_list.front();
+
+  workload::population_config cfg;
+  cfg.seed = opt.seed;
+  cfg.user_count = opt.users;
+  // Defaulting happens only when the flag is absent; an explicit
+  // --population 0 is out of range and exits loudly below.
+  cfg.receiver_count =
+      opt.population_list.empty() ? opt.users : opt.population_list.front();
+  cfg.round_count = opt.rounds_list.empty() ? 200 : opt.rounds_list.front();
+  cfg.persistent_pairs = opt.pairs;
+  cfg.persistent_rate = opt.send_rate;
+  cfg.round_size = opt.round_size;
+  cfg.sender_law = opt.sender_law;
+  cfg.receiver_law = opt.receiver_law;
+  if (cfg.receiver_count < 2) usage("--population must be >= 2");
+  if (cfg.round_count < 1) usage("--rounds must be >= 1");
+  if (!cfg.valid()) usage("attack workload parameters out of range "
+                          "(--pairs <= --users?)");
+  if (opt.threshold <= 0.0 || opt.threshold >= 1.0)
+    usage("--threshold must be in (0, 1)");
+
+  const workload::population pop(cfg);
+  // Sub-unit send rates make round membership noisy (a coincidental
+  // background send marks a partnerless round); give the Bayes engine the
+  // principled noise estimate so one such round cannot irreversibly
+  // annihilate the true partner, and the configured receiver law as its
+  // exact background — at --send-rate 1 there are no background rounds to
+  // learn it from, and a skewed unlearned background misreads popularity
+  // as partnership. Only Bayes consumes either; skip for the other kinds.
+  attack::sequential_bayes_config bayes;
+  if (kind == attack::attack_kind::sequential_bayes) {
+    bayes.membership_noise = attack::estimated_membership_noise(pop, 0);
+    bayes.background_pmf =
+        workload::popularity_pmf(cfg.receiver_law, cfg.receiver_count);
+  }
+  if (kind == attack::attack_kind::sda && opt.send_rate >= 1.0 &&
+      cfg.receiver_law.kind != workload::popularity_kind::uniform)
+    std::fprintf(stderr,
+                 "# note: --send-rate 1 leaves sda no background rounds; its "
+                 "background estimate stays uniform, which misranks popular "
+                 "receivers under %s — lower --send-rate for a calibrated "
+                 "subtraction\n",
+                 cfg.receiver_law.label().c_str());
+  auto engine = attack::make_attack(kind, cfg.receiver_count, bayes);
+  const std::uint32_t stride =
+      opt.every != 0 ? opt.every : std::max(1u, cfg.round_count / 100);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const attack::attack_result result =
+      attack::run_workload_attack(pop, 0, *engine, opt.threshold, stride);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+
+  // Trajectory CSV on stdout; run synopsis on stderr (diffable, like
+  // campaign).
+  std::printf("round,entropy_bits,top_mass,top_receiver,identified\n");
+  for (const attack::trajectory_point& pt : result.trajectory)
+    std::printf("%u,%.9g,%.9g,%u,%d\n", pt.round, pt.entropy_bits,
+                pt.top_mass, pt.top_receiver, pt.identified ? 1 : 0);
+
+  const workload::persistent_pair truth = pop.pairs().front();
+  std::fprintf(stderr, "# attack %s on %s (seed %llu): %.3f s\n",
+               attack::attack_kind_label(kind), cfg.label().c_str(),
+               static_cast<unsigned long long>(cfg.seed), secs);
+  std::fprintf(stderr, "# target pair 0: sender %u -> receiver %u\n",
+               truth.sender, truth.receiver);
+  if (result.identified_round)
+    std::fprintf(stderr,
+                 "# identified at round %u: receiver %u (mass %.4f, %s)\n",
+                 *result.identified_round, result.top_receiver,
+                 result.top_mass,
+                 result.top_receiver == truth.receiver ? "correct" : "WRONG");
+  else
+    std::fprintf(stderr,
+                 "# not identified within %u rounds (top receiver %u, mass "
+                 "%.4f, H = %.4f bits)\n",
+                 result.rounds, result.top_receiver, result.top_mass,
+                 result.entropy_bits);
+
+  if (kind == attack::attack_kind::sda && opt.threads != 1) {
+    // The sharded population-scale path must reproduce the streaming counts
+    // bit for bit; a mismatch is a determinism bug, reported loudly.
+    workload::cooccurrence_config ccfg;
+    ccfg.threads = opt.threads;
+    const auto totals = workload::accumulate_cooccurrence(pop, ccfg);
+    const attack::sda_attack parallel_sda =
+        attack::sda_attack::from_counts(totals, 0, cfg.receiver_count);
+    if (parallel_sda.posterior() != result.final_posterior) {
+      std::fprintf(stderr,
+                   "# ERROR: sharded accumulator diverged from streaming "
+                   "counts\n");
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "# accumulator cross-check (%u threads over %llu rounds): "
+                 "identical\n",
+                 opt.threads != 0 ? opt.threads
+                                  : std::thread::hardware_concurrency(),
+                 static_cast<unsigned long long>(totals.rounds));
+  }
+  return 0;
+}
+
 int cmd_figures(const options& opt) {
   reject_topology_flags(opt, "figures");
+  reject_session_flags(opt, "figures");
   const system_params sys{opt.n, 1};
   repro::print_figure(repro::fig3a(sys), std::cout);
   repro::print_figure(repro::fig3b(sys), std::cout);
@@ -658,6 +1039,7 @@ int main(int argc, char** argv) {
     if (opt.command == "campaign") return cmd_campaign(opt);
     if (opt.command == "capture") return cmd_capture(opt);
     if (opt.command == "replay") return cmd_replay(opt);
+    if (opt.command == "attack") return cmd_attack(opt);
     if (opt.command == "figures") return cmd_figures(opt);
     usage("unknown command");
   } catch (const std::exception& e) {
