@@ -1,0 +1,103 @@
+// Fault-tolerance walkthrough: what the fault-injection layer does to a
+// mix cascade, and what recovering from it costs in anonymity.
+//
+//   1. degrade one fabric three ways — random link loss, an explicit
+//      crash/repair plan for a named mix, and seeded mix-failure
+//      episodes — and compare delivery;
+//   2. arm retransmission-with-backoff and watch delivery recover while
+//      the adversary's per-message uncertainty (measured over ALL
+//      messages, unobserved ones at the prior) shrinks: reliability is
+//      bought with observations.
+//
+// Build: cmake --build build --target example_fault_tolerance
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/sim/simulator.hpp"
+
+using namespace anonpath;
+
+namespace {
+
+constexpr std::uint32_t n = 30;
+constexpr std::uint32_t c = 3;
+
+sim::sim_config base_config() {
+  sim::sim_config cfg;
+  cfg.sys = {n, c};
+  cfg.compromised = spread_compromised(n, c);
+  cfg.lengths = path_length_distribution::uniform(1, 6);
+  cfg.message_count = 600;
+  cfg.arrival_rate = 100.0;
+  cfg.seed = 11;
+  return cfg;
+}
+
+void report_row(const char* label, const sim::sim_config& cfg) {
+  const auto r = sim::run_simulation(cfg);
+  std::printf("  %-28s %5.1f%%  %6llu lost   %.3fs mean latency\n", label,
+              100.0 * static_cast<double>(r.delivered) /
+                  static_cast<double>(r.submitted),
+              static_cast<unsigned long long>(r.submitted - r.delivered),
+              r.end_to_end_latency.mean());
+}
+
+double all_message_entropy(const sim::sim_report& r,
+                           std::uint32_t message_count) {
+  double bits = std::log2(static_cast<double>(n - c)) *
+                static_cast<double>(message_count - r.posteriors.size());
+  for (const auto& post : r.posteriors)
+    for (double p : post)
+      if (p > 0.0) bits -= p * std::log2(p);
+  return bits / static_cast<double>(message_count);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fault injection on one fabric (N=%u, C=%u, U(1,6), 600 msgs)\n",
+              n, c);
+  std::printf("  %-28s %-7s %-13s %s\n", "fault plan", "deliv", "undelivered",
+              "latency");
+
+  sim::sim_config cfg = base_config();
+  report_row("none", cfg);
+
+  cfg = base_config();
+  cfg.faults.drop_probability = 0.15;
+  report_row(cfg.faults.label().c_str(), cfg);
+
+  cfg = base_config();
+  cfg.faults.outages = {{4, 0.0, 3.0}, {7, 2.0, 2.0}};  // crash/repair plan
+  report_row(cfg.faults.label().c_str(), cfg);
+
+  cfg = base_config();
+  cfg.faults.mix_failures = {6, 0.0, 0.8};  // seeded episodes, auto horizon
+  report_row(cfg.faults.label().c_str(), cfg);
+
+  std::printf(
+      "\nRecovery at drop 0.25: retransmission-with-backoff "
+      "(timeout 0.3s, x2, cap 30s)\n");
+  std::printf("  %-8s %-10s %-14s %s\n", "budget", "delivered",
+              "retrans/msg", "per-msg entropy (bits, all msgs)");
+  for (const std::uint32_t budget : {0u, 1u, 2u, 4u}) {
+    sim::sim_config run = base_config();
+    run.faults.drop_probability = 0.25;
+    run.retry.max_retries = budget;
+    run.retry.timeout = 0.3;
+    run.collect_posteriors = true;
+    const auto r = sim::run_simulation(run);
+    std::printf("  %-8u %8.1f%% %11.2f    %.3f\n", budget,
+                100.0 * static_cast<double>(r.delivered) /
+                    static_cast<double>(r.submitted),
+                static_cast<double>(r.retransmissions) /
+                    static_cast<double>(r.submitted),
+                all_message_entropy(r, run.message_count));
+  }
+  std::printf(
+      "\nEvery retransmission re-walks a fresh path: delivery climbs, but\n"
+      "each extra walk is another observation the coalition fuses into its\n"
+      "posterior — the anonymity bill for reliability.\n");
+  return 0;
+}

@@ -101,7 +101,7 @@ int main() {
     sc.seed = 9;
     sc.topology.kind = net::topology_kind::tiered;
     sc.topology.tiers = 3;
-    sc.churn = churn;
+    sc.faults.churn = churn;
     const auto r = sim::run_simulation(sc);
     std::printf("  %-14s %9.1f%% %10.1f\n", churn.label().c_str(),
                 100.0 * static_cast<double>(r.delivered) /

@@ -71,15 +71,39 @@
 /// sender always writes to their partner), and scoring runs a longitudinal
 /// attack whose sequential-Bayes mode fuses the run's own per-message
 /// posteriors — disabled sessions are byte-identical to pre-session
-/// behavior, and enabled ones ride trace v1 as an optional line. On top
-/// sits the scenario-campaign engine (src/sim/campaign.hpp) — a
+/// behavior, and enabled ones ride trace v1 as an optional line.
+///
+/// The fault axis is sim::fault_plan (src/sim/fault_plan.hpp), one seeded
+/// valve over every way the fabric degrades: per-link drop probability,
+/// stochastic churn (net::churn_config), explicit crash/repair intervals
+/// (net::outage, compiled by net::outage_schedule into merged closed-open
+/// downtime), and seeded mix-failure episodes that crash random mixes on a
+/// deterministic timetable. The inert default draws from no generator, so
+/// fault-free runs are bit-identical to the pre-fault engine and default
+/// traces/CSVs keep their historical bytes; enabled plans ride trace v1 as
+/// optional lines. Recovery is sim::retry_policy: sender-side timeout and
+/// re-injection over a fresh route with capped exponential backoff
+/// (timeout, x backoff, <= max_timeout, at most max_retries attempts).
+/// Every retransmission is a new adversary observation of the same sender
+/// that scoring fuses into the per-message posterior — the policy buys
+/// delivery with anonymity, the frontier bench/ext_retry_frontier maps.
+///
+/// On top sits the scenario-campaign engine (src/sim/campaign.hpp) — a
 /// declarative grid over (N, C, strategy, routing mode, drop rate, arrival
-/// rate, adversary model, topology, churn, session population/rounds/
-/// attack) whose cells fan out over a stats::thread_pool with
-/// deterministic per-run rng streams and aggregate into per-cell
-/// summaries, bit-identical for every thread count under a fixed master
-/// seed (the same contract as mc_config). The figure generators live in
-/// src/repro.
+/// rate, adversary model, topology, churn, mix failures, retry policy,
+/// session population/rounds/attack) whose cells fan out over a
+/// stats::thread_pool with deterministic per-run rng streams and aggregate
+/// into per-cell summaries, bit-identical for every thread count under a
+/// fixed master seed (the same contract as mc_config). A cell that throws
+/// becomes an error row in the CSV instead of killing the sweep, and the
+/// whole campaign is crash-resumable: src/sim/checkpoint.hpp journals
+/// finished cells to an append-only "anonpath-checkpoint v1" file (scope
+/// fingerprint + one bit-exact record per cell, versioned like trace v1),
+/// and a resumed run replays the journal and re-renders byte-identical
+/// output at any thread count. Parsers for both untrusted formats (trace,
+/// checkpoint) reject corruption with the structured anonpath::parse_error
+/// taxonomy (src/stats/error.hpp) — never a contract_violation, never a
+/// crash. The figure generators live in src/repro.
 
 #include "src/anonymity/analytic.hpp"
 #include "src/anonymity/brute_force.hpp"

@@ -1,0 +1,17 @@
+#include "src/attack/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anonpath::attack {
+
+double membership_noise_floor(double drop_probability,
+                              std::uint32_t max_retries,
+                              bool lossy_observation) noexcept {
+  double loss = drop_probability;
+  if (max_retries > 0 && loss > 0.0)
+    loss = std::pow(loss, 1.0 + static_cast<double>(max_retries));
+  return std::min(std::max(loss, lossy_observation ? 0.25 : 0.0), 0.9);
+}
+
+}  // namespace anonpath::attack

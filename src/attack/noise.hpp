@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+namespace anonpath::attack {
+
+/// Noise floor for the sequential-Bayes membership update under message
+/// loss: the probability that a target-present round shows no partner
+/// evidence for benign reasons, so one such round cannot irreversibly
+/// annihilate the true partner. Two loss channels feed it:
+///
+///   * the fabric drops transmissions with `drop_probability`; a sender
+///     retrying up to `max_retries` times only loses a message when every
+///     attempt is lost, so the surviving loss term is
+///     drop_probability^(1 + max_retries);
+///   * a non-coalition observer (`lossy_observation`) misses or mislinks
+///     delivered messages — a coarse 0.25 stand-in, as the true rate
+///     depends on the realized corrupted set per path.
+///
+/// The result is clamped to [0, 0.9]: a floor of 1 would make rounds
+/// carry no evidence at all. With retries disabled this reduces exactly
+/// to the historical max(drop, lossy ? 0.25 : 0) formula.
+[[nodiscard]] double membership_noise_floor(double drop_probability,
+                                            std::uint32_t max_retries,
+                                            bool lossy_observation) noexcept;
+
+}  // namespace anonpath::attack

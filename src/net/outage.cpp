@@ -1,0 +1,48 @@
+#include "src/net/outage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath::net {
+
+bool outage::valid() const noexcept {
+  return std::isfinite(start) && start >= 0.0 && std::isfinite(duration) &&
+         duration > 0.0;
+}
+
+outage_schedule::outage_schedule(std::uint32_t node_count,
+                                 std::vector<outage> outages)
+    : nodes_(node_count) {
+  for (const outage& o : outages) {
+    ANONPATH_EXPECTS(o.valid());
+    ANONPATH_EXPECTS(o.node < node_count);
+  }
+  std::sort(outages.begin(), outages.end(), [](const outage& a, const outage& b) {
+    return a.node != b.node ? a.node < b.node : a.start < b.start;
+  });
+  for (const outage& o : outages) {
+    auto& plan = nodes_[o.node].intervals;
+    const double end = o.start + o.duration;
+    if (!plan.empty() && o.start <= plan.back().end) {
+      plan.back().end = std::max(plan.back().end, end);
+    } else {
+      plan.push_back({o.start, end});
+      ++interval_count_;
+    }
+  }
+}
+
+bool outage_schedule::is_down(node_id v, double at) {
+  if (!enabled()) return false;
+  ANONPATH_EXPECTS(v < nodes_.size());
+  node_plan& plan = nodes_[v];
+  while (plan.cursor < plan.intervals.size() &&
+         plan.intervals[plan.cursor].end <= at)
+    ++plan.cursor;
+  return plan.cursor < plan.intervals.size() &&
+         plan.intervals[plan.cursor].start <= at;
+}
+
+}  // namespace anonpath::net

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/anonymity/types.hpp"
+
+namespace anonpath::net {
+
+/// One planned crash/repair interval: node `node` is down on
+/// [start, start + duration). Closed-open so a repair at t and a
+/// transmission at t coexist: the node is back up the instant the
+/// interval ends.
+struct outage {
+  node_id node = 0;
+  double start = 0.0;
+  double duration = 0.0;
+
+  [[nodiscard]] bool valid() const noexcept;
+
+  friend bool operator==(const outage&, const outage&) = default;
+};
+
+/// Deterministic crash/repair timetable for a fleet: the union of a set of
+/// outage intervals, queryable as "is node v down at time t". Unlike
+/// churn_model (a seeded stochastic renewal process) the schedule is fully
+/// declarative — the same intervals produce the same availability on every
+/// run regardless of seeds, which is what scripted fault experiments and
+/// regression pins need.
+///
+/// Queries must be time-monotone per node (satisfied for free by the
+/// event queue's global clock); each node keeps a cursor over its sorted,
+/// merged interval list so a whole run costs O(intervals) total.
+class outage_schedule {
+ public:
+  outage_schedule() = default;
+
+  /// Preconditions: every outage is valid() and names a node < node_count.
+  /// Overlapping or adjacent intervals on the same node are merged.
+  outage_schedule(std::uint32_t node_count, std::vector<outage> outages);
+
+  [[nodiscard]] bool enabled() const noexcept { return interval_count_ > 0; }
+
+  /// Merged down-intervals across all nodes (after overlap coalescing).
+  [[nodiscard]] std::uint64_t interval_count() const noexcept {
+    return interval_count_;
+  }
+
+  /// Whether node v is down at time `at`. Precondition: v < node_count, and
+  /// `at` is >= every earlier query for v.
+  [[nodiscard]] bool is_down(node_id v, double at);
+
+ private:
+  struct interval {
+    double start = 0.0;
+    double end = 0.0;
+  };
+  struct node_plan {
+    std::vector<interval> intervals;  ///< sorted, disjoint
+    std::size_t cursor = 0;
+  };
+
+  std::vector<node_plan> nodes_;
+  std::uint64_t interval_count_ = 0;
+};
+
+}  // namespace anonpath::net

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <mutex>
 #include <ostream>
 #include <string>
 
+#include "src/sim/checkpoint.hpp"
 #include "src/sim/trace.hpp"
 #include "src/stats/contract.hpp"
+#include "src/stats/error.hpp"
 #include "src/stats/rng.hpp"
 #include "src/stats/thread_pool.hpp"
 
@@ -22,7 +26,8 @@ namespace {
 bool feasible(const campaign_grid& grid, std::uint32_t n, std::uint32_t c,
               const path_length_distribution& lengths, routing_mode mode,
               const adversary_config& adv, const net::topology_config& topo,
-              const net::churn_config& churn, std::uint32_t population,
+              const net::churn_config& churn, const mix_failure_config& mf,
+              const retry_policy& retry, std::uint32_t population,
               std::uint32_t rounds, attack::attack_kind atk) {
   const system_params sys{n, c};
   // Session coordinates must be coherent: population and rounds are both
@@ -37,7 +42,7 @@ bool feasible(const campaign_grid& grid, std::uint32_t n, std::uint32_t c,
         mode == routing_mode::source_routed));
   return sys.valid() && c < n && lengths.max_length() <= n - 1 &&
          grid.message_count > 0 && adv.valid() && topo.valid_for(n) &&
-         churn.valid() && session_ok &&
+         churn.valid() && mf.valid() && retry.valid() && session_ok &&
          (topo.kind == net::topology_kind::complete ||
           adv.kind != adversary_kind::timing_correlator);
 }
@@ -67,6 +72,61 @@ void put_summary(std::ostream& os, const stats::running_summary& s,
   put_number(os, s.std_error() * scale);
 }
 
+/// CSV-quotes free-form text (error messages may contain commas/quotes).
+void put_quoted(std::ostream& os, const std::string& text) {
+  os << '"';
+  for (char c : text) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+/// Folds one cell's replica runs into its aggregate, in replica order
+/// (bit-identical for any thread count). Errored replicas contribute
+/// nothing to the summaries; the first one stamps the cell's error.
+campaign_cell reduce_cell(const scenario& s, std::uint32_t replicas,
+                          const sim_report* reports,
+                          const std::string* errors) {
+  campaign_cell agg;
+  agg.scene = s;
+  agg.replicas = replicas;
+  for (std::uint32_t rep = 0; rep < replicas; ++rep) {
+    if (!errors[rep].empty()) {
+      if (agg.error.empty()) agg.error = errors[rep];
+      continue;
+    }
+    const sim_report& r = reports[rep];
+    agg.submitted += r.submitted;
+    agg.delivered += r.delivered;
+    agg.delivered_fraction.add(static_cast<double>(r.delivered) /
+                               static_cast<double>(r.submitted));
+    if (r.end_to_end_latency.count() > 0)
+      agg.latency_seconds.add(r.end_to_end_latency.mean());
+    if (r.realized_hops.count() > 0) agg.hops.add(r.realized_hops.mean());
+    if (s.mode == routing_mode::source_routed &&
+        !std::isnan(r.empirical_entropy_bits)) {
+      agg.entropy_bits.add(r.empirical_entropy_bits);
+      agg.identified_fraction.add(r.identified_fraction);
+      agg.top1_accuracy.add(r.top1_accuracy);
+    }
+    if (r.session) {
+      agg.attack_entropy_bits.add(r.session->entropy_bits);
+      agg.attack_identified.add(r.session->identified ? 1.0 : 0.0);
+      // Only replicas that END identified contribute: a transient
+      // threshold crossing a later inconsistent round revoked would
+      // otherwise make this column disagree with attack_identified.
+      if (r.session->identified && r.session->identified_round > 0)
+        agg.rounds_to_identify.add(
+            static_cast<double>(r.session->identified_round));
+    }
+    if (s.retry.enabled())
+      agg.retransmit_rate.add(static_cast<double>(r.retransmissions) /
+                              static_cast<double>(r.submitted));
+  }
+  return agg;
+}
+
 }  // namespace
 
 std::vector<scenario> expand_grid(const campaign_grid& grid) {
@@ -80,16 +140,19 @@ std::vector<scenario> expand_grid(const campaign_grid& grid) {
               for (const adversary_config& adv : grid.adversaries)
                 for (const net::topology_config& topo : grid.topologies)
                   for (const net::churn_config& churn : grid.churns)
-                    for (std::uint32_t population : grid.populations)
-                      for (std::uint32_t rounds : grid.session_rounds)
-                        for (attack::attack_kind atk : grid.attacks) {
-                          if (!feasible(grid, n, c, lengths, mode, adv, topo,
-                                        churn, population, rounds, atk))
-                            continue;
-                          out.push_back(scenario{n, c, lengths, mode, drop,
-                                                 rate, adv, topo, churn,
-                                                 population, rounds, atk});
-                        }
+                    for (const mix_failure_config& mf : grid.mix_failures)
+                      for (const retry_policy& retry : grid.retries)
+                        for (std::uint32_t population : grid.populations)
+                          for (std::uint32_t rounds : grid.session_rounds)
+                            for (attack::attack_kind atk : grid.attacks) {
+                              if (!feasible(grid, n, c, lengths, mode, adv,
+                                            topo, churn, mf, retry,
+                                            population, rounds, atk))
+                                continue;
+                              out.push_back(scenario{
+                                  n, c, lengths, mode, drop, rate, adv, topo,
+                                  churn, mf, retry, population, rounds, atk});
+                            }
   return out;
 }
 
@@ -104,10 +167,13 @@ sim_config scenario_config(const scenario& s, const campaign_grid& grid,
   cfg.message_count = grid.message_count;
   cfg.arrival_rate = s.arrival_rate;
   cfg.latency = grid.latency;
-  cfg.drop_probability = s.drop_probability;
+  cfg.faults.drop_probability = s.drop_probability;
+  cfg.faults.churn = s.churn;
+  cfg.faults.outages = grid.fault_outages;
+  cfg.faults.mix_failures = s.mix_failure;
+  cfg.retry = s.retry;
   cfg.adversary = s.adversary;
   cfg.topology = s.topology;
-  cfg.churn = s.churn;
   cfg.identified_threshold = grid.identified_threshold;
   if (s.rounds > 0) {
     cfg.session.rounds = s.rounds;
@@ -128,61 +194,88 @@ sim_config scenario_config(const scenario& s, const campaign_grid& grid,
 campaign_result run_campaign(const campaign_grid& grid,
                              const campaign_config& config) {
   ANONPATH_EXPECTS(config.replicas >= 1);
+  ANONPATH_EXPECTS(!config.resume || !config.checkpoint_path.empty());
   const std::vector<scenario> scenarios = expand_grid(grid);
   ANONPATH_EXPECTS(!scenarios.empty());
+  const std::uint64_t cell_total = scenarios.size();
 
   campaign_result result;
   result.requested_cells = grid.cell_count();
-  result.skipped_cells = result.requested_cells - scenarios.size();
-  result.runs = scenarios.size() * config.replicas;
+  result.skipped_cells = result.requested_cells - cell_total;
+  result.runs = cell_total * config.replicas;
+
+  // Checkpoint plumbing: on resume, adopt the journal's completed-cell
+  // prefix; either way rewrite the file (header + adopted prefix) so any
+  // kill-point tail is truncated before new records append.
+  std::ofstream journal;
+  if (!config.checkpoint_path.empty()) {
+    const std::uint64_t scope = campaign_scope(grid, config);
+    if (config.resume) {
+      std::ifstream in(config.checkpoint_path);
+      if (in) result.cells = read_checkpoint(in, scope, cell_total);
+    }
+    journal.open(config.checkpoint_path,
+                 std::ios::out | std::ios::trunc);
+    if (!journal)
+      throw parse_error(parse_error_kind::io, "checkpoint",
+                        "cannot open '" + config.checkpoint_path +
+                            "' for writing");
+    write_checkpoint_header(journal, scope);
+    for (std::uint64_t i = 0; i < result.cells.size(); ++i)
+      append_checkpoint_cell(journal, i, result.cells[i]);
+    journal.flush();
+  }
+  // Restored records carry default scenes; rebind them from the grid.
+  for (std::uint64_t i = 0; i < result.cells.size(); ++i)
+    result.cells[i].scene = scenarios[i];
+
+  const std::uint64_t first_cell = result.cells.size();
+  const std::uint64_t pending_cells = cell_total - first_cell;
+  const std::uint64_t pending_runs = pending_cells * config.replicas;
+  result.cells.reserve(cell_total);
 
   // Fan out: every (cell, replica) run is self-contained — its seed comes
-  // from a deterministic per-run rng stream and its report lands in its own
-  // slot — so the dynamic schedule never affects the results.
-  std::vector<sim_report> reports(result.runs);
+  // from a deterministic per-ABSOLUTE-run rng stream (so a resumed campaign
+  // reruns nothing differently) and its report lands in its own slot. A
+  // replica that throws becomes an error string instead of a dead process.
+  // Completed cells flush to the journal in cell order as their replicas
+  // finish, under the lock, so the reduction stays bit-identical for any
+  // thread count while a kill loses only in-flight cells.
+  std::vector<sim_report> reports(pending_runs);
+  std::vector<std::string> errors(pending_runs);
+  std::vector<std::uint32_t> completed(pending_cells, 0);
+  std::uint64_t flushed = first_cell;
+  std::mutex mu;
   stats::parallel_for(
-      config.threads, result.runs, [&](std::uint64_t run, unsigned) {
-        const scenario& s = scenarios[run / config.replicas];
+      config.threads, pending_runs, [&](std::uint64_t run, unsigned) {
+        const std::uint64_t abs_run = first_cell * config.replicas + run;
+        const scenario& s = scenarios[abs_run / config.replicas];
         const std::uint64_t seed =
-            stats::rng::stream(config.master_seed, run).next_u64();
-        const sim_config cfg = scenario_config(s, grid, seed);
-        reports[run] = config.via_trace ? replay_trace(capture_trace(cfg))
-                                        : run_simulation(cfg);
+            stats::rng::stream(config.master_seed, abs_run).next_u64();
+        try {
+          const sim_config cfg = scenario_config(s, grid, seed);
+          reports[run] = config.via_trace ? replay_trace(capture_trace(cfg))
+                                          : run_simulation(cfg);
+        } catch (const std::exception& e) {
+          errors[run] = *e.what() ? e.what() : "unknown error";
+        } catch (...) {
+          errors[run] = "unknown error";
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        if (++completed[run / config.replicas] < config.replicas) return;
+        while (flushed < cell_total &&
+               completed[flushed - first_cell] == config.replicas) {
+          const std::uint64_t base = (flushed - first_cell) * config.replicas;
+          result.cells.push_back(reduce_cell(scenarios[flushed],
+                                             config.replicas, &reports[base],
+                                             &errors[base]));
+          if (journal.is_open()) {
+            append_checkpoint_cell(journal, flushed, result.cells.back());
+            journal.flush();
+          }
+          ++flushed;
+        }
       });
-
-  // Reduce in run order on this thread: bit-identical for any thread count.
-  result.cells.reserve(scenarios.size());
-  for (std::size_t cell = 0; cell < scenarios.size(); ++cell) {
-    campaign_cell agg{scenarios[cell], config.replicas, 0, 0,
-                      {}, {}, {}, {}, {}, {}, {}, {}, {}};
-    for (std::uint32_t rep = 0; rep < config.replicas; ++rep) {
-      const sim_report& r = reports[cell * config.replicas + rep];
-      agg.submitted += r.submitted;
-      agg.delivered += r.delivered;
-      agg.delivered_fraction.add(static_cast<double>(r.delivered) /
-                                 static_cast<double>(r.submitted));
-      if (r.end_to_end_latency.count() > 0)
-        agg.latency_seconds.add(r.end_to_end_latency.mean());
-      if (r.realized_hops.count() > 0) agg.hops.add(r.realized_hops.mean());
-      if (scenarios[cell].mode == routing_mode::source_routed &&
-          !std::isnan(r.empirical_entropy_bits)) {
-        agg.entropy_bits.add(r.empirical_entropy_bits);
-        agg.identified_fraction.add(r.identified_fraction);
-        agg.top1_accuracy.add(r.top1_accuracy);
-      }
-      if (r.session) {
-        agg.attack_entropy_bits.add(r.session->entropy_bits);
-        agg.attack_identified.add(r.session->identified ? 1.0 : 0.0);
-        // Only replicas that END identified contribute: a transient
-        // threshold crossing a later inconsistent round revoked would
-        // otherwise make this column disagree with attack_identified.
-        if (r.session->identified && r.session->identified_round > 0)
-          agg.rounds_to_identify.add(
-              static_cast<double>(r.session->identified_round));
-      }
-    }
-    result.cells.push_back(std::move(agg));
-  }
   return result;
 }
 
@@ -190,18 +283,26 @@ void write_csv(const campaign_result& result, std::ostream& os) {
   // Session columns only when the campaign actually swept sessions: a
   // deterministic function of the result, so pre-session grids keep their
   // historical byte-identical rendering (pinned by the topology golden).
-  bool sessions = false;
-  for (const campaign_cell& cell : result.cells)
+  // The fault and error columns follow the same rule.
+  bool sessions = false, faults = false, errored = false;
+  for (const campaign_cell& cell : result.cells) {
     if (cell.scene.population > 0) sessions = true;
+    if (cell.scene.mix_failure.enabled() || cell.scene.retry.enabled())
+      faults = true;
+    if (!cell.error.empty()) errored = true;
+  }
   os << "n,c,dist,mode,drop,rate,replicas,messages,adversary,topology,churn,"
         "delivered_fraction,delivered_stderr,"
         "latency_ms,latency_ms_stderr,hops,hops_stderr,"
         "entropy_bits,entropy_stderr,identified_fraction,identified_stderr,"
         "top1_accuracy,top1_stderr";
+  if (faults)
+    os << ",mix_failures,retry,retransmit_rate,retransmit_stderr";
   if (sessions)
     os << ",population,rounds,attack,attack_entropy_bits,"
           "attack_entropy_stderr,attack_identified,attack_identified_stderr,"
           "rounds_to_identify,rounds_to_identify_stderr";
+  if (errored) os << ",error";
   os << '\n';
   for (const campaign_cell& cell : result.cells) {
     const scenario& s = cell.scene;
@@ -224,6 +325,12 @@ void write_csv(const campaign_result& result, std::ostream& os) {
     put_summary(os, cell.identified_fraction);
     os << ',';
     put_summary(os, cell.top1_accuracy);
+    if (faults) {
+      os << ','
+         << (s.mix_failure.enabled() ? s.mix_failure.label() : "none") << ','
+         << (s.retry.enabled() ? s.retry.label() : "none") << ',';
+      put_summary(os, cell.retransmit_rate);
+    }
     if (sessions) {
       os << ',' << s.population << ',' << s.rounds << ','
          << attack::attack_kind_label(s.attack) << ',';
@@ -232,6 +339,10 @@ void write_csv(const campaign_result& result, std::ostream& os) {
       put_summary(os, cell.attack_identified);
       os << ',';
       put_summary(os, cell.rounds_to_identify);
+    }
+    if (errored) {
+      os << ',';
+      put_quoted(os, cell.error);
     }
     os << '\n';
   }

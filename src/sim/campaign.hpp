@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "src/anonymity/length_distribution.hpp"
@@ -37,6 +38,12 @@ struct campaign_grid {
       net::topology_config{}};                        ///< graph axis
   std::vector<net::churn_config> churns{
       net::churn_config{}};                           ///< availability axis
+  /// Fault axes (src/sim/fault_plan.hpp). `mix_failures` sweeps seeded
+  /// crash/repair episode schedules; `retries` sweeps the sender-side
+  /// retransmission policy — the reliability-vs-anonymity knob. Defaults
+  /// (disabled) keep both off and the cell order/CSV bytes unchanged.
+  std::vector<mix_failure_config> mix_failures{mix_failure_config{}};
+  std::vector<retry_policy> retries{retry_policy{}};
   /// Longitudinal session axes (src/sim/session.hpp). `populations` is the
   /// pseudonymous receiver population, `session_rounds` the mix-round
   /// count, `attacks` the disclosure engine. The defaults (0 / 0 / none)
@@ -53,6 +60,12 @@ struct campaign_grid {
   double identified_threshold = 0.99;                 ///< sim_report scoring
   /// Background destination law for session cells (target pair excluded).
   workload::popularity_law session_receiver_law{};
+  /// Explicit crash/repair intervals applied to EVERY cell (not swept).
+  /// Nodes are not bounds-checked against the N axis here: a plan naming a
+  /// node outside some cell's [0, N) fails that cell at run time and is
+  /// reported through its error column, leaving the rest of the campaign
+  /// intact.
+  std::vector<net::outage> fault_outages{};
 
   /// Cells in the full cartesian product, before feasibility filtering.
   [[nodiscard]] std::uint64_t cell_count() const noexcept {
@@ -60,7 +73,8 @@ struct campaign_grid {
            compromised_counts.size() * lengths.size() * modes.size() *
            drop_probabilities.size() * arrival_rates.size() *
            adversaries.size() * topologies.size() * churns.size() *
-           populations.size() * session_rounds.size() * attacks.size();
+           mix_failures.size() * retries.size() * populations.size() *
+           session_rounds.size() * attacks.size();
   }
 };
 
@@ -82,19 +96,35 @@ struct campaign_config {
   /// Identical results by the trace subsystem's contract; exercised by the
   /// conformance tests and useful when the captured traces are also wanted.
   bool via_trace = false;
+  /// When non-empty, run_campaign journals every completed cell to this
+  /// file (src/sim/checkpoint.hpp format) as the campaign progresses:
+  /// header first, then one record per cell, flushed in cell order, so a
+  /// killed process loses at most the cells still in flight.
+  std::string checkpoint_path{};
+  /// With `checkpoint_path` set: load the checkpoint's completed-cell
+  /// prefix (scope-verified against this exact grid/config) and run only
+  /// the remaining cells. The final result — and its CSV — is bit-identical
+  /// to an uninterrupted run at any thread count, because per-run seeds
+  /// derive from absolute run indices. A missing or empty checkpoint file
+  /// degrades to a fresh start; a corrupt one throws anonpath::parse_error.
+  bool resume = false;
 };
 
-/// The coordinates of one feasible grid cell.
+/// The coordinates of one feasible grid cell. Default-constructed scenarios
+/// are placeholders (checkpoint records restore metric state first and are
+/// rebound to their grid cell afterwards), not runnable configurations.
 struct scenario {
-  std::uint32_t node_count;
-  std::uint32_t compromised_count;
-  path_length_distribution lengths;
-  routing_mode mode;
-  double drop_probability;
-  double arrival_rate;
+  std::uint32_t node_count = 0;
+  std::uint32_t compromised_count = 0;
+  path_length_distribution lengths = path_length_distribution::fixed(0);
+  routing_mode mode = routing_mode::source_routed;
+  double drop_probability = 0.0;
+  double arrival_rate = 0.0;
   adversary_config adversary{};
   net::topology_config topology{};
   net::churn_config churn{};
+  mix_failure_config mix_failure{};
+  retry_policy retry{};
   std::uint32_t population = 0;     ///< session receiver population (0 = off)
   std::uint32_t rounds = 0;         ///< session mix rounds (0 = off)
   attack::attack_kind attack = attack::attack_kind::none;
@@ -122,12 +152,20 @@ struct campaign_cell {
   stats::running_summary attack_identified;     ///< 0/1 per replica
   /// First identifying round, over the replicas that identified at all.
   stats::running_summary rounds_to_identify;
+  /// Retransmissions per submitted message; empty for retry-less cells.
+  stats::running_summary retransmit_rate;
+  /// Empty for healthy cells. A replica that throws (e.g. a fault plan
+  /// naming a node outside this cell's N) contributes nothing to the
+  /// summaries; the first failing replica's message lands here and the
+  /// campaign carries on — one bad cell never kills the process.
+  std::string error;
 };
 
 /// A completed campaign: one aggregated cell per feasible grid point, in
 /// deterministic grid order (node_counts outermost, then compromised
 /// counts, lengths, modes, drop probabilities, arrival rates, adversaries,
-/// topologies, churns, populations, session rounds, attacks innermost).
+/// topologies, churns, mix failures, retries, populations, session rounds,
+/// attacks innermost).
 struct campaign_result {
   std::vector<campaign_cell> cells;
   std::uint64_t requested_cells = 0;   ///< full cartesian product size
@@ -149,8 +187,10 @@ struct campaign_result {
 /// Runs the whole campaign: expands the grid, fans every (cell, replica)
 /// run out over a stats::thread_pool, and reduces the reports into
 /// per-cell summaries in run order. See campaign_config for the
-/// thread-count invariance guarantee. Preconditions: replicas >= 1 and at
-/// least one feasible cell.
+/// thread-count invariance guarantee and the checkpoint/resume behaviour;
+/// per-replica failures are isolated into campaign_cell::error.
+/// Preconditions: replicas >= 1, at least one feasible cell, and resume
+/// only with a checkpoint path.
 [[nodiscard]] campaign_result run_campaign(const campaign_grid& grid,
                                            const campaign_config& config);
 
@@ -161,7 +201,9 @@ struct campaign_result {
 /// is how the determinism tests and the CI smoke check compare runs. The
 /// session columns (population, rounds, attack and their metrics) appear
 /// only when some cell enables a session, so session-less campaigns render
-/// byte-identically to their pre-session output.
+/// byte-identically to their pre-session output. Likewise the fault columns
+/// (mix_failures, retry, retransmit_rate) appear only when some cell sweeps
+/// them, and the trailing quoted `error` column only when some cell failed.
 void write_csv(const campaign_result& result, std::ostream& os);
 
 }  // namespace anonpath::sim

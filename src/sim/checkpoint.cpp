@@ -1,0 +1,306 @@
+#include "src/sim/checkpoint.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "src/stats/error.hpp"
+
+namespace anonpath::sim {
+
+namespace {
+
+constexpr char magic[] = "anonpath-checkpoint";
+
+/// Doubles travel as IEEE-754 bit patterns, exactly as in trace v1: bit
+/// round-trips and deterministic rendering are what make a resumed CSV
+/// byte-identical to an uninterrupted one.
+void put_double(std::ostream& os, double x) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64,
+                std::bit_cast<std::uint64_t>(x));
+  os << buf;
+}
+
+void put_summary(std::ostream& os, const stats::running_summary& s) {
+  os << ' ' << s.count() << ' ';
+  put_double(os, s.mean());
+  os << ' ';
+  put_double(os, s.m2());
+  os << ' ';
+  put_double(os, s.min());
+  os << ' ';
+  put_double(os, s.max());
+}
+
+[[noreturn]] void bad(parse_error_kind kind, const std::string& what) {
+  throw parse_error(kind, "checkpoint", what);
+}
+
+/// Parses a 16-digit lowercase hex token into raw bits; false on any
+/// deviation (a record failing here is either the kill point or corruption
+/// — the caller decides which by position).
+bool parse_hex64(const std::string& tok, std::uint64_t& out) {
+  if (tok.size() != 16) return false;
+  std::uint64_t bits = 0;
+  for (char c : tok) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else return false;
+    bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+  }
+  out = bits;
+  return true;
+}
+
+bool parse_u64(const std::string& tok, std::uint64_t& out) {
+  if (tok.empty() || tok[0] < '0' || tok[0] > '9') return false;
+  try {
+    std::size_t used = 0;
+    out = std::stoull(tok, &used);
+    return used == tok.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_summary(std::istringstream& ss, stats::running_summary& out) {
+  std::string tok;
+  std::uint64_t n = 0;
+  if (!(ss >> tok) || !parse_u64(tok, n)) return false;
+  std::uint64_t raw[4];
+  for (std::uint64_t& r : raw)
+    if (!(ss >> tok) || !parse_hex64(tok, r)) return false;
+  out = stats::running_summary::restore(
+      n, std::bit_cast<double>(raw[0]), std::bit_cast<double>(raw[1]),
+      std::bit_cast<double>(raw[2]), std::bit_cast<double>(raw[3]));
+  return true;
+}
+
+/// FNV-1a, the canonical 64-bit offset/prime pair.
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void scope_double(std::ostream& os, double x) {
+  os << ' ';
+  put_double(os, x);
+}
+
+}  // namespace
+
+std::uint64_t campaign_scope(const campaign_grid& grid,
+                             const campaign_config& config) {
+  // Canonical serialization of every input that shapes the cell list or a
+  // run's seed. Field order is fixed; doubles are bit patterns; every axis
+  // element is fully expanded (labels alone could collide).
+  std::ostringstream ss;
+  ss << "grid-v1 n";
+  for (std::uint32_t n : grid.node_counts) ss << ' ' << n;
+  ss << " c";
+  for (std::uint32_t c : grid.compromised_counts) ss << ' ' << c;
+  ss << " dist";
+  for (const auto& d : grid.lengths) {
+    ss << " [" << d.label();
+    for (double p : d.dense_pmf()) scope_double(ss, p);
+    ss << ']';
+  }
+  ss << " mode";
+  for (routing_mode m : grid.modes)
+    ss << ' ' << (m == routing_mode::source_routed ? "s" : "h");
+  ss << " drop";
+  for (double d : grid.drop_probabilities) scope_double(ss, d);
+  ss << " rate";
+  for (double r : grid.arrival_rates) scope_double(ss, r);
+  ss << " adv";
+  for (const adversary_config& a : grid.adversaries) {
+    ss << ' ' << static_cast<int>(a.kind);
+    scope_double(ss, a.coverage_fraction);
+    ss << ' ' << (a.receiver_compromised ? 1 : 0);
+  }
+  ss << " topo";
+  for (const net::topology_config& t : grid.topologies) {
+    ss << ' ' << static_cast<int>(t.kind) << ' ' << t.ring_k << ' '
+       << t.degree << ' ' << t.graph_seed << ' ' << t.tiers;
+    scope_double(ss, t.trust_decay);
+  }
+  ss << " churn";
+  for (const net::churn_config& ch : grid.churns) {
+    scope_double(ss, ch.down_rate);
+    scope_double(ss, ch.mean_downtime);
+  }
+  ss << " mixfail";
+  for (const mix_failure_config& mf : grid.mix_failures) {
+    ss << ' ' << mf.count;
+    scope_double(ss, mf.horizon);
+    scope_double(ss, mf.mean_duration);
+  }
+  ss << " retry";
+  for (const retry_policy& r : grid.retries) {
+    ss << ' ' << r.max_retries;
+    scope_double(ss, r.timeout);
+    scope_double(ss, r.backoff);
+    scope_double(ss, r.max_timeout);
+  }
+  ss << " pop";
+  for (std::uint32_t p : grid.populations) ss << ' ' << p;
+  ss << " rounds";
+  for (std::uint32_t r : grid.session_rounds) ss << ' ' << r;
+  ss << " attack";
+  for (attack::attack_kind a : grid.attacks) ss << ' ' << static_cast<int>(a);
+  ss << " outages";
+  for (const net::outage& o : grid.fault_outages) {
+    ss << ' ' << o.node;
+    scope_double(ss, o.start);
+    scope_double(ss, o.duration);
+  }
+  ss << " shared " << grid.message_count;
+  scope_double(ss, grid.forward_prob);
+  scope_double(ss, grid.latency.base);
+  scope_double(ss, grid.latency.jitter);
+  scope_double(ss, grid.latency.processing);
+  scope_double(ss, grid.identified_threshold);
+  ss << ' ' << static_cast<int>(grid.session_receiver_law.kind);
+  scope_double(ss, grid.session_receiver_law.exponent);
+  ss << " run " << config.replicas << ' ' << config.master_seed << ' '
+     << (config.via_trace ? 1 : 0);
+  return fnv1a(ss.str());
+}
+
+void write_checkpoint_header(std::ostream& os, std::uint64_t scope) {
+  os << magic << " v" << checkpoint_file::format_version << '\n';
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, scope);
+  os << "scope " << buf << '\n';
+}
+
+void append_checkpoint_cell(std::ostream& os, std::uint64_t index,
+                            const campaign_cell& cell) {
+  os << "cell " << index << ' ' << cell.replicas << ' ' << cell.submitted
+     << ' ' << cell.delivered;
+  put_summary(os, cell.delivered_fraction);
+  put_summary(os, cell.latency_seconds);
+  put_summary(os, cell.hops);
+  put_summary(os, cell.entropy_bits);
+  put_summary(os, cell.identified_fraction);
+  put_summary(os, cell.top1_accuracy);
+  put_summary(os, cell.attack_entropy_bits);
+  put_summary(os, cell.attack_identified);
+  put_summary(os, cell.rounds_to_identify);
+  put_summary(os, cell.retransmit_rate);
+  if (cell.error.empty()) {
+    os << " 0";
+  } else {
+    // The error text is the line's tail: free-form except for newlines,
+    // which would breach the one-record-per-line frame.
+    std::string msg = cell.error;
+    for (char& ch : msg)
+      if (ch == '\n' || ch == '\r') ch = ' ';
+    os << " 1 " << msg;
+  }
+  os << '\n';
+}
+
+std::vector<campaign_cell> read_checkpoint(std::istream& is,
+                                           std::uint64_t scope,
+                                           std::uint64_t max_cells) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  // Empty file: the writer was killed before the header flushed. Zero
+  // progress, not corruption.
+  if (lines.empty()) return {};
+
+  {
+    std::istringstream head(lines[0]);
+    std::string tok, version;
+    if (!(head >> tok) || tok != magic)
+      bad(parse_error_kind::mismatch,
+          "not an anonpath checkpoint (bad magic)");
+    const std::string want =
+        "v" + std::to_string(checkpoint_file::format_version);
+    if (!(head >> version)) {
+      // Header line cut mid-write: kill point before any progress.
+      return {};
+    }
+    if (version != want)
+      bad(parse_error_kind::version_mismatch,
+          "format version mismatch: file has '" + version +
+              "', this build reads '" + want + "'");
+  }
+  if (lines.size() < 2) return {};
+  {
+    std::istringstream head(lines[1]);
+    std::string tok, hex;
+    std::uint64_t file_scope = 0;
+    if (!(head >> tok) || tok != "scope" || !(head >> hex) ||
+        !parse_hex64(hex, file_scope)) {
+      if (lines.size() == 2) return {};  // scope line is the kill point
+      bad(parse_error_kind::malformed, "malformed scope line");
+    }
+    if (file_scope != scope)
+      bad(parse_error_kind::mismatch,
+          "checkpoint belongs to a different campaign (scope mismatch)");
+  }
+
+  std::vector<campaign_cell> cells;
+  for (std::size_t i = 2; i < lines.size(); ++i) {
+    const bool final_record = i + 1 == lines.size();
+    campaign_cell cell;
+    std::istringstream ss(lines[i]);
+    std::string tok;
+    std::uint64_t index = 0, replicas = 0, errflag = 0;
+    // More records than the grid has cells is a foreign or stale journal —
+    // loud even on the final line, where a torn record would be forgiven.
+    if (cells.size() >= max_cells)
+      bad(parse_error_kind::mismatch,
+          "checkpoint has more cell records than the campaign grid");
+    const bool ok =
+        (ss >> tok) && tok == "cell" && (ss >> tok) && parse_u64(tok, index) &&
+        index == cells.size() && (ss >> tok) &&
+        parse_u64(tok, replicas) && replicas <= 0xFFFFFFFFull && (ss >> tok) &&
+        parse_u64(tok, cell.submitted) && (ss >> tok) &&
+        parse_u64(tok, cell.delivered) &&
+        parse_summary(ss, cell.delivered_fraction) &&
+        parse_summary(ss, cell.latency_seconds) && parse_summary(ss, cell.hops) &&
+        parse_summary(ss, cell.entropy_bits) &&
+        parse_summary(ss, cell.identified_fraction) &&
+        parse_summary(ss, cell.top1_accuracy) &&
+        parse_summary(ss, cell.attack_entropy_bits) &&
+        parse_summary(ss, cell.attack_identified) &&
+        parse_summary(ss, cell.rounds_to_identify) &&
+        parse_summary(ss, cell.retransmit_rate) && (ss >> tok) &&
+        parse_u64(tok, errflag) && errflag <= 1;
+    if (!ok) {
+      // The one legal irregularity: a final record the killed writer never
+      // finished. Anything earlier is corruption and must be loud.
+      if (final_record) break;
+      bad(parse_error_kind::malformed,
+          "malformed cell record at index " + std::to_string(cells.size()));
+    }
+    cell.replicas = static_cast<std::uint32_t>(replicas);
+    if (errflag == 1) {
+      std::getline(ss, cell.error);
+      if (!cell.error.empty() && cell.error.front() == ' ')
+        cell.error.erase(cell.error.begin());
+      if (cell.error.empty()) {
+        if (final_record) break;
+        bad(parse_error_kind::malformed, "error record with empty message");
+      }
+    }
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+}  // namespace anonpath::sim

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "src/sim/campaign.hpp"
+
+namespace anonpath::sim {
+
+/// Campaign checkpoint format, versioned like trace v1.
+///
+/// A checkpoint is the crash-recovery journal of one `run_campaign`
+/// invocation: completed cells, in cell-index order, each carrying the
+/// exact aggregate state (raw Welford summary words as IEEE-754 bit
+/// patterns) needed to render that cell's CSV row bit-identically without
+/// re-running it. Layout:
+///
+///   anonpath-checkpoint v1
+///   scope <16-hex fingerprint>
+///   cell <index> <replicas> <submitted> <delivered> \
+///        {<count> <mean> <m2> <min> <max>} x10 <errflag> [error text]
+///   ...
+///
+/// One record per line, indices strictly 0,1,2,... (a strict prefix of the
+/// grid's cell list — the writer flushes cells only in order). The scope
+/// line fingerprints everything that defines the cell list and the per-run
+/// seeds (grid, replicas, master seed, via_trace), so a checkpoint can
+/// never silently resume a different campaign. The scenario itself is not
+/// serialized: the grid reconstructs it from the index.
+///
+/// Recovery contract: the final line of a file whose writer was killed
+/// mid-append may be incomplete; read_checkpoint discards a malformed
+/// *final* record silently (that is the kill point) but rejects a
+/// malformed record followed by further records — that is corruption, not
+/// a crash artifact.
+struct checkpoint_file {
+  /// Bump on any change to the serialized layout; read_checkpoint refuses
+  /// mismatched versions rather than misparse.
+  static constexpr std::uint32_t format_version = 1;
+};
+
+/// Deterministic fingerprint of everything that defines a campaign's cell
+/// list and run seeds: FNV-1a over a canonical serialization of the grid
+/// (every axis element, every shared setting, the fault outage plan) and
+/// the config's replicas/master_seed/via_trace. Two campaigns share a
+/// fingerprint iff their checkpoints are interchangeable.
+[[nodiscard]] std::uint64_t campaign_scope(const campaign_grid& grid,
+                                           const campaign_config& config);
+
+/// Writes the two header lines (magic/version and scope).
+void write_checkpoint_header(std::ostream& os, std::uint64_t scope);
+
+/// Appends one completed cell record. Callers must append records in cell
+/// order starting at 0; `cell.scene` is not serialized.
+void append_checkpoint_cell(std::ostream& os, std::uint64_t index,
+                            const campaign_cell& cell);
+
+/// Reads the longest usable prefix of completed cells. The stream is
+/// untrusted input: a bad magic, version, or scope, or a malformed
+/// non-final record, throws anonpath::parse_error (kinds mismatch /
+/// version_mismatch / malformed / out_of_range); a malformed or truncated
+/// FINAL record is discarded as the kill point. Returned cells have
+/// default scenes (the caller rebinds them from the grid) and at most
+/// `max_cells` entries — records past that bound are corruption.
+[[nodiscard]] std::vector<campaign_cell> read_checkpoint(
+    std::istream& is, std::uint64_t scope, std::uint64_t max_cells);
+
+}  // namespace anonpath::sim

@@ -1,0 +1,108 @@
+#include "src/sim/fault_plan.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/stats/contract.hpp"
+#include "src/stats/rng.hpp"
+
+namespace anonpath::sim {
+
+bool mix_failure_config::valid() const noexcept {
+  if (count == 0) return true;
+  return std::isfinite(horizon) && horizon >= 0.0 &&
+         std::isfinite(mean_duration) && mean_duration > 0.0;
+}
+
+std::string mix_failure_config::label() const {
+  if (!enabled()) return "none";
+  char buf[64];
+  if (horizon > 0.0) {
+    std::snprintf(buf, sizeof buf, "mixfail(%u@%g/%g)", count, horizon,
+                  mean_duration);
+  } else {
+    std::snprintf(buf, sizeof buf, "mixfail(%u@auto/%g)", count,
+                  mean_duration);
+  }
+  return buf;
+}
+
+bool fault_plan::valid() const noexcept {
+  if (!(std::isfinite(drop_probability) && drop_probability >= 0.0 &&
+        drop_probability < 1.0))
+    return false;
+  if (!churn.valid()) return false;
+  for (const net::outage& o : outages)
+    if (!o.valid()) return false;
+  return mix_failures.valid();
+}
+
+bool fault_plan::valid_for(std::uint32_t node_count) const noexcept {
+  if (!valid()) return false;
+  for (const net::outage& o : outages)
+    if (o.node >= node_count) return false;
+  return true;
+}
+
+std::string fault_plan::label() const {
+  if (!enabled()) return "none";
+  std::string out;
+  const auto append = [&out](const std::string& part) {
+    if (!out.empty()) out += '+';
+    out += part;
+  };
+  if (drop_probability > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "drop(%g)", drop_probability);
+    append(buf);
+  }
+  if (churn.enabled()) append(churn.label());
+  if (!outages.empty())
+    append("crash(" + std::to_string(outages.size()) + ")");
+  if (mix_failures.enabled()) append(mix_failures.label());
+  return out;
+}
+
+net::outage_schedule fault_plan::materialize(std::uint32_t node_count,
+                                             std::uint64_t seed,
+                                             double default_horizon) const {
+  ANONPATH_EXPECTS(node_count >= 1);
+  ANONPATH_EXPECTS(valid_for(node_count));
+  std::vector<net::outage> all = outages;
+  if (mix_failures.enabled()) {
+    const double horizon =
+        mix_failures.horizon > 0.0 ? mix_failures.horizon : default_horizon;
+    ANONPATH_EXPECTS(horizon > 0.0);
+    // A dedicated stream index far outside the per-node churn range, so the
+    // episode draw can never collide with any other consumer of `seed`.
+    stats::rng gen = stats::rng::stream(seed ^ 0xfa17ed5c4ed01e5ULL, 0);
+    for (std::uint32_t i = 0; i < mix_failures.count; ++i) {
+      net::outage o;
+      o.node = static_cast<node_id>(gen.next_below(node_count));
+      o.start = gen.next_double() * horizon;
+      // Inverse-CDF exponential; next_double() < 1 keeps the log positive.
+      o.duration =
+          -std::log(1.0 - gen.next_double()) * mix_failures.mean_duration;
+      if (o.duration <= 0.0) o.duration = mix_failures.mean_duration * 1e-9;
+      all.push_back(o);
+    }
+  }
+  return net::outage_schedule(node_count, std::move(all));
+}
+
+bool retry_policy::valid() const noexcept {
+  if (max_retries == 0) return true;
+  return std::isfinite(timeout) && timeout > 0.0 && std::isfinite(backoff) &&
+         backoff >= 1.0 && std::isfinite(max_timeout) &&
+         max_timeout >= timeout;
+}
+
+std::string retry_policy::label() const {
+  if (!enabled()) return "none";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "retry(%ux%g*%g<=%g)", max_retries, timeout,
+                backoff, max_timeout);
+  return buf;
+}
+
+}  // namespace anonpath::sim

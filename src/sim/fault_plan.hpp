@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/churn.hpp"
+#include "src/net/outage.hpp"
+
+namespace anonpath::sim {
+
+/// Seeded mix-failure episodes: `count` crash/repair incidents drawn over a
+/// time horizon, each hitting a uniformly chosen mix for an exponential
+/// repair time with mean `mean_duration`. Models the paper-external reality
+/// that individual mixes fail as discrete *episodes* (operator reboots,
+/// crashes) rather than the memoryless per-node churn process: the same
+/// (config, seed) always yields the same incident timetable.
+struct mix_failure_config {
+  std::uint32_t count = 0;     ///< episodes to draw (0 = none)
+  double horizon = 0.0;        ///< start times drawn from [0, horizon); 0 = auto
+                               ///< (the run's expected traffic span)
+  double mean_duration = 1.0;  ///< mean seconds a failed mix stays down
+
+  [[nodiscard]] bool enabled() const noexcept { return count > 0; }
+  [[nodiscard]] bool valid() const noexcept;
+
+  /// "none", or "mixfail(<count>@<horizon|auto>/<mean_duration>)".
+  [[nodiscard]] std::string label() const;
+
+  friend bool operator==(const mix_failure_config&,
+                         const mix_failure_config&) = default;
+};
+
+/// The unified fault model of one simulated run: every way this fabric can
+/// lose or delay a message short of an active adversary. Collects the
+/// previously ad-hoc knobs (per-link loss, stochastic churn) together with
+/// the two new deterministic-schedule mechanisms (explicit crash plans and
+/// seeded mix-failure episodes) behind one valve, so simulator, trace,
+/// campaign and CLI thread a single object instead of a growing flag list.
+///
+/// The default plan is entirely inert: it draws from no generator and
+/// perturbs no stream, so fault-free configurations remain byte-identical
+/// to the pre-fault-plan code.
+struct fault_plan {
+  /// Independent per-transmission loss probability in [0, 1).
+  double drop_probability = 0.0;
+
+  /// Stochastic node availability (seeded renewal process).
+  net::churn_config churn{};
+
+  /// Explicit crash/repair intervals (deterministic timetable).
+  std::vector<net::outage> outages{};
+
+  /// Seeded random mix-failure episodes.
+  mix_failure_config mix_failures{};
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return drop_probability > 0.0 || churn.enabled() || !outages.empty() ||
+           mix_failures.enabled();
+  }
+
+  /// Parameter ranges only (no node bounds): drop in [0,1), churn.valid(),
+  /// every outage valid(), mix_failures.valid().
+  [[nodiscard]] bool valid() const noexcept;
+
+  /// valid() plus every outage node < node_count.
+  [[nodiscard]] bool valid_for(std::uint32_t node_count) const noexcept;
+
+  /// "none", or a '+'-joined summary, e.g. "drop(0.1)+churn(1/2)+crash(3)".
+  [[nodiscard]] std::string label() const;
+
+  /// Realizes the crash/repair timetable for a fleet: explicit outages plus
+  /// mix-failure episodes drawn from a dedicated deterministic stream of
+  /// `seed` (so the episodes depend only on (plan, seed, node_count), never
+  /// on any other stream the simulation consumes). `default_horizon`
+  /// substitutes for mix_failures.horizon == 0. Preconditions:
+  /// valid_for(node_count), node_count >= 1, and default_horizon > 0
+  /// whenever it is needed.
+  [[nodiscard]] net::outage_schedule materialize(std::uint32_t node_count,
+                                                 std::uint64_t seed,
+                                                 double default_horizon) const;
+
+  friend bool operator==(const fault_plan&, const fault_plan&) = default;
+};
+
+/// Sender-side recovery policy: when a message has not been delivered
+/// `timeout` seconds after (re)transmission, the sender re-injects a fresh
+/// copy through a newly sampled route, up to `max_retries` times, doubling
+/// (by `backoff`) the timeout after each attempt up to `max_timeout`. The
+/// paper's model has no retries; this is the deployment-reality extension
+/// whose anonymity cost (every retransmission is one more adversary
+/// observation of the same sender) the retry-frontier bench measures.
+///
+/// Disabled by default (max_retries == 0): no timer events are scheduled
+/// and no generator is consumed, keeping retry-free runs byte-identical.
+struct retry_policy {
+  std::uint32_t max_retries = 0;  ///< extra attempts per message (0 = off)
+  double timeout = 0.5;           ///< seconds before the first retransmission
+  double backoff = 2.0;           ///< timeout multiplier per attempt (>= 1)
+  double max_timeout = 30.0;      ///< cap on the grown timeout
+
+  [[nodiscard]] bool enabled() const noexcept { return max_retries > 0; }
+  [[nodiscard]] bool valid() const noexcept;
+
+  /// "none", or "retry(<max>x<timeout>*<backoff><=<cap>)".
+  [[nodiscard]] std::string label() const;
+
+  friend bool operator==(const retry_policy&, const retry_policy&) = default;
+};
+
+}  // namespace anonpath::sim

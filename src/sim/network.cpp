@@ -5,17 +5,18 @@
 namespace anonpath::sim {
 
 network::network(std::uint32_t node_count, latency_params params,
-                 std::uint64_t seed, double drop_probability,
-                 const net::topology* topology, net::churn_config churn)
+                 std::uint64_t seed, const fault_plan& faults,
+                 const net::topology* topology, double fault_horizon)
     : node_count_(node_count),
       latency_(params, stats::rng(seed)),
-      drop_probability_(drop_probability),
+      drop_probability_(faults.drop_probability),
       drop_rng_(seed ^ 0x5bf03635f0a5b1c5ULL),
       topology_(topology),
-      churn_(node_count, churn, seed ^ 0x94d049bb133111ebULL),
+      churn_(node_count, faults.churn, seed ^ 0x94d049bb133111ebULL),
+      outages_(faults.materialize(node_count, seed, fault_horizon)),
       sinks_(node_count, nullptr) {
   ANONPATH_EXPECTS(node_count >= 2);
-  ANONPATH_EXPECTS(drop_probability >= 0.0 && drop_probability < 1.0);
+  ANONPATH_EXPECTS(faults.valid_for(node_count));
   ANONPATH_EXPECTS(topology == nullptr ||
                    topology->node_count() == node_count);
 }
@@ -50,10 +51,17 @@ void network::send(node_id from, node_id to, wire_message msg) {
   if (topology_ != nullptr && to != receiver_node)
     ANONPATH_EXPECTS(topology_->has_edge(from, to));
 
-  // A churned-down destination strands the message at the dead hop (the
-  // sender's transmission is gone; there is no retry in this fabric). The
-  // receiver never churns. Checked before the loss coin so a disabled
-  // churn model leaves the drop rng stream untouched.
+  // A crashed or churned-down destination strands the message at the dead
+  // hop (the sender's transmission is gone; recovery is the *sender's* job
+  // via the retry policy, never the fabric's). The receiver never fails.
+  // Both availability checks precede the loss coin — the crash schedule is
+  // draw-free and a disabled churn model draws nothing — so an inert fault
+  // plan leaves the drop rng stream untouched.
+  if (to != receiver_node && outages_.enabled() &&
+      outages_.is_down(to, queue_.now())) {
+    ++crashed_;  // journey ends; the trace stays undelivered
+    return;
+  }
   if (to != receiver_node && churn_.enabled() &&
       !churn_.is_up(to, queue_.now())) {
     ++stranded_;  // journey ends; the trace stays undelivered

@@ -6,8 +6,10 @@
 
 #include "src/anonymity/types.hpp"
 #include "src/net/churn.hpp"
+#include "src/net/outage.hpp"
 #include "src/net/topology.hpp"
 #include "src/sim/event_queue.hpp"
+#include "src/sim/fault_plan.hpp"
 #include "src/sim/latency.hpp"
 #include "src/sim/message.hpp"
 
@@ -37,24 +39,27 @@ struct message_trace {
 /// latency. A non-null `topology` restricts the wire to that graph — the
 /// fabric then *asserts* every transmission follows an edge, so a routing
 /// layer that ignores the graph fails fast instead of silently teleporting.
-/// Supports lossy links (failure injection): each transmission is dropped
-/// independently with `drop_probability`, in which case the message journey
-/// simply ends — exactly how a best-effort datagram network fails. A
-/// `churn` model additionally takes relays down and up mid-run
-/// (net::churn_model); a transmission whose destination is down at send
-/// time strands there, and the receiver R never churns. Also the keeper of
-/// ground-truth traces for validation.
+/// Implements the full sim::fault_plan (failure injection): each
+/// transmission is dropped independently with the plan's drop probability,
+/// in which case the message journey simply ends — exactly how a
+/// best-effort datagram network fails. The plan's churn model additionally
+/// takes relays down and up mid-run (net::churn_model), and its crash
+/// schedule (explicit outages plus seeded mix-failure episodes) takes
+/// specific nodes down on a deterministic timetable; a transmission whose
+/// destination is down at send time strands there, and the receiver R
+/// never fails. Also the keeper of ground-truth traces for validation.
 class network {
  public:
   /// Preconditions: node_count >= 2, params.valid(),
-  /// 0 <= drop_probability < 1, churn.valid(); `topology`, when non-null,
-  /// must outlive the network and have node_count() == node_count. A
-  /// default-constructed (disabled) churn config draws nothing from any
-  /// generator, so static runs stay bit-identical to the pre-churn fabric.
+  /// faults.valid_for(node_count); `topology`, when non-null, must outlive
+  /// the network and have node_count() == node_count; `fault_horizon` > 0
+  /// when the plan draws auto-horizon mix failures. A default (inert)
+  /// fault plan draws nothing from any generator, so fault-free runs stay
+  /// bit-identical to the pre-fault fabric.
   network(std::uint32_t node_count, latency_params params, std::uint64_t seed,
-          double drop_probability = 0.0,
+          const fault_plan& faults = {},
           const net::topology* topology = nullptr,
-          net::churn_config churn = {});
+          double fault_horizon = 0.0);
 
   /// Registers the sink for a relay node (exactly once per id).
   void register_node(node_id id, message_sink& sink);
@@ -90,8 +95,19 @@ class network {
     return stranded_;
   }
 
+  /// Transmissions that stranded at a crash-scheduled (outage/mix-failure)
+  /// destination so far.
+  [[nodiscard]] std::uint64_t crashed_count() const noexcept {
+    return crashed_;
+  }
+
   /// The availability model (for diagnostics; disabled by default).
   [[nodiscard]] const net::churn_model& churn() const noexcept { return churn_; }
+
+  /// The realized crash/repair timetable (for diagnostics and tests).
+  [[nodiscard]] const net::outage_schedule& outages() const noexcept {
+    return outages_;
+  }
 
  private:
   std::uint32_t node_count_;
@@ -101,8 +117,10 @@ class network {
   stats::rng drop_rng_;
   const net::topology* topology_;
   net::churn_model churn_;
+  net::outage_schedule outages_;
   std::uint64_t dropped_ = 0;
   std::uint64_t stranded_ = 0;
+  std::uint64_t crashed_ = 0;
   std::vector<message_sink*> sinks_;
   message_sink* receiver_sink_ = nullptr;
   std::map<std::uint64_t, message_trace> traces_;

@@ -11,6 +11,7 @@
 #include "src/anonymity/entropy.hpp"
 #include "src/anonymity/path_sampler.hpp"
 #include "src/anonymity/posterior.hpp"
+#include "src/attack/noise.hpp"
 #include "src/crypto/onion.hpp"
 #include "src/net/topology_posterior.hpp"
 #include "src/sim/network.hpp"
@@ -18,6 +19,7 @@
 #include "src/sim/relay.hpp"
 #include "src/sim/workload.hpp"
 #include "src/stats/contract.hpp"
+#include "src/stats/logspace.hpp"
 
 namespace anonpath::sim {
 
@@ -78,6 +80,34 @@ class recording_model final : public adversary_model {
   std::vector<adversary_event>& log_;
 };
 
+/// Normalized pointwise product of independent per-attempt sender
+/// posteriors — the evidence fusion behind "every retransmission is one
+/// more observation". Computed in log space for numerical safety. A factor
+/// that would annihilate the support entirely (possible only for mislinked
+/// timing-correlator chains) is skipped, matching the screening policy for
+/// unexplainable single observations: contradictory evidence cannot be
+/// normalized, so it carries no weight. Precondition: at least one factor,
+/// all the same size, each with some positive mass.
+std::vector<double> fuse_attempt_posteriors(
+    const std::vector<std::vector<double>>& factors) {
+  const std::size_t n = factors.front().size();
+  std::vector<double> log_post(n, 0.0);
+  std::vector<double> candidate(n);
+  for (const std::vector<double>& f : factors) {
+    bool has_support = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      candidate[i] =
+          f[i] > 0.0 ? log_post[i] + std::log(f[i]) : stats::log_zero();
+      has_support = has_support || candidate[i] > stats::log_zero();
+    }
+    if (has_support) log_post.swap(candidate);
+  }
+  const double norm = stats::log_sum_exp(log_post);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::exp(log_post[i] - norm);
+  return out;
+}
+
 }  // namespace
 
 namespace detail {
@@ -89,7 +119,9 @@ core_result run_core(const sim_config& config,
   ANONPATH_EXPECTS(config.message_count > 0);
   ANONPATH_EXPECTS(config.lengths.max_length() <= config.sys.node_count - 1);
   ANONPATH_EXPECTS(config.adversary.valid());
-  ANONPATH_EXPECTS(config.churn.valid());
+  ANONPATH_EXPECTS(config.faults.valid_for(config.sys.node_count));
+  ANONPATH_EXPECTS(config.retry.valid());
+  ANONPATH_EXPECTS(config.arrival_rate > 0.0);
   // Session destinations are metadata on source-routed traffic; hop-by-hop
   // runs have no per-message inference to fuse with, so the combination is
   // rejected rather than silently scored without evidence.
@@ -122,8 +154,12 @@ core_result run_core(const sim_config& config,
   adversary_model& monitor = *model;
 
   stats::rng master(config.seed);
-  network net(n, config.latency, master.next_u64(), config.drop_probability,
-              graph, config.churn);
+  // Auto-horizon for seeded mix-failure episodes: the run's expected
+  // traffic span, so incidents land where traffic actually flows.
+  const double fault_horizon =
+      static_cast<double>(config.message_count) / config.arrival_rate;
+  network net(n, config.latency, master.next_u64(), config.faults, graph,
+              fault_horizon);
   const crypto::key_registry keys(master.next_u64(), n);
 
   // Build the relay fleet.
@@ -146,39 +182,89 @@ core_result run_core(const sim_config& config,
   // Schedule the workload.
   stats::rng traffic = master.split();
   stats::rng routing = master.split();
+  // Retransmissions sample their fresh routes from a dedicated stream split
+  // off *after* every historical stream, so enabling retries never perturbs
+  // the routes originals take (the frontier sweep compares like with like)
+  // and a disabled policy leaves every historical stream byte-identical.
+  stats::rng retry_routing = master.split();
+
+  // Sender-side recovery state: every message id that ever hit the wire for
+  // an original (the original itself plus its retransmissions), and the
+  // attempt -> original map handed to scoring. Attempt ids continue past
+  // message_count so original ids stay dense.
+  std::map<std::uint64_t, std::vector<std::uint64_t>> attempts_of;
+  std::map<std::uint64_t, std::uint64_t> attempt_parent;
+  std::uint64_t next_attempt_id = config.message_count + 1;
+
+  // One transmission attempt: sample a route for `id` and put it on the
+  // wire. Shared by originals (drawing from the historical routing stream)
+  // and retransmissions (drawing from retry_routing).
+  const auto launch = [&](node_id sender, std::uint64_t id, stats::rng& gen) {
+    wire_message msg;
+    msg.id = id;
+    if (config.mode == routing_mode::source_routed) {
+      const path_length l = config.lengths.sample(gen);
+      const route r = graph != nullptr
+                          ? sample_topology_route(*graph, sender, l, gen)
+                          : sample_simple_route(n, sender, l, gen);
+      msg.kind = transport_kind::onion;
+      msg.envelope = crypto::wrap_onion(r, demo_payload(id), keys, id);
+      const node_id first = r.hops.empty() ? receiver_node : r.hops.front();
+      net.send(sender, first, std::move(msg));
+    } else {
+      msg.kind = transport_kind::crowds;
+      msg.payload = demo_payload(id);
+      msg.forward_prob = config.forward_prob;
+      if (graph != nullptr) {
+        // Hop-by-hop on a graph: first jondo is a weighted neighbor.
+        net.send(sender, graph->sample_neighbor(sender, gen), std::move(msg));
+      } else {
+        // Hop-by-hop: always at least one jondo, chosen uniformly.
+        auto draw = static_cast<node_id>(gen.next_below(n - 1));
+        if (draw >= sender) ++draw;
+        net.send(sender, draw, std::move(msg));
+      }
+    }
+  };
+
+  // Timeout timer for one original: when it fires and no attempt has been
+  // delivered, inject a retransmission over a fresh route and re-arm with
+  // the backed-off timeout. The retransmission is a full first-class
+  // message on the wire — the adversary observes it like any other, which
+  // is exactly the anonymity cost this layer exists to measure.
+  std::function<void(node_id, std::uint64_t, std::uint32_t, double)> arm_timer =
+      [&](node_id sender, std::uint64_t original, std::uint32_t retries_done,
+          double timeout) {
+        net.queue().schedule_in(timeout, [&, sender, original, retries_done,
+                                          timeout]() {
+          for (const std::uint64_t id : attempts_of.at(original)) {
+            const auto it = net.traces().find(id);
+            if (it != net.traces().end() && it->second.delivered)
+              return;  // recovered — stand down
+          }
+          if (retries_done >= config.retry.max_retries) return;  // budget spent
+          const std::uint64_t id = next_attempt_id++;
+          attempt_parent.emplace(id, original);
+          attempts_of.at(original).push_back(id);
+          net.originate(sender, net.queue().now(), id);
+          if (compromised[sender]) monitor.note_origin(id, sender);
+          launch(sender, id, retry_routing);
+          arm_timer(sender, original, retries_done + 1,
+                    std::min(timeout * config.retry.backoff,
+                             config.retry.max_timeout));
+        });
+      };
+
   const auto arrivals =
       poisson_workload(n, config.arrival_rate, config.message_count, traffic);
   for (const arrival& a : arrivals) {
     net.queue().schedule_at(a.at, [&, a]() {
       net.originate(a.sender, a.at, a.msg_id);
       if (compromised[a.sender]) monitor.note_origin(a.msg_id, a.sender);
-
-      wire_message msg;
-      msg.id = a.msg_id;
-      if (config.mode == routing_mode::source_routed) {
-        const path_length l = config.lengths.sample(routing);
-        const route r = graph != nullptr
-                            ? sample_topology_route(*graph, a.sender, l, routing)
-                            : sample_simple_route(n, a.sender, l, routing);
-        msg.kind = transport_kind::onion;
-        msg.envelope = crypto::wrap_onion(r, demo_payload(a.msg_id), keys,
-                                          a.msg_id);
-        const node_id first = r.hops.empty() ? receiver_node : r.hops.front();
-        net.send(a.sender, first, std::move(msg));
-      } else {
-        msg.kind = transport_kind::crowds;
-        msg.payload = demo_payload(a.msg_id);
-        msg.forward_prob = config.forward_prob;
-        if (graph != nullptr) {
-          // Hop-by-hop on a graph: first jondo is a weighted neighbor.
-          net.send(a.sender, graph->sample_neighbor(a.sender, routing),
-                   std::move(msg));
-        } else {
-          // Hop-by-hop: always at least one jondo, chosen uniformly.
-          auto draw = static_cast<node_id>(routing.next_below(n - 1));
-          if (draw >= a.sender) ++draw;
-          net.send(a.sender, draw, std::move(msg));
-        }
+      launch(a.sender, a.msg_id, routing);
+      if (config.retry.enabled()) {
+        attempts_of.emplace(a.msg_id, std::vector<std::uint64_t>{a.msg_id});
+        arm_timer(a.sender, a.msg_id, 0, config.retry.timeout);
       }
     });
   }
@@ -191,20 +277,40 @@ core_result run_core(const sim_config& config,
   // Safe to move out from under `net`'s pointer: the queue has drained, so
   // the fabric sends nothing further.
   result.topology = std::move(topo);
+  // Fold attempts into per-original outcomes: delivered if any attempt was,
+  // timed from the original submission to the *earliest* delivering attempt
+  // (end-to-end latency includes the waits the retry policy imposed), hops
+  // from that attempt. Originals come first in the id-ordered walk, so the
+  // fold always finds its base outcome.
   for (const auto& [id, trace] : net.traces()) {
-    result.outcomes.emplace(
-        id, message_outcome{trace.origin, trace.sent_at, trace.delivered_at,
-                            trace.delivered,
-                            static_cast<std::uint32_t>(trace.visited.size())});
+    const auto pit = attempt_parent.find(id);
+    if (pit == attempt_parent.end()) {
+      result.outcomes.emplace(
+          id,
+          message_outcome{trace.origin, trace.sent_at, trace.delivered_at,
+                          trace.delivered,
+                          static_cast<std::uint32_t>(trace.visited.size())});
+    } else if (trace.delivered) {
+      message_outcome& out = result.outcomes.at(pit->second);
+      if (!out.delivered || trace.delivered_at < out.delivered_at) {
+        out.delivered = true;
+        out.delivered_at = trace.delivered_at;
+        out.hops = static_cast<std::uint32_t>(trace.visited.size());
+      }
+    }
   }
+  result.attempt_parent = std::move(attempt_parent);
   return result;
 }
 
 sim_report score_run(const sim_config& config, const adversary_model& model,
                      const std::map<std::uint64_t, message_outcome>& outcomes,
-                     const posterior_fn* engine, const net::topology* graph) {
+                     const posterior_fn* engine, const net::topology* graph,
+                     const std::map<std::uint64_t, std::uint64_t>* attempt_parent) {
   sim_report report;
   report.submitted = config.message_count;
+  const bool fused = attempt_parent != nullptr && !attempt_parent->empty();
+  report.retransmissions = fused ? attempt_parent->size() : 0;
   // Per-message Pr(sender == target) for the sequential-Bayes fusion: the
   // rerouting layer's evidence about who originated each delivery, fed to
   // the longitudinal attack as soft round membership. Indexed by id - 1
@@ -265,29 +371,59 @@ sim_report score_run(const sim_config& config, const adversary_model& model,
     std::uint64_t top1_hits = 0;
     std::uint64_t scored = 0;
     std::vector<double> walk_post;
-    for (const std::uint64_t id : model.observed_messages()) {
+    // One observation's sender posterior, with the explainability screen: a
+    // mis-linked timing chain can describe no path at all; it carries no
+    // usable evidence and is skipped rather than scored as zero. walk_post
+    // is consumed by reference — no per-message copy of the N-double
+    // posterior in the scoring loop.
+    const auto obs_posterior = [&](std::uint64_t id,
+                                   std::vector<double>& out) -> bool {
       const auto obs = model.assemble(id);
-      // A mis-linked timing chain can describe no path at all; it carries
-      // no usable evidence and is skipped rather than scored as zero.
-      if (!restricted && obs.gapped && !exact->explainable(obs)) continue;
+      if (!restricted && obs.gapped && !exact->explainable(obs)) return false;
       if (restricted && engine == nullptr &&
-          !walk->try_sender_posterior(obs, walk_post))
-        continue;
-      // walk_post is consumed by reference — no per-message copy of the
-      // N-double posterior in the scoring loop.
-      if (engine != nullptr) walk_post = (*engine)(obs);
-      else if (!restricted) walk_post = exact->sender_posterior(obs);
-      const std::vector<double>& post = walk_post;
+          !walk->try_sender_posterior(obs, out))
+        return false;
+      if (engine != nullptr) out = (*engine)(obs);
+      else if (!restricted) out = exact->sender_posterior(obs);
+      return true;
+    };
+    const auto score_post = [&](std::uint64_t original,
+                                const std::vector<double>& post) {
       entropy_acc.add(entropy_bits(post));
-      if (want_target_mass && id >= 1 && id <= config.message_count)
-        target_mass[id - 1] = post[config.session.target_sender];
+      if (want_target_mass && original >= 1 &&
+          original <= config.message_count)
+        target_mass[original - 1] = post[config.session.target_sender];
       if (config.collect_posteriors) report.posteriors.push_back(post);
       const auto top =
           std::max_element(post.begin(), post.end()) - post.begin();
       if (post[static_cast<std::size_t>(top)] > config.identified_threshold)
         ++identified;
-      if (static_cast<node_id>(top) == outcomes.at(id).origin) ++top1_hits;
+      const auto oit = outcomes.find(original);
+      if (oit != outcomes.end() &&
+          static_cast<node_id>(top) == oit->second.origin)
+        ++top1_hits;
       ++scored;
+    };
+
+    if (!fused) {
+      for (const std::uint64_t id : model.observed_messages())
+        if (obs_posterior(id, walk_post)) score_post(id, walk_post);
+    } else {
+      // Retransmissions in play: group observed attempts by their original
+      // and score each original once, on the normalized product of its
+      // per-attempt posteriors. More attempts observed => sharper product —
+      // the measured anonymity cost of the retry policy.
+      std::map<std::uint64_t, std::vector<std::vector<double>>> groups;
+      for (const std::uint64_t id : model.observed_messages()) {
+        if (!obs_posterior(id, walk_post)) continue;
+        const auto pit = attempt_parent->find(id);
+        groups[pit == attempt_parent->end() ? id : pit->second].push_back(
+            walk_post);
+      }
+      for (const auto& [original, factors] : groups)
+        score_post(original, factors.size() == 1
+                                 ? factors.front()
+                                 : fuse_attempt_posteriors(factors));
     }
     if (scored == 0) {
       // Nothing observed => reporting 0.0 here would read as "all senders
@@ -348,20 +484,19 @@ sim_report score_run(const sim_config& config, const adversary_model& model,
     }
 
     // Two ways a target-present round can lack partner evidence: the
-    // target's messages were dropped before delivery (drop_probability),
-    // or they were delivered but the collector missed/mislinked them —
-    // possible exactly when the adversary is not the full coalition
+    // target's messages were lost before delivery (every retry attempt
+    // dropped), or they were delivered but the collector missed/mislinked
+    // them — possible exactly when the adversary is not the full coalition
     // (partial coverage loses reports, the timing correlator mislinks).
     // Either way the Bayes engine needs a noise floor so one such round
-    // cannot irreversibly annihilate the true partner; 0.25 is a coarse
-    // stand-in for the unobserved-message probability, which depends on
-    // the realized corrupted set per path and has no closed form here.
+    // cannot irreversibly annihilate the true partner — see
+    // attack::membership_noise_floor for the loss model.
     const bool lossy_observation =
         config.adversary.kind != adversary_kind::full_coalition;
     attack::sequential_bayes_config bayes;
-    bayes.membership_noise = std::min(
-        std::max(config.drop_probability, lossy_observation ? 0.25 : 0.0),
-        0.9);
+    bayes.membership_noise = attack::membership_noise_floor(
+        config.faults.drop_probability, config.retry.max_retries,
+        lossy_observation);
     const auto engine_ptr = attack::make_attack(
         config.session.attack, config.session.receiver_count, bayes);
     session_report sr;
@@ -396,7 +531,8 @@ sim_report score_run(const sim_config& config, const adversary_model& model,
 sim_report run_simulation(const sim_config& config) {
   const detail::core_result core = detail::run_core(config, nullptr);
   return detail::score_run(config, *core.model, core.outcomes, nullptr,
-                           core.topology ? &*core.topology : nullptr);
+                           core.topology ? &*core.topology : nullptr,
+                           &core.attempt_parent);
 }
 
 }  // namespace anonpath::sim

@@ -10,9 +10,9 @@
 #include "src/anonymity/length_distribution.hpp"
 #include "src/anonymity/strategy.hpp"
 #include "src/anonymity/types.hpp"
-#include "src/net/churn.hpp"
 #include "src/net/topology.hpp"
 #include "src/sim/adversary.hpp"
+#include "src/sim/fault_plan.hpp"
 #include "src/sim/latency.hpp"
 #include "src/sim/session.hpp"
 #include "src/stats/summary.hpp"
@@ -30,7 +30,6 @@ struct sim_config {
   std::uint32_t message_count = 1000;
   double arrival_rate = 50.0;     ///< messages per second (Poisson)
   latency_params latency{};
-  double drop_probability = 0.0;  ///< per-link loss (failure injection)
   std::uint64_t seed = 1;
   /// The threat model this run faces. The default (full coalition over the
   /// `compromised` list, receiver compromised) is the paper's Sec. 4
@@ -54,10 +53,19 @@ struct sim_config {
   /// timing_correlator adversary (its gapped observations have no exact
   /// graph likelihood yet); run_core rejects that combination.
   net::topology_config topology{};
-  /// Node availability. Disabled (rate 0) reproduces the static network
-  /// bit for bit; enabled, relays go down and up on seeded renewal
-  /// processes and transmissions strand at dead hops (undelivered).
-  net::churn_config churn{};
+  /// The run's unified fault model (sim::fault_plan): per-link loss,
+  /// stochastic churn, explicit crash/repair intervals, and seeded
+  /// mix-failure episodes. The inert default draws from no generator and
+  /// reproduces the fault-free network bit for bit; enabled, transmissions
+  /// are dropped on the wire or strand at dead hops (undelivered).
+  fault_plan faults{};
+  /// Sender-side recovery (sim::retry_policy): timed-out messages are
+  /// re-injected over fresh routes with capped exponential backoff. Every
+  /// retransmission is a *new* adversary observation of the same sender;
+  /// scoring fuses the per-attempt posteriors, so enabling retries trades
+  /// anonymity for delivery. Disabled by default (no timers, no extra
+  /// draws): retry-free runs stay byte-identical.
+  retry_policy retry{};
   /// Round-batched session mode (src/sim/session.hpp): pseudonymous
   /// destinations over mix rounds plus an optional longitudinal disclosure
   /// attack scored per round. Disabled (the default) is byte-identical to
@@ -69,6 +77,8 @@ struct sim_config {
 struct sim_report {
   std::uint64_t submitted = 0;
   std::uint64_t delivered = 0;
+  /// Extra attempts injected by the retry policy (0 when disabled).
+  std::uint64_t retransmissions = 0;
   stats::running_summary end_to_end_latency;  ///< seconds
   stats::running_summary realized_hops;       ///< intermediate nodes traversed
   /// Delivered-message count per realized hop count (index = hops); sized
@@ -139,6 +149,11 @@ struct core_result {
   /// so scoring can reuse it instead of rebuilding (random_regular
   /// construction runs a whole swap-chain randomization).
   std::optional<net::topology> topology;
+  /// Retry attempt id -> original message id, one entry per retransmission
+  /// (empty when the retry policy is disabled). Attempt ids continue past
+  /// message_count, so original ids keep their dense 1..message_count range
+  /// and every pre-retry consumer is unaffected.
+  std::map<std::uint64_t, std::uint64_t> attempt_parent;
 };
 [[nodiscard]] core_result run_core(const sim_config& config,
                                    std::vector<adversary_event>* event_log);
@@ -151,11 +166,16 @@ struct core_result {
 /// not retained); when null a restricted config rebuilds it from scratch
 /// (the trace-replay path). Unexplainable observations (possible only
 /// under the timing correlator or fuzzed logs) are skipped, not scored as
-/// zero.
+/// zero. `attempt_parent`, when non-null, maps retry attempt ids to their
+/// original message: observations of the same original are scored as one
+/// message whose posterior is the normalized product of the per-attempt
+/// posteriors (independent evidence about the same sender) — the anonymity
+/// cost of retransmission.
 [[nodiscard]] sim_report score_run(
     const sim_config& config, const adversary_model& model,
     const std::map<std::uint64_t, message_outcome>& outcomes,
-    const posterior_fn* engine, const net::topology* graph = nullptr);
+    const posterior_fn* engine, const net::topology* graph = nullptr,
+    const std::map<std::uint64_t, std::uint64_t>* attempt_parent = nullptr);
 
 }  // namespace detail
 

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <istream>
 #include <ostream>
@@ -9,6 +10,8 @@
 #include <string>
 
 #include "src/stats/contract.hpp"
+#include "src/stats/error.hpp"
+#include "src/stats/kahan.hpp"
 
 namespace anonpath::sim {
 
@@ -24,13 +27,19 @@ void put_double(std::ostream& os, double x) {
   os << buf;
 }
 
+[[noreturn]] void bad(parse_error_kind kind, const std::string& what) {
+  throw parse_error(kind, "trace", what);
+}
+
 [[noreturn]] void bad(const std::string& what) {
-  throw std::invalid_argument("trace: " + what);
+  bad(parse_error_kind::malformed, what);
 }
 
 std::string next_token(std::istream& is, const char* context) {
   std::string tok;
-  if (!(is >> tok)) bad(std::string("truncated stream reading ") + context);
+  if (!(is >> tok))
+    bad(parse_error_kind::truncated,
+        std::string("truncated stream reading ") + context);
   return tok;
 }
 
@@ -59,16 +68,21 @@ std::uint64_t get_u64(std::istream& is, const char* context) {
     const std::uint64_t v = std::stoull(tok, &used);
     if (used != tok.size()) bad(std::string("malformed integer for ") + context);
     return v;
+  } catch (const parse_error&) {
+    throw;
   } catch (const std::invalid_argument&) {
     bad(std::string("malformed integer for ") + context);
   } catch (const std::out_of_range&) {
-    bad(std::string("integer out of range for ") + context);
+    bad(parse_error_kind::out_of_range,
+        std::string("integer out of range for ") + context);
   }
 }
 
 std::uint32_t get_u32(std::istream& is, const char* context) {
   const std::uint64_t v = get_u64(is, context);
-  if (v > 0xFFFFFFFFull) bad(std::string("integer out of range for ") + context);
+  if (v > 0xFFFFFFFFull)
+    bad(parse_error_kind::out_of_range,
+        std::string("integer out of range for ") + context);
   return static_cast<std::uint32_t>(v);
 }
 
@@ -77,6 +91,12 @@ void expect_keyword(std::istream& is, const char* keyword) {
   if (tok != keyword)
     bad("expected '" + std::string(keyword) + "', found '" + tok + "'");
 }
+
+/// Untrusted counts never become allocations: reserve at most this many
+/// slots up front and let push_back grow past it — a lying count then hits
+/// "truncated stream" on the first missing entry instead of pre-allocating
+/// gigabytes.
+constexpr std::uint32_t max_reserve = 1u << 20;
 
 /// The format is whitespace-delimited, so free-text fields (the strategy
 /// label) must collapse to a single token on the wire.
@@ -121,7 +141,7 @@ void write_trace(const sim_trace& trace, std::ostream& os) {
   put_double(os, c.latency.processing);
   os << '\n';
   os << "drop ";
-  put_double(os, c.drop_probability);
+  put_double(os, c.faults.drop_probability);
   os << '\n';
   os << "seed " << c.seed << '\n';
   os << "adversary " << adversary_kind_label(c.adversary.kind) << ' ';
@@ -153,16 +173,53 @@ void write_trace(const sim_trace& trace, std::ostream& os) {
     put_double(os, c.topology.trust_decay);
     os << '\n';
   }
-  if (c.churn.enabled()) {
+  if (c.faults.churn.enabled()) {
     os << "churn ";
-    put_double(os, c.churn.down_rate);
+    put_double(os, c.faults.churn.down_rate);
     os << ' ';
-    put_double(os, c.churn.mean_downtime);
+    put_double(os, c.faults.churn.mean_downtime);
+    os << '\n';
+  }
+  // Fault-plan and retry extensions, same additive discipline as the
+  // sections above: absent for the historical defaults, so every
+  // pre-fault-plan config still serializes byte-identically.
+  if (!c.faults.outages.empty()) {
+    os << "outages " << c.faults.outages.size() << '\n';
+    for (const net::outage& o : c.faults.outages) {
+      os << "E " << o.node << ' ';
+      put_double(os, o.start);
+      os << ' ';
+      put_double(os, o.duration);
+      os << '\n';
+    }
+  }
+  if (c.faults.mix_failures.enabled()) {
+    os << "mixfail " << c.faults.mix_failures.count << ' ';
+    put_double(os, c.faults.mix_failures.horizon);
+    os << ' ';
+    put_double(os, c.faults.mix_failures.mean_duration);
+    os << '\n';
+  }
+  if (c.retry.enabled()) {
+    os << "retry " << c.retry.max_retries << ' ';
+    put_double(os, c.retry.timeout);
+    os << ' ';
+    put_double(os, c.retry.backoff);
+    os << ' ';
+    put_double(os, c.retry.max_timeout);
     os << '\n';
   }
   os << "compromised " << trace.compromised.size();
   for (node_id id : trace.compromised) os << ' ' << id;
   os << '\n';
+  // Written exactly when the retry policy is on (possibly with zero
+  // realized retransmissions), so write(read(t)) stays byte-identical
+  // both with and without the section.
+  if (c.retry.enabled()) {
+    os << "attempts " << trace.attempts.size() << '\n';
+    for (const auto& [id, parent] : trace.attempts)
+      os << "A " << id << ' ' << parent << '\n';
+  }
   os << "events " << trace.events.size() << '\n';
   for (const adversary_event& e : trace.events) {
     switch (e.type) {
@@ -199,22 +256,38 @@ sim_trace read_trace(std::istream& is) {
   sim_config& c = trace.config;
 
   const std::string head = next_token(is, "magic");
-  if (head != magic) bad("not an anonpath trace (bad magic '" + head + "')");
+  if (head != magic)
+    bad(parse_error_kind::mismatch,
+        "not an anonpath trace (bad magic '" + head + "')");
   const std::string version = next_token(is, "version");
   const std::string want = "v" + std::to_string(sim_trace::format_version);
   if (version != want)
-    bad("format version mismatch: file has '" + version + "', this build reads '" +
-        want + "'");
+    bad(parse_error_kind::version_mismatch,
+        "format version mismatch: file has '" + version +
+            "', this build reads '" + want + "'");
 
   expect_keyword(is, "sys");
   c.sys.node_count = get_u32(is, "node count");
   c.sys.compromised_count = get_u32(is, "compromised count");
+  if (!c.sys.valid())
+    bad(parse_error_kind::out_of_range, "system parameters out of range");
 
   expect_keyword(is, "compromised-config");
   const std::uint32_t config_comp = get_u32(is, "configured compromised size");
-  if (config_comp > c.sys.node_count) bad("configured compromised size > N");
-  c.compromised.resize(config_comp);
-  for (node_id& id : c.compromised) id = get_u32(is, "configured compromised id");
+  if (config_comp > c.sys.node_count)
+    bad(parse_error_kind::out_of_range, "configured compromised size > N");
+  if (config_comp != c.sys.compromised_count)
+    bad(parse_error_kind::out_of_range,
+        "configured compromised size does not match C");
+  c.compromised.clear();
+  c.compromised.reserve(std::min(config_comp, max_reserve));
+  for (std::uint32_t i = 0; i < config_comp; ++i) {
+    const node_id id = get_u32(is, "configured compromised id");
+    if (id >= c.sys.node_count)
+      bad(parse_error_kind::out_of_range,
+          "configured compromised id out of range");
+    c.compromised.push_back(id);
+  }
 
   expect_keyword(is, "dist");
   const std::string dist_label = next_token(is, "distribution label");
@@ -222,9 +295,22 @@ sim_trace read_trace(std::istream& is) {
   // Support always fits simple paths, so a count past N is corruption, not
   // data — and must not become a giant allocation.
   if (pmf_size == 0) bad("empty length distribution");
-  if (pmf_size > c.sys.node_count) bad("pmf size > N");
-  std::vector<double> pmf(pmf_size);
-  for (double& p : pmf) p = get_double(is, "pmf entry");
+  if (pmf_size > c.sys.node_count)
+    bad(parse_error_kind::out_of_range, "pmf size > N");
+  std::vector<double> pmf;
+  pmf.reserve(std::min(pmf_size, max_reserve));
+  stats::kahan_sum pmf_sum;  // same accumulator the ctor contract uses
+  for (std::uint32_t i = 0; i < pmf_size; ++i) {
+    const double p = get_double(is, "pmf entry");
+    // Pre-validated here so hostile bytes surface as parse_error, never as
+    // the distribution constructor's contract violation.
+    if (!(std::isfinite(p) && p >= 0.0))
+      bad(parse_error_kind::out_of_range, "pmf entry out of range");
+    pmf_sum.add(p);
+    pmf.push_back(p);
+  }
+  if (!(std::fabs(pmf_sum.value() - 1.0) < 1e-9))
+    bad(parse_error_kind::out_of_range, "pmf does not sum to 1");
   c.lengths = path_length_distribution::from_pmf(std::move(pmf), dist_label);
 
   expect_keyword(is, "mode");
@@ -235,16 +321,29 @@ sim_trace read_trace(std::istream& is) {
 
   expect_keyword(is, "forward");
   c.forward_prob = get_double(is, "forward probability");
+  if (!(std::isfinite(c.forward_prob) && c.forward_prob >= 0.0 &&
+        c.forward_prob <= 1.0))
+    bad(parse_error_kind::out_of_range, "forward probability out of range");
   expect_keyword(is, "messages");
   c.message_count = get_u32(is, "message count");
+  if (c.message_count == 0)
+    bad(parse_error_kind::out_of_range, "message count must be positive");
   expect_keyword(is, "rate");
   c.arrival_rate = get_double(is, "arrival rate");
+  if (!(std::isfinite(c.arrival_rate) && c.arrival_rate > 0.0))
+    bad(parse_error_kind::out_of_range, "arrival rate out of range");
   expect_keyword(is, "latency");
   c.latency.base = get_double(is, "latency base");
   c.latency.jitter = get_double(is, "latency jitter");
   c.latency.processing = get_double(is, "latency processing");
+  if (!c.latency.valid() || !std::isfinite(c.latency.base) ||
+      !std::isfinite(c.latency.jitter) || !std::isfinite(c.latency.processing))
+    bad(parse_error_kind::out_of_range, "latency parameters out of range");
   expect_keyword(is, "drop");
-  c.drop_probability = get_double(is, "drop probability");
+  c.faults.drop_probability = get_double(is, "drop probability");
+  if (!(std::isfinite(c.faults.drop_probability) &&
+        c.faults.drop_probability >= 0.0 && c.faults.drop_probability < 1.0))
+    bad(parse_error_kind::out_of_range, "drop probability out of range");
   expect_keyword(is, "seed");
   c.seed = get_u64(is, "seed");
 
@@ -258,26 +357,40 @@ sim_trace read_trace(std::istream& is) {
   else bad("unknown adversary kind '" + kind + "'");
   c.adversary.coverage_fraction = get_double(is, "coverage fraction");
   c.adversary.receiver_compromised = get_u32(is, "receiver flag") != 0;
+  if (!c.adversary.valid() || !std::isfinite(c.adversary.coverage_fraction))
+    bad(parse_error_kind::out_of_range, "adversary parameters out of range");
 
   expect_keyword(is, "threshold");
   c.identified_threshold = get_double(is, "identified threshold");
+  if (!(std::isfinite(c.identified_threshold) &&
+        c.identified_threshold >= 0.0 && c.identified_threshold <= 1.0))
+    bad(parse_error_kind::out_of_range, "identified threshold out of range");
   expect_keyword(is, "collect");
   c.collect_posteriors = get_u32(is, "collect flag") != 0;
 
   // Optional extension lines (absent = historical defaults). The grammar
-  // stays one-to-one with the writer: each section at most once, and the
-  // never-written defaults ("topology complete", churn rate 0) are
-  // rejected so write(read(t)) is byte-identical to any accepted t.
-  bool saw_session = false;
-  bool saw_topology = false;
-  bool saw_churn = false;
+  // stays one-to-one with the writer: each section at most once, in writer
+  // order, and the never-written defaults ("topology complete", churn rate
+  // 0, empty outage list, retry budget 0) are rejected so write(read(t))
+  // is byte-identical to any accepted t. Section order is pinned by rank —
+  // a duplicate is just a rank that does not increase.
+  const auto section_rank = [](const std::string& s) -> int {
+    if (s == "session") return 0;
+    if (s == "topology") return 1;
+    if (s == "churn") return 2;
+    if (s == "outages") return 3;
+    if (s == "mixfail") return 4;
+    if (s == "retry") return 5;
+    return -1;
+  };
+  int last_rank = -1;
   std::string section = next_token(is, "compromised");
-  while (section == "session" || section == "topology" || section == "churn") {
+  while (section_rank(section) >= 0) {
+    const int rank = section_rank(section);
+    if (rank <= last_rank)
+      bad("'" + section + "' section is duplicated or out of order");
+    last_rank = rank;
     if (section == "session") {
-      if (saw_session) bad("duplicate 'session' section");
-      if (saw_topology || saw_churn)
-        bad("'session' section must precede 'topology' and 'churn'");
-      saw_session = true;
       c.session.rounds = get_u32(is, "session rounds");
       c.session.receiver_count = get_u32(is, "session receiver count");
       const std::string law = next_token(is, "session receiver law");
@@ -301,13 +414,11 @@ sim_trace read_trace(std::istream& is) {
       // stays byte-identical, same as topology/churn.
       if (!c.session.enabled() ||
           !c.session.valid_for(c.sys.node_count, c.message_count))
-        bad("session parameters out of range");
+        bad(parse_error_kind::out_of_range, "session parameters out of range");
       if (c.mode != routing_mode::source_routed)
-        bad("session mode requires source_routed routing");
+        bad(parse_error_kind::out_of_range,
+            "session mode requires source_routed routing");
     } else if (section == "topology") {
-      if (saw_topology) bad("duplicate 'topology' section");
-      if (saw_churn) bad("'topology' section must precede 'churn'");
-      saw_topology = true;
       const std::string kind = next_token(is, "topology kind");
       if (kind == "ring") c.topology.kind = net::topology_kind::ring;
       else if (kind == "regular")
@@ -322,14 +433,47 @@ sim_trace read_trace(std::istream& is) {
       c.topology.tiers = get_u32(is, "topology tiers");
       c.topology.trust_decay = get_double(is, "topology trust decay");
       if (!c.topology.valid_for(c.sys.node_count))
-        bad("topology parameters out of range for N");
-    } else {
-      if (saw_churn) bad("duplicate 'churn' section");
-      saw_churn = true;
-      c.churn.down_rate = get_double(is, "churn down rate");
-      c.churn.mean_downtime = get_double(is, "churn mean downtime");
-      if (!c.churn.valid() || !c.churn.enabled())
-        bad("churn parameters out of range");
+        bad(parse_error_kind::out_of_range,
+            "topology parameters out of range for N");
+    } else if (section == "churn") {
+      c.faults.churn.down_rate = get_double(is, "churn down rate");
+      c.faults.churn.mean_downtime = get_double(is, "churn mean downtime");
+      if (!std::isfinite(c.faults.churn.down_rate) ||
+          !std::isfinite(c.faults.churn.mean_downtime) ||
+          !c.faults.churn.valid() || !c.faults.churn.enabled())
+        bad(parse_error_kind::out_of_range, "churn parameters out of range");
+    } else if (section == "outages") {
+      const std::uint32_t outage_count = get_u32(is, "outage count");
+      if (outage_count == 0)
+        bad(parse_error_kind::out_of_range, "empty outages section");
+      c.faults.outages.reserve(std::min(outage_count, max_reserve));
+      for (std::uint32_t i = 0; i < outage_count; ++i) {
+        expect_keyword(is, "E");
+        net::outage o;
+        o.node = get_u32(is, "outage node");
+        o.start = get_double(is, "outage start");
+        o.duration = get_double(is, "outage duration");
+        if (o.node >= c.sys.node_count)
+          bad(parse_error_kind::out_of_range, "outage node out of range");
+        if (!o.valid())
+          bad(parse_error_kind::out_of_range, "outage interval out of range");
+        c.faults.outages.push_back(o);
+      }
+    } else if (section == "mixfail") {
+      c.faults.mix_failures.count = get_u32(is, "mix failure count");
+      c.faults.mix_failures.horizon = get_double(is, "mix failure horizon");
+      c.faults.mix_failures.mean_duration =
+          get_double(is, "mix failure mean duration");
+      if (!c.faults.mix_failures.enabled() || !c.faults.mix_failures.valid())
+        bad(parse_error_kind::out_of_range,
+            "mix failure parameters out of range");
+    } else {  // retry
+      c.retry.max_retries = get_u32(is, "retry budget");
+      c.retry.timeout = get_double(is, "retry timeout");
+      c.retry.backoff = get_double(is, "retry backoff");
+      c.retry.max_timeout = get_double(is, "retry timeout cap");
+      if (!c.retry.enabled() || !c.retry.valid())
+        bad(parse_error_kind::out_of_range, "retry parameters out of range");
     }
     section = next_token(is, "compromised");
   }
@@ -340,37 +484,81 @@ sim_trace read_trace(std::istream& is) {
   // both is invalid input, not an engine-internal contract violation.
   if (c.topology.kind != net::topology_kind::complete &&
       c.adversary.kind == adversary_kind::timing_correlator)
-    bad("timing_correlator adversary is not supported on a restricted topology");
+    bad(parse_error_kind::out_of_range,
+        "timing_correlator adversary is not supported on a restricted topology");
   const std::uint32_t effective_comp = get_u32(is, "effective compromised size");
-  if (effective_comp > c.sys.node_count) bad("effective compromised size > N");
-  trace.compromised.resize(effective_comp);
-  for (node_id& id : trace.compromised) {
-    id = get_u32(is, "effective compromised id");
-    if (id >= c.sys.node_count) bad("compromised id out of range");
+  if (effective_comp > c.sys.node_count)
+    bad(parse_error_kind::out_of_range, "effective compromised size > N");
+  trace.compromised.reserve(std::min(effective_comp, max_reserve));
+  for (std::uint32_t i = 0; i < effective_comp; ++i) {
+    const node_id id = get_u32(is, "effective compromised id");
+    if (id >= c.sys.node_count)
+      bad(parse_error_kind::out_of_range, "compromised id out of range");
+    trace.compromised.push_back(id);
+  }
+
+  // The attempt map rides exactly when the retry policy is on: ids are
+  // strictly ascending (unique, byte-stable rewrite), live strictly above
+  // the original 1..message_count range, and point back into it.
+  if (c.retry.enabled()) {
+    expect_keyword(is, "attempts");
+    const std::uint32_t attempt_count = get_u32(is, "attempt count");
+    std::uint64_t last_attempt = c.message_count;
+    for (std::uint32_t i = 0; i < attempt_count; ++i) {
+      expect_keyword(is, "A");
+      const std::uint64_t id = get_u64(is, "attempt id");
+      const std::uint64_t parent = get_u64(is, "attempt parent");
+      if (id <= last_attempt)
+        bad(parse_error_kind::out_of_range,
+            "attempt ids must ascend past the message count");
+      if (parent < 1 || parent > c.message_count)
+        bad(parse_error_kind::out_of_range, "attempt parent out of range");
+      last_attempt = id;
+      trace.attempts.emplace(id, parent);
+    }
   }
 
   expect_keyword(is, "events");
   const std::uint32_t event_count = get_u32(is, "event count");
   // Grow incrementally: a corrupted count then hits "truncated stream" on
   // the first missing entry instead of pre-allocating gigabytes.
-  trace.events.reserve(std::min<std::uint32_t>(event_count, 1u << 20));
+  trace.events.reserve(std::min(event_count, max_reserve));
+  // Node ids inside events index posterior-engine arrays of size N during
+  // replay, so every one is range-checked here — hostile bytes must never
+  // become an out-of-bounds index downstream.
+  const auto check_node = [&](node_id v, const char* what) {
+    if (v >= c.sys.node_count)
+      bad(parse_error_kind::out_of_range, std::string(what) + " out of range");
+  };
+  const auto check_msg = [&](std::uint64_t msg) {
+    if (msg >= 1 && msg <= c.message_count) return;
+    if (trace.attempts.find(msg) != trace.attempts.end()) return;
+    bad(parse_error_kind::out_of_range, "event message id out of range");
+  };
   for (std::uint32_t i = 0; i < event_count; ++i) {
     adversary_event e;
     const std::string tag = next_token(is, "event tag");
     e.msg = get_u64(is, "event message id");
+    check_msg(e.msg);
     if (tag == "O") {
       e.type = adversary_event::kind::origin;
       e.reporter = get_u32(is, "origin sender");
+      check_node(e.reporter, "origin sender");
     } else if (tag == "T") {
       e.type = adversary_event::kind::relay;
       e.at = get_double(is, "relay capture time");
       e.reporter = get_u32(is, "relay reporter");
       e.predecessor = get_u32(is, "relay predecessor");
       e.successor = get_u32(is, "relay successor");
+      check_node(e.reporter, "relay reporter");
+      check_node(e.predecessor, "relay predecessor");
+      if (e.successor != receiver_node)
+        check_node(e.successor, "relay successor");
     } else if (tag == "R") {
       e.type = adversary_event::kind::receipt;
       e.at = get_double(is, "receipt time");
       e.predecessor = get_u32(is, "receipt predecessor");
+      check_node(e.predecessor, "receipt predecessor");
     } else {
       bad("unknown event tag '" + tag + "'");
     }
@@ -379,13 +567,27 @@ sim_trace read_trace(std::istream& is) {
 
   expect_keyword(is, "truths");
   const std::uint32_t truth_count = get_u32(is, "truth count");
-  if (truth_count > c.message_count) bad("truth count > message count");
-  trace.truths.reserve(truth_count);
+  if (truth_count > c.message_count)
+    bad(parse_error_kind::out_of_range, "truth count > message count");
+  // Session-attack scoring consumes exactly one truth per message; accept
+  // only traces that satisfy its contract.
+  if (c.session.enabled() && c.session.attack != attack::attack_kind::none &&
+      truth_count != c.message_count)
+    bad(parse_error_kind::out_of_range,
+        "session scoring requires one truth per message");
+  trace.truths.reserve(std::min(truth_count, max_reserve));
+  std::uint64_t last_truth = 0;
   for (std::uint32_t i = 0; i < truth_count; ++i) {
     message_truth t;
     expect_keyword(is, "G");
     t.msg = get_u64(is, "truth message id");
+    // Strictly ascending, like the writer emits: rejects duplicates in
+    // O(1) and keeps write(read(t)) byte-identical.
+    if (t.msg <= last_truth || t.msg > c.message_count)
+      bad(parse_error_kind::out_of_range, "truth message id out of range");
+    last_truth = t.msg;
     t.outcome.origin = get_u32(is, "truth origin");
+    check_node(t.outcome.origin, "truth origin");
     t.outcome.sent_at = get_double(is, "truth sent time");
     t.outcome.delivered_at = get_double(is, "truth delivery time");
     t.outcome.delivered = get_u32(is, "truth delivered flag") != 0;
@@ -405,6 +607,7 @@ sim_trace capture_trace(const sim_config& config) {
   trace.truths.reserve(core.outcomes.size());
   for (const auto& [id, outcome] : core.outcomes)
     trace.truths.push_back(message_truth{id, outcome});
+  trace.attempts = std::move(core.attempt_parent);
   return trace;
 }
 
@@ -442,7 +645,8 @@ sim_report replay_impl(const sim_trace& trace, const posterior_fn* engine) {
   const auto model = rebuild_model(trace);
   std::map<std::uint64_t, message_outcome> outcomes;
   for (const message_truth& t : trace.truths) outcomes.emplace(t.msg, t.outcome);
-  return detail::score_run(trace.config, *model, outcomes, engine);
+  return detail::score_run(trace.config, *model, outcomes, engine, nullptr,
+                           &trace.attempts);
 }
 
 }  // namespace

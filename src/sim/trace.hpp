@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <vector>
 
 #include "src/sim/adversary.hpp"
@@ -39,17 +40,22 @@ struct sim_trace {
   /// writer could have produced; read_trace refuses mismatched versions
   /// (no silent misparse), and the golden-file regression test pins the
   /// committed fixture to the current value. Purely *additive* optional
-  /// lines (topology/churn, written only for non-default configs) extend
-  /// the v1 grammar without a bump: every v1 trace still parses to the
-  /// same run, every pre-extension config still serializes byte-identically,
-  /// and an older reader rejects extended traces loudly at the unknown
-  /// keyword rather than misparsing them.
+  /// lines (topology/churn/fault-plan/retry sections, written only for
+  /// non-default configs) extend the v1 grammar without a bump: every v1
+  /// trace still parses to the same run, every pre-extension config still
+  /// serializes byte-identically, and an older reader rejects extended
+  /// traces loudly at the unknown keyword rather than misparsing them.
   static constexpr std::uint32_t format_version = 1;
 
   sim_config config;
   std::vector<node_id> compromised;  ///< effective corrupted set, ascending
   std::vector<adversary_event> events;
   std::vector<message_truth> truths;
+  /// Retry attempt id -> original message id (detail::core_result's map),
+  /// serialized only when the config enables the retry policy; replay
+  /// hands it to scoring so retransmitted observations fuse exactly as
+  /// they did inline.
+  std::map<std::uint64_t, std::uint64_t> attempts;
 };
 
 /// Runs the discrete-event half of `run_simulation(config)` and captures
@@ -74,8 +80,13 @@ struct sim_trace {
 /// traces render byte-identically. See README for the line grammar.
 void write_trace(const sim_trace& trace, std::ostream& os);
 
-/// Parses a serialized trace. Throws std::invalid_argument on a malformed
-/// stream or a format-version mismatch (the message names both versions).
+/// Parses a serialized trace. The stream is *untrusted input*: any
+/// truncation, mangled token, out-of-range value, oversized count, or
+/// version mismatch throws anonpath::parse_error (an std::invalid_argument
+/// whose kind() classifies the failure and whose message names the
+/// offending field) — never a contract violation, crash, or unbounded
+/// allocation. A returned trace satisfies every precondition of
+/// replay_trace and of run_simulation(trace.config).
 [[nodiscard]] sim_trace read_trace(std::istream& is);
 
 }  // namespace anonpath::sim

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace anonpath {
+
+/// What went wrong with an untrusted input. The taxonomy exists so callers
+/// (CLI error reporting, fuzz tests, resume logic) can react to the *class*
+/// of failure instead of string-matching messages:
+///   * io               — the stream/file could not be read at all;
+///   * truncated        — the input ended mid-record;
+///   * malformed        — a token failed to parse as its declared type;
+///   * out_of_range     — a well-formed value violates a documented bound;
+///   * version_mismatch — the format version is not the one this build reads;
+///   * mismatch         — the input is internally consistent but does not
+///                        belong here (e.g. a checkpoint for another grid).
+enum class parse_error_kind : std::uint8_t {
+  io,
+  truncated,
+  malformed,
+  out_of_range,
+  version_mismatch,
+  mismatch,
+};
+
+/// Stable short label ("truncated", ...) for messages and logs.
+[[nodiscard]] constexpr const char* parse_error_kind_label(
+    parse_error_kind kind) noexcept {
+  switch (kind) {
+    case parse_error_kind::io: return "io";
+    case parse_error_kind::truncated: return "truncated";
+    case parse_error_kind::malformed: return "malformed";
+    case parse_error_kind::out_of_range: return "out_of_range";
+    case parse_error_kind::version_mismatch: return "version_mismatch";
+    case parse_error_kind::mismatch: return "mismatch";
+  }
+  return "unknown";
+}
+
+/// Structured failure on *untrusted input* — trace files, checkpoint files,
+/// config strings. Distinct from contract_violation, which flags programming
+/// errors on trusted call paths: hostile or corrupt bytes must surface as
+/// parse_error (catchable, classified, message names the offending field)
+/// and never as an assert, a crash, or a giant allocation.
+///
+/// Derives from std::invalid_argument so pre-taxonomy call sites that caught
+/// the old raw throws keep working unchanged.
+class parse_error : public std::invalid_argument {
+ public:
+  /// `source` names the input ("trace", "checkpoint", ...); `detail` names
+  /// the field and failure. what() renders "<source>: <detail>".
+  parse_error(parse_error_kind kind, std::string source,
+              const std::string& detail)
+      : std::invalid_argument(source + ": " + detail),
+        kind_(kind),
+        source_(std::move(source)) {}
+
+  [[nodiscard]] parse_error_kind kind() const noexcept { return kind_; }
+
+  /// The input family that failed to parse ("trace", "checkpoint", ...).
+  [[nodiscard]] const std::string& source() const noexcept { return source_; }
+
+ private:
+  parse_error_kind kind_;
+  std::string source_;
+};
+
+}  // namespace anonpath

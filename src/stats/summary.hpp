@@ -36,6 +36,27 @@ class running_summary {
   /// Merges another summary (parallel reduction), Chan et al. formula.
   void merge(const running_summary& other) noexcept;
 
+  /// Second central moment sum Σ(x - mean)² — the raw Welford state.
+  /// Exposed (with restore) so checkpoints can serialize a summary exactly;
+  /// use variance()/stddev() for statistics.
+  [[nodiscard]] double m2() const noexcept { return m2_; }
+
+  /// Rebuilds a summary from raw state captured via count()/mean()/m2()/
+  /// min()/max() — the checkpoint-resume inverse of that capture, exact to
+  /// the bit. Precondition: n == 0 implies the remaining fields are the
+  /// defaults of an empty summary.
+  [[nodiscard]] static running_summary restore(std::uint64_t n, double mean,
+                                               double m2, double min,
+                                               double max) noexcept {
+    running_summary s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;

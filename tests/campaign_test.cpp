@@ -87,7 +87,7 @@ TEST(CampaignGrid, ScenarioConfigCarriesSharedSettings) {
   EXPECT_EQ(cfg.message_count, 80u);
   EXPECT_EQ(cfg.arrival_rate, 100.0);
   EXPECT_EQ(cfg.latency.base, 0.042);
-  EXPECT_EQ(cfg.drop_probability, 0.05);
+  EXPECT_EQ(cfg.faults.drop_probability, 0.05);
   EXPECT_EQ(cfg.seed, 99u);
 }
 

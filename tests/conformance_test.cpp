@@ -284,7 +284,7 @@ TEST(Conformance, TopologyCompleteRecapturesPreTopologyGoldenTrace) {
   std::istringstream is(buffered.str());
   sim::sim_config cfg = sim::read_trace(is).config;
   cfg.topology = net::topology_config{};  // complete, spelled out
-  cfg.churn = net::churn_config{};        // rate 0, spelled out
+  cfg.faults.churn = net::churn_config{};        // rate 0, spelled out
 
   std::ostringstream recaptured;
   sim::write_trace(sim::capture_trace(cfg), recaptured);

@@ -17,7 +17,7 @@ sim_config lossy_config(double drop) {
   cfg.compromised = {3, 11};
   cfg.lengths = path_length_distribution::uniform(1, 6);
   cfg.message_count = 2000;
-  cfg.drop_probability = drop;
+  cfg.faults.drop_probability = drop;
   cfg.seed = 71;
   return cfg;
 }

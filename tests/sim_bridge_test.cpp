@@ -51,7 +51,7 @@ sim_config random_config(stats::rng& gen) {
   cfg.forward_prob = 0.5 + 0.4 * gen.next_double();
   cfg.message_count = static_cast<std::uint32_t>(40 + gen.next_below(80));
   cfg.arrival_rate = 20.0 + 200.0 * gen.next_double();
-  cfg.drop_probability = gen.next_bernoulli(0.5) ? 0.0 : 0.1 * gen.next_double();
+  cfg.faults.drop_probability = gen.next_bernoulli(0.5) ? 0.0 : 0.1 * gen.next_double();
   cfg.seed = gen.next_u64();
   cfg.collect_posteriors = true;
   return cfg;
@@ -72,7 +72,7 @@ TEST(SimBridge, FuzzedRunsKeepEveryInferenceInvariant) {
     // Traffic invariants hold in both routing modes.
     ASSERT_EQ(r.submitted, cfg.message_count);
     ASSERT_LE(r.delivered, r.submitted);
-    if (cfg.drop_probability == 0.0) ASSERT_EQ(r.delivered, r.submitted);
+    if (cfg.faults.drop_probability == 0.0) ASSERT_EQ(r.delivered, r.submitted);
 
     if (cfg.mode != routing_mode::source_routed) {
       ASSERT_TRUE(std::isnan(r.empirical_entropy_bits));
@@ -129,7 +129,7 @@ TEST(SimBridge, ZeroDeliveryReportsAbsentInferenceMetrics) {
   cfg.compromised = {7};
   cfg.lengths = path_length_distribution::uniform(1, 4);
   cfg.message_count = 20;
-  cfg.drop_probability = 0.99;
+  cfg.faults.drop_probability = 0.99;
   cfg.collect_posteriors = true;
   const sim_report r = run_simulation(cfg);
   EXPECT_EQ(r.delivered, 0u);

@@ -64,7 +64,7 @@ sim_config tiered_config() {
   cfg.seed = 23;
   cfg.topology.kind = net::topology_kind::tiered;
   cfg.topology.tiers = 3;
-  cfg.churn = net::churn_config{0.5, 0.3};
+  cfg.faults.churn = net::churn_config{0.5, 0.3};
   return cfg;
 }
 
@@ -79,7 +79,7 @@ TEST(TopologyGolden, TieredTraceRoundTripsAndReplaysUnchanged) {
   // Config (topology and churn included), effective set, events, and
   // ground truth all survive the wire exactly.
   EXPECT_EQ(parsed.config.topology, cfg.topology);
-  EXPECT_EQ(parsed.config.churn, cfg.churn);
+  EXPECT_EQ(parsed.config.faults.churn, cfg.faults.churn);
   EXPECT_EQ(parsed.compromised, captured.compromised);
   EXPECT_EQ(parsed.events, captured.events);
   EXPECT_EQ(parsed.truths, captured.truths);

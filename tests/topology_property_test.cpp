@@ -75,7 +75,7 @@ TEST(TopologyProperty, FabricAssertsEdgesAndRegistration) {
   // The network is the last line of defense: a send that ignores the graph
   // (or an unregistered party) is a contract violation, not a silent hop.
   const net::topology topo = net::topology::ring(6, 1);
-  sim::network net(6, {}, 3, 0.0, &topo);
+  sim::network net(6, {}, 3, {}, &topo);
   struct sink : sim::message_sink {
     void on_message(node_id, sim::wire_message) override {}
   };
@@ -99,8 +99,9 @@ TEST(TopologyProperty, FabricCountsStrandsSeparatelyFromDrops) {
     void on_message(node_id, sim::wire_message) override {}
   };
   sink s;
-  sim::network net(4, {0.001, 0.0, 0.0}, 5, 0.0, nullptr,
-                   net::churn_config{50.0, 10.0});  // fails fast, stays down
+  sim::network net(4, {0.001, 0.0, 0.0}, 5,
+                   sim::fault_plan{.churn = net::churn_config{
+                       50.0, 10.0}});  // fails fast, stays down
   for (node_id i = 0; i < 4; ++i) net.register_node(i, s);
   net.register_receiver(s);
   EXPECT_TRUE(net.churn().enabled());
@@ -147,7 +148,7 @@ TEST(TopologyProperty, ChurnZeroReproducesStaticRunBitForBit) {
   cfg.topology.ring_k = 3;
 
   sim::sim_config zero = cfg;
-  zero.churn = net::churn_config{0.0, 123.0};  // rate 0, whatever the mean
+  zero.faults.churn = net::churn_config{0.0, 123.0};  // rate 0, whatever the mean
 
   const auto a = sim::run_simulation(cfg);
   const auto b = sim::run_simulation(zero);
@@ -166,7 +167,7 @@ TEST(TopologyProperty, ChurnStrandsMessagesDeterministically) {
   cfg.message_count = 400;
   cfg.arrival_rate = 100.0;
   cfg.seed = 21;
-  cfg.churn = net::churn_config{1.0, 0.3};  // frequent short outages
+  cfg.faults.churn = net::churn_config{1.0, 0.3};  // frequent short outages
 
   const auto a = sim::run_simulation(cfg);
   EXPECT_LT(a.delivered, a.submitted) << "no message ever stranded";

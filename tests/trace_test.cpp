@@ -75,7 +75,7 @@ std::vector<sim_config> preset_configs() {
   honest.collect_posteriors = true;
   out.push_back(honest);
   sim_config lossy = out[0];
-  lossy.drop_probability = 0.08;
+  lossy.faults.drop_probability = 0.08;
   out.push_back(lossy);
   sim_config crowds = out[0];
   crowds.mode = routing_mode::hop_by_hop;

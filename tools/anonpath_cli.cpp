@@ -28,6 +28,11 @@
 // | trust:<decay>; out-of-range parameters (for the given --n) are a hard
 // error, never a silent fallback to the clique.
 // Churn syntax: 0 (static) | <down_rate>[:<mean_downtime>] (seconds).
+// Retry syntax: <max>[:<timeout>[:<backoff>[:<max_timeout>]]] (0 = off).
+// Mix-failure syntax: <count>[:<horizon>[:<mean_duration>]] (0 = off).
+// Crash syntax: <node>:<start>:<duration> (repeatable; applies to every
+// cell of a campaign, so a node outside some cell's N fails that cell
+// into its error column instead of killing the sweep).
 // Popularity-law syntax: uniform | zipf:<s> (s > 0).
 // Attack syntax: none | intersection | sda | bayes (sequential_bayes).
 // Campaign axes (--n, --c, --drop, --rate, --mode, --adversary,
@@ -84,6 +89,9 @@ using namespace anonpath;
       "            --topology complete | ring:<k> | regular:<d>[:<seed>]\n"
       "                       | tiered:<t> | trust:<decay>\n"
       "            --churn 0 | <down_rate>[:<mean_downtime>]\n"
+      "            --retry <max>[:<timeout>[:<backoff>[:<max_timeout>]]]\n"
+      "            --mix-failures <count>[:<horizon>[:<mean_duration>]]\n"
+      "            --crash <node>:<start>:<duration>  (repeatable)\n"
       "  degree:   [--breakdown]\n"
       "  estimate: [--samples k] [--seed s] [--threads t (0=all cores)]\n"
       "            [--shards k] [--no-dedup]   Monte-Carlo H* for any C\n"
@@ -93,11 +101,13 @@ using namespace anonpath;
       "            [--population P --rounds R --attack a] session mode\n"
       "  campaign: scenario-grid sweep on the simulator; CSV to stdout.\n"
       "            axes (comma lists): --n --c --drop --rate --adversary\n"
-      "            --topology --churn --population --rounds --attack;\n"
-      "            --mode onion,crowds; --dist may repeat (one spec each)\n"
+      "            --topology --churn --mix-failures --retry --population\n"
+      "            --rounds --attack; --mode onion,crowds; --dist may\n"
+      "            repeat (one spec each)\n"
       "            [--replicas r (default 8)] [--messages k (default 500)]\n"
       "            [--seed s] [--threads t (0=all cores)] [--via-trace]\n"
       "            [--receiver-law uniform|zipf:<s>]\n"
+      "            [--checkpoint file [--resume]]  crash-resumable journal\n"
       "  attack:   longitudinal disclosure on a population workload (no\n"
       "            rerouting sim): --attack intersection|sda|bayes plus\n"
       "            [--users U] [--population P (default U)] [--rounds R]\n"
@@ -174,6 +184,11 @@ struct options {
   std::vector<sim::adversary_config> adversary_list;
   std::vector<net::topology_config> topology_list;
   std::vector<net::churn_config> churn_list;
+  std::vector<sim::mix_failure_config> mixfail_list;
+  std::vector<sim::retry_policy> retry_list;
+  std::vector<net::outage> crash_list;
+  std::string checkpoint_path;   ///< campaign: journal file ("" = off)
+  bool resume = false;           ///< campaign: adopt the journal's prefix
   std::uint32_t replicas = 8;
   bool replicas_set = false;
   double threshold = 0.99;
@@ -321,6 +336,71 @@ net::churn_config parse_churn(const std::string& spec) {
   return cfg;
 }
 
+double parse_double_or_die(const std::string& tok, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (tok.empty() || end == tok.c_str() || *end != '\0')
+    usage((std::string("bad ") + what + " (want a number)").c_str());
+  return v;
+}
+
+std::uint32_t parse_u32_or_die(const std::string& tok, const char* what) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (tok.empty() || tok[0] == '-' || end == tok.c_str() || *end != '\0' ||
+      v > 0xFFFFFFFFull)
+    usage((std::string("bad ") + what +
+           " (want an unsigned 32-bit integer)").c_str());
+  return static_cast<std::uint32_t>(v);
+}
+
+sim::retry_policy parse_retry(const std::string& spec) {
+  sim::retry_policy p;
+  const auto args = split_on(spec, ':');
+  if (args.empty() || args.size() > 4)
+    usage("bad --retry (want <max>[:<timeout>[:<backoff>[:<max_timeout>]]])");
+  p.max_retries = parse_u32_or_die(args[0], "--retry max");
+  if (args.size() > 1) p.timeout = parse_double_or_die(args[1], "--retry timeout");
+  if (args.size() > 2) p.backoff = parse_double_or_die(args[2], "--retry backoff");
+  if (args.size() > 3)
+    p.max_timeout = parse_double_or_die(args[3], "--retry max_timeout");
+  else if (p.max_timeout < p.timeout)
+    p.max_timeout = p.timeout;  // an explicit long timeout caps itself
+  if (!p.valid())
+    usage("--retry parameters out of range (timeout > 0, backoff >= 1, "
+          "max_timeout >= timeout)");
+  return p;
+}
+
+sim::mix_failure_config parse_mixfail(const std::string& spec) {
+  sim::mix_failure_config mf;
+  const auto args = split_on(spec, ':');
+  if (args.empty() || args.size() > 3)
+    usage("bad --mix-failures (want <count>[:<horizon>[:<mean_duration>]])");
+  mf.count = parse_u32_or_die(args[0], "--mix-failures count");
+  if (args.size() > 1)
+    mf.horizon = parse_double_or_die(args[1], "--mix-failures horizon");
+  if (args.size() > 2)
+    mf.mean_duration = parse_double_or_die(args[2], "--mix-failures mean");
+  if (!mf.valid())
+    usage("--mix-failures parameters out of range (horizon >= 0, "
+          "mean_duration > 0)");
+  return mf;
+}
+
+net::outage parse_crash(const std::string& spec) {
+  const auto args = split_on(spec, ':');
+  if (args.size() != 3) usage("bad --crash (want <node>:<start>:<duration>)");
+  net::outage o;
+  o.node = parse_u32_or_die(args[0], "--crash node");
+  o.start = parse_double_or_die(args[1], "--crash start");
+  o.duration = parse_double_or_die(args[2], "--crash duration");
+  if (!o.valid())
+    usage("--crash parameters out of range (start >= 0, duration > 0, "
+          "both finite)");
+  return o;
+}
+
 std::vector<std::string> split_on(const std::string& s, char delim) {
   std::vector<std::string> out;
   std::size_t pos = 0;
@@ -419,6 +499,20 @@ options parse(int argc, char** argv) {
       for (const std::string& tok : split_commas(next()))
         opt.churn_list.push_back(parse_churn(tok));
     }
+    else if (flag == "--retry") {
+      for (const std::string& tok : split_commas(next()))
+        opt.retry_list.push_back(parse_retry(tok));
+    }
+    else if (flag == "--mix-failures") {
+      for (const std::string& tok : split_commas(next()))
+        opt.mixfail_list.push_back(parse_mixfail(tok));
+    }
+    else if (flag == "--crash") {
+      for (const std::string& tok : split_commas(next()))
+        opt.crash_list.push_back(parse_crash(tok));
+    }
+    else if (flag == "--checkpoint") opt.checkpoint_path = next();
+    else if (flag == "--resume") opt.resume = true;
     else if (flag == "--population")
       opt.population_list = parse_u32_list(next());
     else if (flag == "--rounds") opt.rounds_list = parse_u32_list(next());
@@ -544,9 +638,25 @@ void reject_session_flags(const options& opt, const char* command) {
               .c_str());
 }
 
+/// The fault/recovery surface belongs to the simulator (and the campaign's
+/// journal); any other command accepting these flags would silently ignore
+/// them — the fallback this CLI promises never to do.
+void reject_fault_flags(const options& opt, const char* command) {
+  if (!opt.retry_list.empty() || !opt.mixfail_list.empty() ||
+      !opt.crash_list.empty())
+    usage((std::string("--retry/--mix-failures/--crash do not apply to '") +
+           command + "'; use simulate/capture/campaign")
+              .c_str());
+  if (!opt.checkpoint_path.empty() || opt.resume)
+    usage((std::string("--checkpoint/--resume do not apply to '") + command +
+           "'; only 'campaign' journals its progress")
+              .c_str());
+}
+
 int cmd_degree(const options& opt) {
   reject_topology_flags(opt, "degree");
   reject_session_flags(opt, "degree");
+  reject_fault_flags(opt, "degree");
   const system_params sys{opt.n, 1};
   const auto d = opt.dist.value_or(path_length_distribution::fixed(3));
   const double h = anonymity_degree(sys, d);
@@ -570,6 +680,7 @@ int cmd_degree(const options& opt) {
 
 int cmd_estimate(const options& opt) {
   reject_session_flags(opt, "estimate");
+  reject_fault_flags(opt, "estimate");
   if (!opt.churn_list.empty() && opt.churn_list.front().enabled())
     usage("--churn does not apply to 'estimate'; use simulate/capture/campaign");
   const system_params sys{opt.n, opt.c};
@@ -631,6 +742,7 @@ int cmd_estimate(const options& opt) {
 int cmd_optimize(const options& opt) {
   reject_topology_flags(opt, "optimize");
   reject_session_flags(opt, "optimize");
+  reject_fault_flags(opt, "optimize");
   const system_params sys{opt.n, 1};
   const auto cap = static_cast<path_length>(opt.n - 1);
   const auto r = optimize_for_mean(sys, opt.mean, cap);
@@ -660,9 +772,26 @@ sim::sim_config simulate_config(const options& opt) {
             "belongs to 'campaign')");
     cfg.mode = opt.mode_list.front();
   }
+  if (!opt.checkpoint_path.empty() || opt.resume)
+    usage("--checkpoint/--resume do not apply to simulate/capture; only "
+          "'campaign' journals its progress");
   cfg.message_count = opt.messages;
   cfg.seed = opt.seed;
-  cfg.drop_probability = opt.drop;
+  if (!(opt.drop >= 0.0 && opt.drop < 1.0))
+    usage("--drop must be in [0, 1)");
+  cfg.faults.drop_probability = opt.drop;
+  // Single scalars, like --mode: a comma list here would silently run only
+  // its first value (the axes belong to 'campaign').
+  if (opt.retry_list.size() > 1 || opt.mixfail_list.size() > 1)
+    usage("simulate/capture take single --retry/--mix-failures values "
+          "(comma-list axes belong to 'campaign')");
+  if (!opt.retry_list.empty()) cfg.retry = opt.retry_list.front();
+  if (!opt.mixfail_list.empty())
+    cfg.faults.mix_failures = opt.mixfail_list.front();
+  for (const net::outage& o : opt.crash_list)
+    if (o.node >= opt.n)
+      usage("--crash node out of range for --n");
+  cfg.faults.outages = opt.crash_list;
   cfg.identified_threshold = opt.threshold;
   if (!opt.adversary_list.empty()) cfg.adversary = opt.adversary_list.front();
   if (!opt.topology_list.empty()) {
@@ -673,7 +802,7 @@ sim::sim_config simulate_config(const options& opt) {
         cfg.adversary.kind == sim::adversary_kind::timing_correlator)
       usage("--adversary timing is not supported on a restricted --topology");
   }
-  if (!opt.churn_list.empty()) cfg.churn = opt.churn_list.front();
+  if (!opt.churn_list.empty()) cfg.faults.churn = opt.churn_list.front();
   // Single scalars here; a comma list would otherwise run only its first
   // value — a silent drop (the axes belong to 'campaign').
   if (opt.population_list.size() > 1 || opt.rounds_list.size() > 1 ||
@@ -721,7 +850,7 @@ void print_sim_report(const sim::sim_config& cfg, const sim::sim_report& r) {
       static_cast<unsigned long long>(r.submitted), cfg.sys.node_count,
       cfg.sys.compromised_count, cfg.lengths.label().c_str(),
       cfg.adversary.label().c_str(), cfg.topology.label().c_str(),
-      cfg.churn.label().c_str());
+      cfg.faults.label().c_str());
   std::printf("  delivered:           %llu (%.1f%%)\n",
               static_cast<unsigned long long>(r.delivered),
               100.0 * static_cast<double>(r.delivered) /
@@ -733,6 +862,12 @@ void print_sim_report(const sim::sim_config& cfg, const sim::sim_report& r) {
               r.empirical_entropy_bits, 1.96 * r.empirical_entropy_stderr);
   std::printf("  identified fraction: %.2f%% (threshold %g)\n",
               100.0 * r.identified_fraction, cfg.identified_threshold);
+  if (cfg.retry.enabled())
+    std::printf("  retransmissions:     %llu (%s, %.3f per msg)\n",
+                static_cast<unsigned long long>(r.retransmissions),
+                cfg.retry.label().c_str(),
+                static_cast<double>(r.retransmissions) /
+                    static_cast<double>(r.submitted));
   if (r.session) {
     const sim::session_report& s = *r.session;
     std::printf("  session %s: target %u sent %llu msgs over %u rounds\n",
@@ -773,8 +908,10 @@ int cmd_capture(const options& opt) {
 }
 
 int cmd_replay(const options& opt) {
-  // Replay's run (session included) is defined entirely by the trace.
+  // Replay's run (session and fault plan included) is defined entirely by
+  // the trace.
   reject_session_flags(opt, "replay");
+  reject_fault_flags(opt, "replay");
   if (opt.in_path.empty()) usage("replay requires --in <trace file>");
   std::ifstream in(opt.in_path, std::ios::binary);
   if (!in.good()) usage("cannot open --in file");
@@ -828,6 +965,9 @@ int cmd_campaign(const options& opt) {
   if (!opt.adversary_list.empty()) grid.adversaries = opt.adversary_list;
   if (!opt.topology_list.empty()) grid.topologies = opt.topology_list;
   if (!opt.churn_list.empty()) grid.churns = opt.churn_list;
+  if (!opt.mixfail_list.empty()) grid.mix_failures = opt.mixfail_list;
+  if (!opt.retry_list.empty()) grid.retries = opt.retry_list;
+  grid.fault_outages = opt.crash_list;
   if (!opt.population_list.empty()) grid.populations = opt.population_list;
   if (!opt.rounds_list.empty()) grid.session_rounds = opt.rounds_list;
   if (!opt.attack_list.empty()) grid.attacks = opt.attack_list;
@@ -836,6 +976,10 @@ int cmd_campaign(const options& opt) {
   grid.identified_threshold = opt.threshold;
   // Out-of-range axis values are a hard error at parse time, not a silent
   // feasibility filter: a sweep must never quietly shrink.
+  for (double d : grid.drop_probabilities)
+    if (!(d >= 0.0 && d < 1.0)) usage("--drop values must be in [0, 1)");
+  for (double r : grid.arrival_rates)
+    if (!(r > 0.0)) usage("--rate values must be > 0");
   for (std::uint32_t p : grid.populations)
     if (p == 1)
       usage("--population values must be 0 (session off) or >= 2");
@@ -859,6 +1003,10 @@ int cmd_campaign(const options& opt) {
   cfg.master_seed = opt.seed;
   cfg.threads = opt.threads;
   cfg.via_trace = opt.via_trace;
+  if (opt.resume && opt.checkpoint_path.empty())
+    usage("--resume requires --checkpoint <file>");
+  cfg.checkpoint_path = opt.checkpoint_path;
+  cfg.resume = opt.resume;
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto result = sim::run_campaign(grid, cfg);
@@ -879,11 +1027,19 @@ int cmd_campaign(const options& opt) {
                static_cast<unsigned long long>(result.runs *
                                                grid.message_count),
                secs);
+  std::uint64_t errored = 0;
+  for (const sim::campaign_cell& cell : result.cells)
+    if (!cell.error.empty()) ++errored;
+  if (errored > 0)
+    std::fprintf(stderr,
+                 "# warning: %llu cell(s) failed; see the CSV error column\n",
+                 static_cast<unsigned long long>(errored));
   return 0;
 }
 
 int cmd_attack(const options& opt) {
   reject_topology_flags(opt, "attack");
+  reject_fault_flags(opt, "attack");
   // Axes are a campaign concept; here every flag is a single scalar, and a
   // comma list would otherwise run only its first value — a silent drop.
   if (opt.attack_list.size() > 1 || opt.population_list.size() > 1 ||
@@ -1014,6 +1170,7 @@ int cmd_attack(const options& opt) {
 int cmd_figures(const options& opt) {
   reject_topology_flags(opt, "figures");
   reject_session_flags(opt, "figures");
+  reject_fault_flags(opt, "figures");
   const system_params sys{opt.n, 1};
   repro::print_figure(repro::fig3a(sys), std::cout);
   repro::print_figure(repro::fig3b(sys), std::cout);
