@@ -65,6 +65,16 @@ route sample_topology_route(const net::topology& topo, node_id sender,
   return r;
 }
 
+route sample_planned_route(net::route_planner& planner, node_id sender,
+                           stats::rng& gen) {
+  return planner.sample_route(sender, gen);
+}
+
+void sample_planned_route_into(net::route_planner& planner, node_id sender,
+                               stats::rng& gen, route& out) {
+  out = planner.sample_route(sender, gen);
+}
+
 route_sampler::route_sampler(std::uint32_t node_count,
                              path_length_distribution lengths,
                              path_model model)

@@ -2,6 +2,7 @@
 
 #include "src/anonymity/length_distribution.hpp"
 #include "src/anonymity/types.hpp"
+#include "src/net/route_plan.hpp"
 #include "src/net/topology.hpp"
 #include "src/stats/rng.hpp"
 
@@ -48,6 +49,19 @@ enum class path_model {
 void sample_topology_route_into(const net::topology& topo, node_id sender,
                                 path_length length, stats::rng& gen,
                                 route& out);
+
+/// Draws a planned route from `sender` under the kpaths model: the planner
+/// picks a uniform exit and one of its k best paths (see
+/// net::route_planner::sample_route — this wrapper is the sampler-layer
+/// entry point the simulator calls, parallel to sample_topology_route).
+/// Unlike the walk samplers the length is data-driven, not a parameter:
+/// planned paths are loopless, so lengths land in [1, N-1].
+[[nodiscard]] route sample_planned_route(net::route_planner& planner,
+                                         node_id sender, stats::rng& gen);
+
+/// In-place variant, mirroring sample_topology_route_into.
+void sample_planned_route_into(net::route_planner& planner, node_id sender,
+                               stats::rng& gen, route& out);
 
 /// Allocation-free bulk sampler for the hot Monte-Carlo loop: draws the same
 /// (sender, length, route) triples as sample_route but reuses internal

@@ -1,0 +1,50 @@
+#include "src/net/approx_posterior.hpp"
+
+#include <utility>
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath::net {
+
+approx_topology_posterior::approx_topology_posterior(
+    system_params sys, std::vector<node_id> compromised,
+    path_length_distribution lengths, topology topo)
+    : engine_(sys, std::move(compromised), std::move(lengths),
+              std::move(topo)) {}
+
+approx_topology_posterior::approx_topology_posterior(
+    system_params sys, std::vector<node_id> compromised,
+    path_length_distribution lengths, topology topo,
+    std::vector<bool> support)
+    : engine_(sys, std::move(compromised), std::move(lengths),
+              std::move(topo), std::move(support)) {}
+
+namespace {
+
+std::vector<bool> routed_support(const topology& topo,
+                                 const routing_config& routing,
+                                 const std::vector<node_id>& sources,
+                                 const std::vector<node_id>& exits) {
+  ANONPATH_EXPECTS(routing.valid() && routing.planned());
+  return kpath_support(topo, routing.k, sources, exits);
+}
+
+}  // namespace
+
+approx_topology_posterior::approx_topology_posterior(
+    system_params sys, std::vector<node_id> compromised,
+    path_length_distribution lengths, topology topo,
+    const routing_config& routing, const std::vector<node_id>& sources,
+    const std::vector<node_id>& exits)
+    : engine_(sys, std::move(compromised), std::move(lengths), topo,
+              routed_support(topo, routing, sources, exits)) {}
+
+std::uint32_t approx_topology_posterior::support_size() const noexcept {
+  const std::vector<bool>& s = engine_.interior_support();
+  if (s.empty()) return engine_.graph().node_count();
+  std::uint32_t count = 0;
+  for (bool b : s) count += b ? 1u : 0u;
+  return count;
+}
+
+}  // namespace anonpath::net

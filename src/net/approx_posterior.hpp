@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/anonymity/length_distribution.hpp"
+#include "src/anonymity/observation.hpp"
+#include "src/anonymity/types.hpp"
+#include "src/net/route_plan.hpp"
+#include "src/net/topology.hpp"
+#include "src/net/topology_posterior.hpp"
+
+namespace anonpath::net {
+
+/// Approximate sender inference for graphs (and routing models) beyond the
+/// exact engine's comfortable reach: the same restricted-path transfer-
+/// matrix DP as topology_posterior_engine, with the honest-interior state
+/// space pruned to a support mask — typically the union of nodes on the
+/// planned k-shortest paths (kpath_support). With a full mask the
+/// arithmetic is bit-identical to the exact engine (the conformance suite
+/// pins this, alongside graph_oracle, on N <= 10); a proper subset trades
+/// exactness on walk-model tails for a smaller DP frontier, and zeroes any
+/// hypothesis that needs a pruned node at a non-sender position.
+///
+/// This is also the engine that scores kpaths simulation runs: planned
+/// routes are loopless, so a diffuse uniform(1, N-1) length prior covers
+/// every realizable route length, and under the model's uniform exit law
+/// the planned k-path support spans every node — the mask degenerates to
+/// full and the DP runs unpruned (see kpath_support). Restricted exit or
+/// source policies are where real pruning pays.
+class approx_topology_posterior {
+ public:
+  /// Full support: exactly topology_posterior_engine, repackaged.
+  approx_topology_posterior(system_params sys,
+                            std::vector<node_id> compromised,
+                            path_length_distribution lengths, topology topo);
+
+  /// Explicit support mask (size N). The scalable path: callers on large
+  /// graphs derive the mask themselves (e.g. kpath_support over a
+  /// restricted source/exit policy) instead of the O(N^2) all-pairs sweep.
+  approx_topology_posterior(system_params sys,
+                            std::vector<node_id> compromised,
+                            path_length_distribution lengths, topology topo,
+                            std::vector<bool> support);
+
+  /// Support derived from a kpaths routing config over explicit
+  /// source/exit sets: kpath_support(topo, routing.k, sources, exits).
+  /// Preconditions: routing.valid() && routing.planned().
+  approx_topology_posterior(system_params sys,
+                            std::vector<node_id> compromised,
+                            path_length_distribution lengths, topology topo,
+                            const routing_config& routing,
+                            const std::vector<node_id>& sources,
+                            const std::vector<node_id>& exits);
+
+  /// Posterior Pr(S = i | obs); precondition: explainable(obs).
+  [[nodiscard]] std::vector<double> sender_posterior(
+      const observation& obs) const {
+    return engine_.sender_posterior(obs);
+  }
+
+  /// False — `out` all-zero — when no hypothesis survives (mis-assembled
+  /// input, or an observation whose walk needs a pruned node).
+  [[nodiscard]] bool try_sender_posterior(const observation& obs,
+                                          std::vector<double>& out) const {
+    return engine_.try_sender_posterior(obs, out);
+  }
+
+  [[nodiscard]] bool explainable(const observation& obs) const {
+    return engine_.explainable(obs);
+  }
+
+  [[nodiscard]] const topology_posterior_engine& engine() const noexcept {
+    return engine_;
+  }
+  [[nodiscard]] const topology& graph() const noexcept {
+    return engine_.graph();
+  }
+
+  /// The effective mask (empty = full support) and its popcount (N when
+  /// unmasked).
+  [[nodiscard]] const std::vector<bool>& support() const noexcept {
+    return engine_.interior_support();
+  }
+  [[nodiscard]] std::uint32_t support_size() const noexcept;
+
+ private:
+  topology_posterior_engine engine_;
+};
+
+}  // namespace anonpath::net

@@ -1,0 +1,286 @@
+#include "src/net/route_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <queue>
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath::net {
+
+namespace {
+
+constexpr double inf = std::numeric_limits<double>::infinity();
+
+/// Directed arc key for the Yen spur bans.
+std::uint64_t arc_key(node_id u, node_id v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+struct heap_item {
+  double dist;
+  node_id node;
+};
+
+/// Min-heap order with ascending-id tie-breaking: the smaller node id pops
+/// first among equal distances, which pins the settle order (and thus
+/// every parent choice) regardless of insertion history.
+struct heap_greater {
+  bool operator()(const heap_item& a, const heap_item& b) const {
+    if (a.dist != b.dist) return a.dist > b.dist;
+    return a.node > b.node;
+  }
+};
+
+using heap =
+    std::priority_queue<heap_item, std::vector<heap_item>, heap_greater>;
+
+/// Shared Dijkstra core. Settles nodes until the heap drains or `target`
+/// settles (pass no_vertex for a full tree). `banned_nodes` (empty = none)
+/// removes nodes entirely; `banned_arcs` (sorted) removes directed
+/// traversals — both only ever non-trivial inside Yen's spur searches.
+void dijkstra_core(const topology& topo, node_id source, node_id target,
+                   const std::vector<char>& banned_nodes,
+                   const std::vector<std::uint64_t>& banned_arcs,
+                   std::vector<double>& dist, std::vector<node_id>& parent) {
+  const std::uint32_t n = topo.node_count();
+  dist.assign(n, inf);
+  parent.assign(n, no_vertex);
+  std::vector<char> settled(n, 0);
+  heap pq;
+  dist[source] = 0.0;
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    const heap_item top = pq.top();
+    pq.pop();
+    if (settled[top.node]) continue;  // lazy deletion
+    settled[top.node] = 1;
+    if (top.node == target) return;
+    const neighbor_view a = topo.adjacency(top.node);
+    for (std::uint32_t i = 0; i < a.size; ++i) {
+      const node_id v = a.ids[i];
+      if (settled[v]) continue;
+      if (!banned_nodes.empty() && banned_nodes[v]) continue;
+      if (!banned_arcs.empty() &&
+          std::binary_search(banned_arcs.begin(), banned_arcs.end(),
+                             arc_key(top.node, v)))
+        continue;
+      const double nd = top.dist + edge_cost(a.weights[i]);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        parent[v] = top.node;
+        pq.push({nd, v});
+      }
+    }
+  }
+}
+
+/// Reads the source->t path out of a parent array; nullopt if unreached.
+std::optional<planned_path> extract_path(const std::vector<double>& dist,
+                                         const std::vector<node_id>& parent,
+                                         node_id source, node_id t) {
+  if (dist[t] == inf) return std::nullopt;
+  planned_path p;
+  p.cost = dist[t];
+  for (node_id x = t; x != no_vertex; x = parent[x]) p.nodes.push_back(x);
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  ANONPATH_ENSURES(!p.nodes.empty() && p.nodes.front() == source);
+  return p;
+}
+
+std::optional<planned_path> shortest_path_masked(
+    const topology& topo, node_id s, node_id t,
+    const std::vector<char>& banned_nodes,
+    const std::vector<std::uint64_t>& banned_arcs) {
+  std::vector<double> dist;
+  std::vector<node_id> parent;
+  dijkstra_core(topo, s, t, banned_nodes, banned_arcs, dist, parent);
+  return extract_path(dist, parent, s, t);
+}
+
+/// Candidate order inside Yen: cheapest first, ties by lexicographic node
+/// sequence — fully deterministic however the candidates were generated.
+bool candidate_less(const planned_path& a, const planned_path& b) {
+  if (a.cost != b.cost) return a.cost < b.cost;
+  return a.nodes < b.nodes;
+}
+
+}  // namespace
+
+shortest_path_tree dijkstra(const topology& topo, node_id source) {
+  ANONPATH_EXPECTS(source < topo.node_count());
+  shortest_path_tree tree;
+  tree.source = source;
+  dijkstra_core(topo, source, no_vertex, {}, {}, tree.dist, tree.parent);
+  return tree;
+}
+
+std::optional<planned_path> shortest_path(const topology& topo, node_id s,
+                                          node_id t) {
+  ANONPATH_EXPECTS(s < topo.node_count() && t < topo.node_count() && s != t);
+  return shortest_path_masked(topo, s, t, {}, {});
+}
+
+std::vector<planned_path> k_shortest_paths(const topology& topo, node_id s,
+                                           node_id t, std::uint32_t k) {
+  ANONPATH_EXPECTS(s < topo.node_count() && t < topo.node_count() && s != t);
+  ANONPATH_EXPECTS(k >= 1);
+  std::vector<planned_path> A;
+  {
+    auto first = shortest_path(topo, s, t);
+    if (!first) return A;  // unreachable (only under masks/teardown)
+    A.push_back(std::move(*first));
+  }
+  std::vector<planned_path> B;  // candidate pool, candidate_less-sorted
+  std::vector<char> banned_nodes(topo.node_count(), 0);
+  while (A.size() < k) {
+    // Spur off every node of the newest accepted path except the target.
+    const planned_path prev = A.back();
+    double root_cost = 0.0;
+    for (std::size_t j = 0; j + 1 < prev.nodes.size(); ++j) {
+      const node_id spur = prev.nodes[j];
+      // Ban the next arc of every accepted path sharing this root prefix,
+      // so the spur search must deviate here.
+      std::vector<std::uint64_t> banned_arcs;
+      for (const planned_path& p : A)
+        if (p.nodes.size() > j + 1 &&
+            std::equal(prev.nodes.begin(), prev.nodes.begin() + j + 1,
+                       p.nodes.begin()))
+          banned_arcs.push_back(arc_key(p.nodes[j], p.nodes[j + 1]));
+      std::sort(banned_arcs.begin(), banned_arcs.end());
+      banned_arcs.erase(std::unique(banned_arcs.begin(), banned_arcs.end()),
+                        banned_arcs.end());
+      // Root nodes before the spur are off limits: keeps candidates simple.
+      for (std::size_t i = 0; i < j; ++i) banned_nodes[prev.nodes[i]] = 1;
+      auto spur_path =
+          shortest_path_masked(topo, spur, t, banned_nodes, banned_arcs);
+      for (std::size_t i = 0; i < j; ++i) banned_nodes[prev.nodes[i]] = 0;
+      if (spur_path) {
+        planned_path cand;
+        cand.nodes.assign(prev.nodes.begin(),
+                          prev.nodes.begin() + static_cast<std::ptrdiff_t>(j));
+        cand.nodes.insert(cand.nodes.end(), spur_path->nodes.begin(),
+                          spur_path->nodes.end());
+        cand.cost = root_cost + spur_path->cost;
+        const auto same_nodes = [&](const planned_path& p) {
+          return p.nodes == cand.nodes;
+        };
+        if (std::none_of(A.begin(), A.end(), same_nodes) &&
+            std::none_of(B.begin(), B.end(), same_nodes))
+          B.insert(std::lower_bound(B.begin(), B.end(), cand, candidate_less),
+                   std::move(cand));
+      }
+      root_cost +=
+          edge_cost(topo.edge_weight(prev.nodes[j], prev.nodes[j + 1]));
+    }
+    if (B.empty()) break;  // the graph has no more simple s->t paths
+    A.push_back(std::move(B.front()));
+    B.erase(B.begin());
+  }
+  return A;
+}
+
+std::vector<std::uint32_t> connected_components(const topology& topo) {
+  std::vector<bool> active(topo.node_count(), true);
+  return connected_components(topo, active);
+}
+
+std::vector<std::uint32_t> connected_components(
+    const topology& topo, const std::vector<bool>& active) {
+  const std::uint32_t n = topo.node_count();
+  ANONPATH_EXPECTS(active.size() == n);
+  std::vector<std::uint32_t> label(n, no_vertex);
+  std::vector<node_id> stack;
+  std::uint32_t next = 0;
+  for (node_id root = 0; root < n; ++root) {
+    if (!active[root] || label[root] != no_vertex) continue;
+    const std::uint32_t comp = next++;
+    label[root] = comp;
+    stack.assign(1, root);
+    while (!stack.empty()) {
+      const node_id u = stack.back();
+      stack.pop_back();
+      const neighbor_view a = topo.adjacency(u);
+      for (std::uint32_t i = 0; i < a.size; ++i) {
+        const node_id v = a.ids[i];
+        if (!active[v] || label[v] != no_vertex) continue;
+        label[v] = comp;
+        stack.push_back(v);
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<bool> kpath_support(const topology& topo, std::uint32_t k,
+                                const std::vector<node_id>& sources,
+                                const std::vector<node_id>& exits) {
+  ANONPATH_EXPECTS(k >= 1);
+  std::vector<bool> support(topo.node_count(), false);
+  for (node_id s : sources) {
+    ANONPATH_EXPECTS(s < topo.node_count());
+    for (node_id t : exits) {
+      ANONPATH_EXPECTS(t < topo.node_count());
+      if (t == s) continue;
+      for (const planned_path& p : k_shortest_paths(topo, s, t, k))
+        for (node_id x : p.nodes) support[x] = true;
+    }
+  }
+  return support;
+}
+
+std::string routing_config::label() const {
+  if (kind == route_select::walk) return "walk";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "kpaths(%u)", k);
+  return buf;
+}
+
+route_planner::route_planner(const topology& topo, routing_config cfg)
+    : topo_(&topo), cfg_(cfg) {
+  ANONPATH_EXPECTS(cfg_.valid() && cfg_.planned());
+  ANONPATH_EXPECTS(topo.node_count() >= 2);
+}
+
+const std::vector<planned_path>& route_planner::plan(node_id s, node_id t) {
+  ANONPATH_EXPECTS(s < topo_->node_count() && t < topo_->node_count() &&
+                   s != t);
+  const std::uint64_t key = (static_cast<std::uint64_t>(s) << 32) | t;
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  return cache_.emplace(key, k_shortest_paths(*topo_, s, t, cfg_.k))
+      .first->second;
+}
+
+route route_planner::sample_route(node_id sender, stats::rng& gen) {
+  const std::uint32_t n = topo_->node_count();
+  ANONPATH_EXPECTS(sender < n);
+  // Exit ~ Uniform(V \ {sender}); the planner then picks among the k best
+  // sender->exit paths with probability proportional to 1/cost, so cheap
+  // (short / trusted) alternatives dominate without starving the rest.
+  auto exit_node = static_cast<node_id>(gen.next_below(n - 1));
+  if (exit_node >= sender) ++exit_node;
+  const std::vector<planned_path>& paths = plan(sender, exit_node);
+  ANONPATH_EXPECTS(!paths.empty());  // connected topology: always reachable
+  std::size_t pick = 0;
+  if (paths.size() > 1) {
+    double total = 0.0;
+    for (const planned_path& p : paths) total += 1.0 / p.cost;
+    const double x = gen.next_double() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      acc += 1.0 / paths[i].cost;
+      pick = i;
+      if (x < acc) break;
+    }
+  }
+  route r;
+  r.sender = sender;
+  // Hops are everything after the sender: interior relays, then the exit,
+  // which forwards to R — so the realized length is the path's edge count.
+  r.hops.assign(paths[pick].nodes.begin() + 1, paths[pick].nodes.end());
+  return r;
+}
+
+}  // namespace anonpath::net

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <numeric>
+#include <unordered_set>
+#include <utility>
 
 #include "src/stats/contract.hpp"
 
@@ -58,13 +61,194 @@ std::string topology_config::label() const {
   return "?";
 }
 
-topology::topology(std::uint32_t n, topology_config cfg)
-    : n_(n),
-      cfg_(cfg),
-      adj_(n),
-      weights_(n),
-      cum_(n),
-      total_(n, 0.0) {}
+namespace {
+
+/// Symmetric edge key: the same u~v in either orientation.
+std::uint64_t edge_key(node_id u, node_id v) {
+  const node_id lo = u < v ? u : v;
+  const node_id hi = u < v ? v : u;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+/// Union-find connectivity over an edge list: the same answer a BFS over
+/// the built adjacency gives, without materializing it — the per-attempt
+/// connectivity check in the random_regular generator runs on the raw edge
+/// list this way.
+bool edges_connect(std::uint32_t n, const std::vector<weighted_edge>& edges) {
+  std::vector<node_id> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  const auto find = [&](node_id x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];  // path halving
+      x = parent[x];
+    }
+    return x;
+  };
+  std::uint32_t components = n;
+  for (const weighted_edge& e : edges) {
+    const node_id a = find(e.u);
+    const node_id b = find(e.v);
+    if (a != b) {
+      parent[a] = b;
+      --components;
+    }
+  }
+  return components == 1;
+}
+
+void build_complete_edges(std::uint32_t n, std::vector<weighted_edge>& out) {
+  out.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (node_id u = 0; u < n; ++u)
+    for (node_id v = u + 1; v < n; ++v) out.push_back({u, v, 1.0});
+}
+
+void build_ring_edges(std::uint32_t n, std::uint32_t k,
+                      std::vector<weighted_edge>& out) {
+  out.reserve(static_cast<std::size_t>(n) * k);
+  for (node_id u = 0; u < n; ++u)
+    for (std::uint32_t j = 1; j <= k; ++j)
+      out.push_back({u, static_cast<node_id>((u + j) % n), 1.0});
+}
+
+void build_random_regular_edges(std::uint32_t n, std::uint32_t degree,
+                                std::uint64_t seed,
+                                std::vector<weighted_edge>& out) {
+  // d == 2 specializes to a seeded random Hamiltonian cycle (double-edge
+  // swaps on 2-regular graphs split them into cycle unions almost surely).
+  if (degree == 2) {
+    stats::rng gen = stats::rng::stream(seed, 0);
+    std::vector<node_id> order(n);
+    for (node_id u = 0; u < n; ++u) order[u] = u;
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[gen.next_below(i)]);
+    out.reserve(n);
+    for (node_id i = 0; i < n; ++i)
+      out.push_back({order[i], order[(i + 1) % n], 1.0});
+    return;
+  }
+
+  // d >= 3: start from a connected circulant d-regular base and randomize
+  // with seeded degree-preserving double-edge swaps (the standard Markov
+  // chain over d-regular simple graphs). Swaps can in principle disconnect
+  // the graph; a random d-regular graph is connected with overwhelming
+  // probability for d >= 3, so the per-attempt connectivity check makes a
+  // handful of deterministic attempts practically infallible. Edge
+  // presence lives in a hash set of symmetric keys — O(N*d) space, where
+  // the dense N x N bitmap this replaced made million-node graphs
+  // impossible — with the exact same accept/reject decisions and rng draw
+  // order, so every (seed, n, d) still wires the identical graph.
+  for (std::uint64_t attempt = 0; attempt < 128; ++attempt) {
+    stats::rng gen = stats::rng::stream(seed, attempt);
+
+    std::vector<std::pair<node_id, node_id>> edges;
+    std::unordered_set<std::uint64_t> have;
+    edges.reserve(static_cast<std::size_t>(n) * degree / 2);
+    have.reserve(edges.capacity() * 2);
+    const auto put = [&](node_id u, node_id v) {
+      if (u == v || have.count(edge_key(u, v)) != 0) return false;
+      have.insert(edge_key(u, v));
+      edges.emplace_back(u, v);
+      return true;
+    };
+    for (std::uint32_t off = 1; off <= degree / 2; ++off)
+      for (node_id u = 0; u < n; ++u)
+        put(u, static_cast<node_id>((u + off) % n));
+    if (degree % 2 == 1)  // n is even here (valid_for: n*d even)
+      for (node_id u = 0; u < n / 2; ++u)
+        put(u, u + n / 2);
+
+    const std::uint64_t swaps =
+        20ull * n * degree;  // well past the chain's mixing regime
+    for (std::uint64_t i = 0; i < swaps; ++i) {
+      const std::size_t e1 = gen.next_below(edges.size());
+      const std::size_t e2 = gen.next_below(edges.size());
+      if (e1 == e2) continue;
+      auto [a, b] = edges[e1];
+      auto [c, d] = edges[e2];
+      if (gen.next_below(2) == 1) std::swap(c, d);
+      // Rewire (a,b),(c,d) -> (a,c),(b,d) when that keeps the graph simple.
+      if (a == c || a == d || b == c || b == d) continue;
+      if (have.count(edge_key(a, c)) != 0 || have.count(edge_key(b, d)) != 0)
+        continue;
+      have.erase(edge_key(a, b));
+      have.erase(edge_key(c, d));
+      have.insert(edge_key(a, c));
+      have.insert(edge_key(b, d));
+      edges[e1] = {a, c};
+      edges[e2] = {b, d};
+    }
+
+    out.clear();
+    out.reserve(edges.size());
+    for (const auto& [u, v] : edges) out.push_back({u, v, 1.0});
+    if (edges_connect(n, out)) return;
+  }
+  ANONPATH_EXPECTS(!"random_regular: no connected swap-randomized graph");
+}
+
+void build_tiered_edges(std::uint32_t n, std::uint32_t tiers,
+                        std::vector<weighted_edge>& out) {
+  const auto tier_of = [&](node_id u) {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(u) * tiers) / n);
+  };
+  for (node_id u = 0; u < n; ++u)
+    for (node_id v = u + 1; v < n; ++v) {
+      const std::uint32_t tu = tier_of(u);
+      const std::uint32_t tv = tier_of(v);
+      if (tu + 1 == tv || tv + 1 == tu) out.push_back({u, v, 1.0});
+    }
+}
+
+void build_trust_edges(std::uint32_t n, double decay,
+                       std::vector<weighted_edge>& out) {
+  // decay^(d-1) by ring distance d, tabulated once so construction stays
+  // O(N^2) instead of O(N^3).
+  std::vector<double> power(n / 2 + 1, 1.0);
+  for (std::size_t d = 2; d < power.size(); ++d)
+    power[d] = power[d - 1] * decay;
+  out.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (node_id u = 0; u < n; ++u)
+    for (node_id v = u + 1; v < n; ++v) {
+      const std::uint32_t d = std::min(v - u, n - (v - u));
+      out.push_back({u, v, power[d]});
+    }
+}
+
+/// The one edge-list generator both storage modes consume. Preconditions:
+/// cfg.valid_for(n).
+void build_edges(std::uint32_t n, const topology_config& cfg,
+                 std::vector<weighted_edge>& out) {
+  switch (cfg.kind) {
+    case topology_kind::complete:
+      build_complete_edges(n, out);
+      return;
+    case topology_kind::ring:
+      build_ring_edges(n, cfg.ring_k, out);
+      return;
+    case topology_kind::random_regular:
+      build_random_regular_edges(n, cfg.degree, cfg.graph_seed, out);
+      return;
+    case topology_kind::tiered:
+      build_tiered_edges(n, cfg.tiers, out);
+      return;
+    case topology_kind::trust_weighted:
+      build_trust_edges(n, cfg.trust_decay, out);
+      return;
+  }
+  ANONPATH_EXPECTS(!"unknown topology kind");
+}
+
+}  // namespace
+
+topology::topology(std::uint32_t n, topology_config cfg, bool csr)
+    : n_(n), cfg_(cfg), csr_(csr), total_(n, 0.0) {
+  if (!csr_) {
+    adj_.resize(n);
+    weights_.resize(n);
+    cum_.resize(n);
+  }
+}
 
 void topology::add_edge(node_id u, node_id v, double w) {
   adj_[u].push_back(v);
@@ -76,6 +260,7 @@ void topology::add_edge(node_id u, node_id v, double w) {
 void topology::finalize() {
   min_degree_ = ~0u;
   max_degree_ = 0;
+  std::uint64_t directed = 0;
   for (node_id u = 0; u < n_; ++u) {
     // Sort adjacency ascending, carrying weights along.
     std::vector<std::size_t> order(adj_[u].size());
@@ -105,9 +290,67 @@ void topology::finalize() {
     }
     total_[u] = acc;
     const auto deg = static_cast<std::uint32_t>(adj_[u].size());
+    directed += deg;
     min_degree_ = std::min(min_degree_, deg);
     max_degree_ = std::max(max_degree_, deg);
   }
+  edge_count_ = directed / 2;
+  ANONPATH_ENSURES(min_degree_ >= 1);
+  ANONPATH_ENSURES(connected());
+}
+
+void topology::finalize_csr(const std::vector<weighted_edge>& edges) {
+  // Expand each undirected edge into its two directed arcs, sort by
+  // (source, target), and lay the result out flat. The per-node segments
+  // come out ascending by construction — the same element order
+  // finalize()'s per-node sort produces.
+  struct arc {
+    std::uint64_t key;  // source << 32 | target
+    double w;
+  };
+  std::vector<arc> arcs;
+  arcs.reserve(edges.size() * 2);
+  for (const weighted_edge& e : edges) {
+    ANONPATH_EXPECTS(e.u < n_ && e.v < n_);
+    ANONPATH_EXPECTS(e.u != e.v);  // no self-loops
+    ANONPATH_EXPECTS(e.w > 0.0);
+    arcs.push_back({(static_cast<std::uint64_t>(e.u) << 32) | e.v, e.w});
+    arcs.push_back({(static_cast<std::uint64_t>(e.v) << 32) | e.u, e.w});
+  }
+  std::sort(arcs.begin(), arcs.end(),
+            [](const arc& a, const arc& b) { return a.key < b.key; });
+
+  csr_off_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  csr_nbr_.resize(arcs.size());
+  csr_w_.resize(arcs.size());
+  csr_cum_.resize(arcs.size());
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    ANONPATH_EXPECTS(i == 0 || arcs[i].key != arcs[i - 1].key);  // simple
+    csr_off_[static_cast<std::size_t>(arcs[i].key >> 32) + 1] += 1;
+    csr_nbr_[i] = static_cast<node_id>(arcs[i].key & 0xFFFFFFFFull);
+    csr_w_[i] = arcs[i].w;
+  }
+  for (std::size_t u = 0; u < n_; ++u) csr_off_[u + 1] += csr_off_[u];
+
+  min_degree_ = ~0u;
+  max_degree_ = 0;
+  for (node_id u = 0; u < n_; ++u) {
+    double acc = 0.0;
+    for (std::uint64_t i = csr_off_[u]; i < csr_off_[u + 1]; ++i) {
+      acc += csr_w_[i];
+      csr_cum_[i] = acc;
+      // Per-node uniformity, exactly as finalize() detects it: uniform
+      // weights within each node's list are what let the sampler take the
+      // single next_below draw.
+      if (uniform_weights_ && csr_w_[i] != csr_w_[csr_off_[u]])
+        uniform_weights_ = false;
+    }
+    total_[u] = acc;
+    const auto deg = static_cast<std::uint32_t>(csr_off_[u + 1] - csr_off_[u]);
+    min_degree_ = std::min(min_degree_, deg);
+    max_degree_ = std::max(max_degree_, deg);
+  }
+  edge_count_ = edges.size();
   ANONPATH_ENSURES(min_degree_ >= 1);
   ANONPATH_ENSURES(connected());
 }
@@ -120,7 +363,9 @@ bool topology::connected() const {
   while (!stack.empty()) {
     const node_id u = stack.back();
     stack.pop_back();
-    for (node_id v : adj_[u]) {
+    const neighbor_view a = adjacency(u);
+    for (std::uint32_t i = 0; i < a.size; ++i) {
+      const node_id v = a.ids[i];
       if (!seen[v]) {
         seen[v] = true;
         ++reached;
@@ -132,25 +377,14 @@ bool topology::connected() const {
 }
 
 topology topology::complete(std::uint32_t node_count) {
-  ANONPATH_EXPECTS(node_count >= 2);
-  topology t(node_count, topology_config{});
-  for (node_id u = 0; u < node_count; ++u)
-    for (node_id v = u + 1; v < node_count; ++v) t.add_edge(u, v, 1.0);
-  t.finalize();
-  return t;
+  return make(node_count, topology_config{});
 }
 
 topology topology::ring(std::uint32_t node_count, std::uint32_t k) {
   topology_config cfg;
   cfg.kind = topology_kind::ring;
   cfg.ring_k = k;
-  ANONPATH_EXPECTS(cfg.valid_for(node_count));
-  topology t(node_count, cfg);
-  for (node_id u = 0; u < node_count; ++u)
-    for (std::uint32_t j = 1; j <= k; ++j)
-      t.add_edge(u, (u + j) % node_count, 1.0);
-  t.finalize();
-  return t;
+  return make(node_count, cfg);
 }
 
 topology topology::random_regular(std::uint32_t node_count,
@@ -159,159 +393,85 @@ topology topology::random_regular(std::uint32_t node_count,
   cfg.kind = topology_kind::random_regular;
   cfg.degree = degree;
   cfg.graph_seed = seed;
-  ANONPATH_EXPECTS(cfg.valid_for(node_count));
-
-  // d == 2 specializes to a seeded random Hamiltonian cycle (double-edge
-  // swaps on 2-regular graphs split them into cycle unions almost surely).
-  if (degree == 2) {
-    stats::rng gen = stats::rng::stream(seed, 0);
-    std::vector<node_id> order(node_count);
-    for (node_id u = 0; u < node_count; ++u) order[u] = u;
-    for (std::size_t i = order.size(); i > 1; --i)
-      std::swap(order[i - 1], order[gen.next_below(i)]);
-    topology t(node_count, cfg);
-    for (node_id i = 0; i < node_count; ++i)
-      t.add_edge(order[i], order[(i + 1) % node_count], 1.0);
-    t.finalize();
-    return t;
-  }
-
-  // d >= 3: start from a connected circulant d-regular base and randomize
-  // with seeded degree-preserving double-edge swaps (the standard Markov
-  // chain over d-regular simple graphs). Swaps can in principle disconnect
-  // the graph; a random d-regular graph is connected with overwhelming
-  // probability for d >= 3, so the per-attempt connectivity check makes a
-  // handful of deterministic attempts practically infallible.
-  for (std::uint64_t attempt = 0; attempt < 128; ++attempt) {
-    stats::rng gen = stats::rng::stream(seed, attempt);
-
-    std::vector<std::pair<node_id, node_id>> edges;
-    std::vector<std::vector<bool>> have(node_count,
-                                        std::vector<bool>(node_count, false));
-    const auto put = [&](node_id u, node_id v) {
-      if (u == v || have[u][v]) return false;
-      have[u][v] = have[v][u] = true;
-      edges.emplace_back(u, v);
-      return true;
-    };
-    for (std::uint32_t off = 1; off <= degree / 2; ++off)
-      for (node_id u = 0; u < node_count; ++u)
-        put(u, static_cast<node_id>((u + off) % node_count));
-    if (degree % 2 == 1)  // n is even here (valid_for: n*d even)
-      for (node_id u = 0; u < node_count / 2; ++u)
-        put(u, u + node_count / 2);
-
-    const std::uint64_t swaps =
-        20ull * node_count * degree;  // well past the chain's mixing regime
-    for (std::uint64_t i = 0; i < swaps; ++i) {
-      const std::size_t e1 = gen.next_below(edges.size());
-      const std::size_t e2 = gen.next_below(edges.size());
-      if (e1 == e2) continue;
-      auto [a, b] = edges[e1];
-      auto [c, d] = edges[e2];
-      if (gen.next_below(2) == 1) std::swap(c, d);
-      // Rewire (a,b),(c,d) -> (a,c),(b,d) when that keeps the graph simple.
-      if (a == c || a == d || b == c || b == d) continue;
-      if (have[a][c] || have[b][d]) continue;
-      have[a][b] = have[b][a] = false;
-      have[c][d] = have[d][c] = false;
-      have[a][c] = have[c][a] = true;
-      have[b][d] = have[d][b] = true;
-      edges[e1] = {a, c};
-      edges[e2] = {b, d};
-    }
-
-    topology t(node_count, cfg);
-    for (const auto& [u, v] : edges) t.add_edge(u, v, 1.0);
-    if (!t.connected()) continue;
-    t.finalize();
-    return t;
-  }
-  ANONPATH_EXPECTS(!"random_regular: no connected swap-randomized graph");
-  // Unreachable; EXPECTS above throws.
-  return complete(node_count);
+  return make(node_count, cfg);
 }
 
 topology topology::tiered(std::uint32_t node_count, std::uint32_t tiers) {
   topology_config cfg;
   cfg.kind = topology_kind::tiered;
   cfg.tiers = tiers;
-  ANONPATH_EXPECTS(cfg.valid_for(node_count));
-  const auto tier_of = [&](node_id u) {
-    return static_cast<std::uint32_t>(
-        (static_cast<std::uint64_t>(u) * tiers) / node_count);
-  };
-  topology t(node_count, cfg);
-  for (node_id u = 0; u < node_count; ++u)
-    for (node_id v = u + 1; v < node_count; ++v) {
-      const std::uint32_t tu = tier_of(u);
-      const std::uint32_t tv = tier_of(v);
-      if (tu + 1 == tv || tv + 1 == tu) t.add_edge(u, v, 1.0);
-    }
-  t.finalize();
-  return t;
+  return make(node_count, cfg);
 }
 
 topology topology::trust_weighted(std::uint32_t node_count, double decay) {
   topology_config cfg;
   cfg.kind = topology_kind::trust_weighted;
   cfg.trust_decay = decay;
-  ANONPATH_EXPECTS(cfg.valid_for(node_count));
-  topology t(node_count, cfg);
-  // decay^(d-1) by ring distance d, tabulated once so construction stays
-  // O(N^2) instead of O(N^3).
-  std::vector<double> power(node_count / 2 + 1, 1.0);
-  for (std::size_t d = 2; d < power.size(); ++d)
-    power[d] = power[d - 1] * decay;
-  for (node_id u = 0; u < node_count; ++u)
-    for (node_id v = u + 1; v < node_count; ++v) {
-      const std::uint32_t d = std::min(v - u, node_count - (v - u));
-      t.add_edge(u, v, power[d]);
-    }
-  t.finalize();
-  return t;
+  return make(node_count, cfg);
 }
 
 topology topology::make(std::uint32_t node_count, const topology_config& cfg) {
   ANONPATH_EXPECTS(cfg.valid_for(node_count));
-  switch (cfg.kind) {
-    case topology_kind::complete:
-      return complete(node_count);
-    case topology_kind::ring:
-      return ring(node_count, cfg.ring_k);
-    case topology_kind::random_regular:
-      return random_regular(node_count, cfg.degree, cfg.graph_seed);
-    case topology_kind::tiered:
-      return tiered(node_count, cfg.tiers);
-    case topology_kind::trust_weighted:
-      return trust_weighted(node_count, cfg.trust_decay);
+  std::vector<weighted_edge> edges;
+  build_edges(node_count, cfg, edges);
+  topology t(node_count, cfg, /*csr=*/false);
+  for (const weighted_edge& e : edges) t.add_edge(e.u, e.v, e.w);
+  t.finalize();
+  return t;
+}
+
+topology topology::make_csr(std::uint32_t node_count,
+                            const topology_config& cfg) {
+  ANONPATH_EXPECTS(cfg.valid_for(node_count));
+  std::vector<weighted_edge> edges;
+  build_edges(node_count, cfg, edges);
+  topology t(node_count, cfg, /*csr=*/true);
+  t.finalize_csr(edges);
+  return t;
+}
+
+neighbor_view topology::adjacency(node_id u) const {
+  ANONPATH_EXPECTS(u < n_);
+  if (csr_) {
+    const std::uint64_t b = csr_off_[u];
+    const std::uint64_t e = csr_off_[u + 1];
+    return {csr_nbr_.data() + b, csr_w_.data() + b, csr_cum_.data() + b,
+            static_cast<std::uint32_t>(e - b)};
   }
-  ANONPATH_EXPECTS(!"unknown topology kind");
-  return complete(node_count);
+  return {adj_[u].data(), weights_[u].data(), cum_[u].data(),
+          static_cast<std::uint32_t>(adj_[u].size())};
+}
+
+std::uint32_t topology::degree(node_id u) const {
+  ANONPATH_EXPECTS(u < n_);
+  if (csr_) return static_cast<std::uint32_t>(csr_off_[u + 1] - csr_off_[u]);
+  return static_cast<std::uint32_t>(adj_[u].size());
 }
 
 const std::vector<node_id>& topology::neighbors(node_id u) const {
   ANONPATH_EXPECTS(u < n_);
+  ANONPATH_EXPECTS(!csr_);  // vector-mode accessor; CSR uses adjacency()
   return adj_[u];
 }
 
 const std::vector<double>& topology::neighbor_weights(node_id u) const {
   ANONPATH_EXPECTS(u < n_);
+  ANONPATH_EXPECTS(!csr_);  // vector-mode accessor; CSR uses adjacency()
   return weights_[u];
 }
 
 bool topology::has_edge(node_id u, node_id v) const {
   ANONPATH_EXPECTS(u < n_ && v < n_);
-  const auto& nbr = adj_[u];
-  return std::binary_search(nbr.begin(), nbr.end(), v);
+  const neighbor_view a = adjacency(u);
+  return std::binary_search(a.ids, a.ids + a.size, v);
 }
 
 double topology::edge_weight(node_id u, node_id v) const {
   ANONPATH_EXPECTS(u < n_ && v < n_);
-  const auto& nbr = adj_[u];
-  const auto it = std::lower_bound(nbr.begin(), nbr.end(), v);
-  if (it == nbr.end() || *it != v) return 0.0;
-  return weights_[u][static_cast<std::size_t>(it - nbr.begin())];
+  const neighbor_view a = adjacency(u);
+  const auto it = std::lower_bound(a.ids, a.ids + a.size, v);
+  if (it == a.ids + a.size || *it != v) return 0.0;
+  return a.weights[it - a.ids];
 }
 
 double topology::total_weight(node_id u) const {
@@ -325,15 +485,14 @@ double topology::transition_prob(node_id u, node_id v) const {
 
 node_id topology::sample_neighbor(node_id u, stats::rng& gen) const {
   ANONPATH_EXPECTS(u < n_);
-  const auto& nbr = adj_[u];
+  const neighbor_view a = adjacency(u);
   if (uniform_weights_)
-    return nbr[static_cast<std::size_t>(gen.next_below(nbr.size()))];
+    return a.ids[static_cast<std::size_t>(gen.next_below(a.size))];
   const double x = gen.next_double() * total_[u];
-  const auto& cum = cum_[u];
   auto idx = static_cast<std::size_t>(
-      std::upper_bound(cum.begin(), cum.end(), x) - cum.begin());
-  if (idx >= nbr.size()) idx = nbr.size() - 1;  // x == total after rounding
-  return nbr[idx];
+      std::upper_bound(a.cum, a.cum + a.size, x) - a.cum);
+  if (idx >= a.size) idx = a.size - 1;  // x == total after rounding
+  return a.ids[idx];
 }
 
 }  // namespace anonpath::net

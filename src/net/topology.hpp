@@ -58,6 +58,26 @@ struct topology_config {
                          const topology_config&) = default;
 };
 
+/// One undirected weighted edge, as produced by the per-family generators.
+/// Both storage modes of `topology` are built from the same edge list, which
+/// is what makes them element-identical per node.
+struct weighted_edge {
+  node_id u = 0;
+  node_id v = 0;
+  double w = 1.0;
+};
+
+/// A borrowed, non-owning view of one node's sorted adjacency: neighbor
+/// ids ascending, the parallel edge weights, and the inclusive cumulative
+/// weight table the walk sampler inverts. Valid as long as the owning
+/// topology lives; identical contents whichever storage mode backs it.
+struct neighbor_view {
+  const node_id* ids = nullptr;
+  const double* weights = nullptr;
+  const double* cum = nullptr;  ///< inclusive prefix sums of `weights`
+  std::uint32_t size = 0;
+};
+
 /// An immutable weighted rerouting graph over nodes 0..N-1. Undirected,
 /// no self-loops, connected (constructors enforce it); the receiver R stays
 /// an external party reachable from every node, exactly as in the paper.
@@ -68,12 +88,33 @@ struct topology_config {
 /// "complicated" cycle-allowing model of Sec. 3.2 is precisely this walk on
 /// the complete graph, which is how the clique machinery stays a special
 /// case — see cyclic_brute_force_analyzer and the conformance suite).
+///
+/// Two storage modes share this one type:
+///   * vector mode (the default, `make` and the named constructors):
+///     per-node std::vector adjacency — cheap to build, the right shape for
+///     the small/medium-N inference engines, and bit-identical to every
+///     release before CSR existed;
+///   * CSR mode (`make_csr`): three flat arrays (offsets, neighbors,
+///     weights) plus per-node inclusive cumulative-weight sampling tables,
+///     built once from the same edge list and immutable after that. One
+///     allocation per array instead of one per node, which is what lets
+///     million-node graphs fit and route_plan traverse them at memory
+///     bandwidth.
+/// `adjacency(u)` is the mode-independent accessor; the vector-reference
+/// accessors `neighbors`/`neighbor_weights` remain for the small-N engines
+/// and contract-fail on a CSR graph rather than materialize copies.
 class topology {
  public:
-  /// Builds the graph a config describes. Preconditions: node_count >= 2,
-  /// cfg.valid_for(node_count).
+  /// Builds the graph a config describes (vector mode). Preconditions:
+  /// node_count >= 2, cfg.valid_for(node_count).
   [[nodiscard]] static topology make(std::uint32_t node_count,
                                      const topology_config& cfg);
+
+  /// Builds the same graph `make` would — same generators, same seeds, an
+  /// element-identical adjacency per node — in compressed-sparse-row
+  /// storage. Preconditions mirror `make`.
+  [[nodiscard]] static topology make_csr(std::uint32_t node_count,
+                                         const topology_config& cfg);
 
   /// The paper's clique: every ordered pair linked, uniform weights.
   [[nodiscard]] static topology complete(std::uint32_t node_count);
@@ -107,7 +148,22 @@ class topology {
     return cfg_.kind == topology_kind::complete;
   }
 
+  /// True for graphs built by make_csr.
+  [[nodiscard]] bool is_csr() const noexcept { return csr_; }
+
+  /// Undirected edge count (each u~v counted once).
+  [[nodiscard]] std::uint64_t edge_count() const noexcept {
+    return edge_count_;
+  }
+
+  /// u's sorted adjacency in either storage mode. The view borrows from
+  /// this topology and is invalidated by its destruction.
+  [[nodiscard]] neighbor_view adjacency(node_id u) const;
+
+  [[nodiscard]] std::uint32_t degree(node_id u) const;
+
   /// Neighbors of u, ascending; parallel to neighbor_weights(u).
+  /// Vector mode only (the small-N engines); CSR callers use adjacency().
   [[nodiscard]] const std::vector<node_id>& neighbors(node_id u) const;
   [[nodiscard]] const std::vector<double>& neighbor_weights(node_id u) const;
 
@@ -124,7 +180,7 @@ class topology {
 
   /// Draws the next hop from u per the walk model. Uniform-weight graphs
   /// use a single next_below draw; weighted graphs invert the per-node
-  /// cumulative weight table.
+  /// cumulative weight table. Draw-identical across storage modes.
   [[nodiscard]] node_id sample_neighbor(node_id u, stats::rng& gen) const;
 
   [[nodiscard]] std::uint32_t min_degree() const noexcept { return min_degree_; }
@@ -135,23 +191,36 @@ class topology {
   [[nodiscard]] bool connected() const;
 
  private:
-  topology(std::uint32_t n, topology_config cfg);
+  topology(std::uint32_t n, topology_config cfg, bool csr);
 
-  /// Registers the undirected edge u~v with the given weight.
+  /// Registers the undirected edge u~v with the given weight (vector mode).
   void add_edge(node_id u, node_id v, double w);
 
   /// Sorts adjacency, builds cumulative tables, checks invariants.
   void finalize();
 
+  /// Builds the flat CSR arrays from an undirected edge list, then runs
+  /// the same invariant checks finalize() does.
+  void finalize_csr(const std::vector<weighted_edge>& edges);
+
   std::uint32_t n_ = 0;
   topology_config cfg_;
+  bool csr_ = false;
   bool uniform_weights_ = true;
   std::uint32_t min_degree_ = 0;
   std::uint32_t max_degree_ = 0;
+  std::uint64_t edge_count_ = 0;
   std::vector<std::vector<node_id>> adj_;
   std::vector<std::vector<double>> weights_;
   std::vector<std::vector<double>> cum_;    // inclusive cumulative weights
   std::vector<double> total_;
+  // CSR mode: adjacency of u lives at [csr_off_[u], csr_off_[u+1]) in the
+  // three parallel arrays below; csr_cum_ holds the per-node inclusive
+  // cumulative weights (the same table cum_ holds per node).
+  std::vector<std::uint64_t> csr_off_;
+  std::vector<node_id> csr_nbr_;
+  std::vector<double> csr_w_;
+  std::vector<double> csr_cum_;
 };
 
 }  // namespace anonpath::net

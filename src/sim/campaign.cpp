@@ -26,6 +26,7 @@ namespace {
 bool feasible(const campaign_grid& grid, std::uint32_t n, std::uint32_t c,
               const path_length_distribution& lengths, routing_mode mode,
               const adversary_config& adv, const net::topology_config& topo,
+              const net::routing_config& routing,
               const net::churn_config& churn, const mix_failure_config& mf,
               const retry_policy& retry, std::uint32_t population,
               std::uint32_t rounds, attack::attack_kind atk) {
@@ -40,9 +41,18 @@ bool feasible(const campaign_grid& grid, std::uint32_t n, std::uint32_t c,
       (rounds == 0 ||
        (population >= 2 && rounds <= grid.message_count &&
         mode == routing_mode::source_routed));
+  // Planned (kpaths) routing mirrors run_core's preconditions: whole-path
+  // planning only exists for source routing, and its observations have no
+  // gapped (timing-correlator) likelihood.
+  const bool routing_ok =
+      routing.valid() &&
+      (!routing.planned() ||
+       (mode == routing_mode::source_routed &&
+        adv.kind != adversary_kind::timing_correlator));
   return sys.valid() && c < n && lengths.max_length() <= n - 1 &&
          grid.message_count > 0 && adv.valid() && topo.valid_for(n) &&
-         churn.valid() && mf.valid() && retry.valid() && session_ok &&
+         routing_ok && churn.valid() && mf.valid() && retry.valid() &&
+         session_ok &&
          (topo.kind == net::topology_kind::complete ||
           adv.kind != adversary_kind::timing_correlator);
 }
@@ -139,20 +149,22 @@ std::vector<scenario> expand_grid(const campaign_grid& grid) {
             for (double rate : grid.arrival_rates)
               for (const adversary_config& adv : grid.adversaries)
                 for (const net::topology_config& topo : grid.topologies)
-                  for (const net::churn_config& churn : grid.churns)
-                    for (const mix_failure_config& mf : grid.mix_failures)
-                      for (const retry_policy& retry : grid.retries)
-                        for (std::uint32_t population : grid.populations)
-                          for (std::uint32_t rounds : grid.session_rounds)
-                            for (attack::attack_kind atk : grid.attacks) {
-                              if (!feasible(grid, n, c, lengths, mode, adv,
-                                            topo, churn, mf, retry,
-                                            population, rounds, atk))
-                                continue;
-                              out.push_back(scenario{
-                                  n, c, lengths, mode, drop, rate, adv, topo,
-                                  churn, mf, retry, population, rounds, atk});
-                            }
+                  for (const net::routing_config& routing : grid.routings)
+                    for (const net::churn_config& churn : grid.churns)
+                      for (const mix_failure_config& mf : grid.mix_failures)
+                        for (const retry_policy& retry : grid.retries)
+                          for (std::uint32_t population : grid.populations)
+                            for (std::uint32_t rounds : grid.session_rounds)
+                              for (attack::attack_kind atk : grid.attacks) {
+                                if (!feasible(grid, n, c, lengths, mode, adv,
+                                              topo, routing, churn, mf, retry,
+                                              population, rounds, atk))
+                                  continue;
+                                out.push_back(scenario{
+                                    n, c, lengths, mode, drop, rate, adv,
+                                    topo, routing, churn, mf, retry,
+                                    population, rounds, atk});
+                              }
   return out;
 }
 
@@ -174,6 +186,7 @@ sim_config scenario_config(const scenario& s, const campaign_grid& grid,
   cfg.retry = s.retry;
   cfg.adversary = s.adversary;
   cfg.topology = s.topology;
+  cfg.routing = s.routing;
   cfg.identified_threshold = grid.identified_threshold;
   if (s.rounds > 0) {
     cfg.session.rounds = s.rounds;
@@ -284,11 +297,12 @@ void write_csv(const campaign_result& result, std::ostream& os) {
   // deterministic function of the result, so pre-session grids keep their
   // historical byte-identical rendering (pinned by the topology golden).
   // The fault and error columns follow the same rule.
-  bool sessions = false, faults = false, errored = false;
+  bool sessions = false, faults = false, routed = false, errored = false;
   for (const campaign_cell& cell : result.cells) {
     if (cell.scene.population > 0) sessions = true;
     if (cell.scene.mix_failure.enabled() || cell.scene.retry.enabled())
       faults = true;
+    if (cell.scene.routing.planned()) routed = true;
     if (!cell.error.empty()) errored = true;
   }
   os << "n,c,dist,mode,drop,rate,replicas,messages,adversary,topology,churn,"
@@ -296,6 +310,7 @@ void write_csv(const campaign_result& result, std::ostream& os) {
         "latency_ms,latency_ms_stderr,hops,hops_stderr,"
         "entropy_bits,entropy_stderr,identified_fraction,identified_stderr,"
         "top1_accuracy,top1_stderr";
+  if (routed) os << ",routing";
   if (faults)
     os << ",mix_failures,retry,retransmit_rate,retransmit_stderr";
   if (sessions)
@@ -325,6 +340,7 @@ void write_csv(const campaign_result& result, std::ostream& os) {
     put_summary(os, cell.identified_fraction);
     os << ',';
     put_summary(os, cell.top1_accuracy);
+    if (routed) os << ',' << s.routing.label();
     if (faults) {
       os << ','
          << (s.mix_failure.enabled() ? s.mix_failure.label() : "none") << ','

@@ -36,6 +36,11 @@ struct campaign_grid {
       adversary_config{}};                            ///< threat-model axis
   std::vector<net::topology_config> topologies{
       net::topology_config{}};                        ///< graph axis
+  /// Route-selection axis (net::routing_config): the default (walk) keeps
+  /// every historical cell byte-identical; kpaths cells route over planned
+  /// Dijkstra/Yen paths and require source_routed mode with a non-timing
+  /// adversary (infeasible combinations are skipped like any other).
+  std::vector<net::routing_config> routings{net::routing_config{}};
   std::vector<net::churn_config> churns{
       net::churn_config{}};                           ///< availability axis
   /// Fault axes (src/sim/fault_plan.hpp). `mix_failures` sweeps seeded
@@ -72,7 +77,8 @@ struct campaign_grid {
     return static_cast<std::uint64_t>(node_counts.size()) *
            compromised_counts.size() * lengths.size() * modes.size() *
            drop_probabilities.size() * arrival_rates.size() *
-           adversaries.size() * topologies.size() * churns.size() *
+           adversaries.size() * topologies.size() * routings.size() *
+           churns.size() *
            mix_failures.size() * retries.size() * populations.size() *
            session_rounds.size() * attacks.size();
   }
@@ -122,6 +128,7 @@ struct scenario {
   double arrival_rate = 0.0;
   adversary_config adversary{};
   net::topology_config topology{};
+  net::routing_config routing{};
   net::churn_config churn{};
   mix_failure_config mix_failure{};
   retry_policy retry{};
@@ -164,8 +171,8 @@ struct campaign_cell {
 /// A completed campaign: one aggregated cell per feasible grid point, in
 /// deterministic grid order (node_counts outermost, then compromised
 /// counts, lengths, modes, drop probabilities, arrival rates, adversaries,
-/// topologies, churns, mix failures, retries, populations, session rounds,
-/// attacks innermost).
+/// topologies, routings, churns, mix failures, retries, populations,
+/// session rounds, attacks innermost).
 struct campaign_result {
   std::vector<campaign_cell> cells;
   std::uint64_t requested_cells = 0;   ///< full cartesian product size
@@ -203,7 +210,8 @@ struct campaign_result {
 /// only when some cell enables a session, so session-less campaigns render
 /// byte-identically to their pre-session output. Likewise the fault columns
 /// (mix_failures, retry, retransmit_rate) appear only when some cell sweeps
-/// them, and the trailing quoted `error` column only when some cell failed.
+/// them, the `routing` column only when some cell plans routes, and the
+/// trailing quoted `error` column only when some cell failed.
 void write_csv(const campaign_result& result, std::ostream& os);
 
 }  // namespace anonpath::sim

@@ -134,6 +134,9 @@ std::uint64_t campaign_scope(const campaign_grid& grid,
        << t.degree << ' ' << t.graph_seed << ' ' << t.tiers;
     scope_double(ss, t.trust_decay);
   }
+  ss << " routing";
+  for (const net::routing_config& r : grid.routings)
+    ss << ' ' << static_cast<int>(r.kind) << ' ' << r.k;
   ss << " churn";
   for (const net::churn_config& ch : grid.churns) {
     scope_double(ss, ch.down_rate);

@@ -13,6 +13,7 @@
 #include "src/anonymity/posterior.hpp"
 #include "src/attack/noise.hpp"
 #include "src/crypto/onion.hpp"
+#include "src/net/approx_posterior.hpp"
 #include "src/net/topology_posterior.hpp"
 #include "src/sim/network.hpp"
 #include "src/sim/receiver.hpp"
@@ -129,20 +130,32 @@ core_result run_core(const sim_config& config,
       config.session.valid_for(config.sys.node_count, config.message_count));
   ANONPATH_EXPECTS(!config.session.enabled() ||
                    config.mode == routing_mode::source_routed);
+  // Planned (kpaths) routing picks whole source-routed paths up front; it
+  // has no hop-by-hop analogue, and its observations have no gapped
+  // (timing-correlator) likelihood — reject both combinations up front.
+  ANONPATH_EXPECTS(config.routing.valid());
+  const bool planned = config.routing.planned();
+  ANONPATH_EXPECTS(!planned || config.mode == routing_mode::source_routed);
+  ANONPATH_EXPECTS(!planned ||
+                   config.adversary.kind != adversary_kind::timing_correlator);
 
   const auto n = config.sys.node_count;
   // A restricted topology switches routing to the walk model; `complete`
   // must stay byte-for-byte the historical clique path, so it never even
-  // builds a graph object. Gapped (timing-correlator) observations have no
-  // restricted-path likelihood — reject the combination up front rather
-  // than score garbage.
+  // builds a graph object — unless routing is planned, in which case the
+  // planner needs a materialized graph even for the clique (the fabric then
+  // also asserts every planned hop follows an edge). Gapped
+  // (timing-correlator) observations have no restricted-path likelihood —
+  // reject the combination up front rather than score garbage.
   const bool restricted = config.topology.kind != net::topology_kind::complete;
   ANONPATH_EXPECTS(config.topology.valid_for(n));
   ANONPATH_EXPECTS(!restricted ||
                    config.adversary.kind != adversary_kind::timing_correlator);
   std::optional<net::topology> topo;
-  if (restricted) topo.emplace(net::topology::make(n, config.topology));
-  const net::topology* graph = restricted ? &*topo : nullptr;
+  if (restricted || planned) topo.emplace(net::topology::make(n, config.topology));
+  const net::topology* graph = topo ? &*topo : nullptr;
+  std::optional<net::route_planner> planner;
+  if (planned) planner.emplace(*graph, config.routing);
 
   const std::vector<bool> compromised = effective_compromised(
       config.adversary, n, config.compromised, config.seed);
@@ -187,6 +200,15 @@ core_result run_core(const sim_config& config,
   // the routes originals take (the frontier sweep compares like with like)
   // and a disabled policy leaves every historical stream byte-identical.
   stats::rng retry_routing = master.split();
+  // Planned-route draws (exit choice + k-path pick) come from order-free
+  // streams keyed off the seed rather than further master.split() calls, so
+  // walk-mode runs never see these streams exist and stay byte-identical;
+  // retransmissions again get their own stream so enabling retries leaves
+  // original planned routes untouched.
+  constexpr std::uint64_t kpaths_stream_tag = 0x6b706174u;  // "kpat"
+  stats::rng plan_rng = stats::rng::stream(config.seed, kpaths_stream_tag);
+  stats::rng retry_plan_rng =
+      stats::rng::stream(config.seed, kpaths_stream_tag + 1);
 
   // Sender-side recovery state: every message id that ever hit the wire for
   // an original (the original itself plus its retransmissions), and the
@@ -199,14 +221,19 @@ core_result run_core(const sim_config& config,
   // One transmission attempt: sample a route for `id` and put it on the
   // wire. Shared by originals (drawing from the historical routing stream)
   // and retransmissions (drawing from retry_routing).
-  const auto launch = [&](node_id sender, std::uint64_t id, stats::rng& gen) {
+  const auto launch = [&](node_id sender, std::uint64_t id, stats::rng& gen,
+                          stats::rng& plan_gen) {
     wire_message msg;
     msg.id = id;
     if (config.mode == routing_mode::source_routed) {
-      const path_length l = config.lengths.sample(gen);
-      const route r = graph != nullptr
-                          ? sample_topology_route(*graph, sender, l, gen)
-                          : sample_simple_route(n, sender, l, gen);
+      route r;
+      if (planner) {
+        r = sample_planned_route(*planner, sender, plan_gen);
+      } else {
+        const path_length l = config.lengths.sample(gen);
+        r = graph != nullptr ? sample_topology_route(*graph, sender, l, gen)
+                             : sample_simple_route(n, sender, l, gen);
+      }
       msg.kind = transport_kind::onion;
       msg.envelope = crypto::wrap_onion(r, demo_payload(id), keys, id);
       const node_id first = r.hops.empty() ? receiver_node : r.hops.front();
@@ -248,7 +275,7 @@ core_result run_core(const sim_config& config,
           attempts_of.at(original).push_back(id);
           net.originate(sender, net.queue().now(), id);
           if (compromised[sender]) monitor.note_origin(id, sender);
-          launch(sender, id, retry_routing);
+          launch(sender, id, retry_routing, retry_plan_rng);
           arm_timer(sender, original, retries_done + 1,
                     std::min(timeout * config.retry.backoff,
                              config.retry.max_timeout));
@@ -261,7 +288,7 @@ core_result run_core(const sim_config& config,
     net.queue().schedule_at(a.at, [&, a]() {
       net.originate(a.sender, a.at, a.msg_id);
       if (compromised[a.sender]) monitor.note_origin(a.msg_id, a.sender);
-      launch(a.sender, a.msg_id, routing);
+      launch(a.sender, a.msg_id, routing, plan_rng);
       if (config.retry.enabled()) {
         attempts_of.emplace(a.msg_id, std::vector<std::uint64_t>{a.msg_id});
         arm_timer(a.sender, a.msg_id, 0, config.retry.timeout);
@@ -344,12 +371,29 @@ sim_report score_run(const sim_config& config, const adversary_model& model,
         static_cast<std::uint32_t>(effective_ids.size())};
     // Restricted graphs route walks, so their observations are scored with
     // the restricted-path engine; the clique keeps the historical
-    // simple-path engine bit for bit. Exactly one of the two is built.
+    // simple-path engine bit for bit. Planned (kpaths) runs supersede both:
+    // their routes are loopless graph paths, scored with the approximate
+    // posterior under a diffuse uniform(1, N-1) length prior (the support
+    // of every realizable planned route — see approx_topology_posterior for
+    // why the mask is full under the uniform exit law). Exactly one of the
+    // three is built.
     const bool restricted =
         config.topology.kind != net::topology_kind::complete;
+    const bool planned = config.routing.planned();
     std::optional<posterior_engine> exact;
     std::optional<net::topology_posterior_engine> walk;
-    if (restricted) {
+    std::optional<net::approx_topology_posterior> approx;
+    if (planned) {
+      // Planned observations are never gapped (the timing correlator is
+      // rejected up front), so no screening engine is needed.
+      if (engine == nullptr)
+        approx.emplace(
+            effective_sys, effective_ids,
+            path_length_distribution::uniform(1, config.sys.node_count - 1),
+            graph != nullptr
+                ? *graph
+                : net::topology::make(config.sys.node_count, config.topology));
+    } else if (restricted) {
       // Only built when it will actually score (a caller-supplied engine
       // supersedes it, and rebuilding the graph is not free on the replay
       // path). Restricted observations are never gapped, so no screening
@@ -379,12 +423,11 @@ sim_report score_run(const sim_config& config, const adversary_model& model,
     const auto obs_posterior = [&](std::uint64_t id,
                                    std::vector<double>& out) -> bool {
       const auto obs = model.assemble(id);
-      if (!restricted && obs.gapped && !exact->explainable(obs)) return false;
-      if (restricted && engine == nullptr &&
-          !walk->try_sender_posterior(obs, out))
-        return false;
+      if (exact && obs.gapped && !exact->explainable(obs)) return false;
+      if (approx && !approx->try_sender_posterior(obs, out)) return false;
+      if (walk && !walk->try_sender_posterior(obs, out)) return false;
       if (engine != nullptr) out = (*engine)(obs);
-      else if (!restricted) out = exact->sender_posterior(obs);
+      else if (exact) out = exact->sender_posterior(obs);
       return true;
     };
     const auto score_post = [&](std::uint64_t original,

@@ -10,6 +10,7 @@
 #include "src/anonymity/length_distribution.hpp"
 #include "src/anonymity/strategy.hpp"
 #include "src/anonymity/types.hpp"
+#include "src/net/route_plan.hpp"
 #include "src/net/topology.hpp"
 #include "src/sim/adversary.hpp"
 #include "src/sim/fault_plan.hpp"
@@ -71,6 +72,17 @@ struct sim_config {
   /// attack scored per round. Disabled (the default) is byte-identical to
   /// pre-session behavior; enabled requires source_routed mode.
   session_config session{};
+  /// Route selection model (net::routing_config). The default (`walk`) is
+  /// byte-identical to pre-routing behavior: source-routed messages sample
+  /// simple paths (clique) or weighted walks (restricted graphs) exactly as
+  /// before, drawing from the historical rng streams. `kpaths` switches to
+  /// planned routing — each message picks a uniform exit and one of its k
+  /// best Dijkstra/Yen paths (cost-weighted), drawn from dedicated
+  /// order-free rng streams so walk-mode draw sequences are untouched.
+  /// Planned runs are scored with the approximate posterior
+  /// (net::approx_topology_posterior) under a diffuse uniform(1, N-1)
+  /// length prior. Requires source_routed mode and a non-timing adversary.
+  net::routing_config routing{};
 };
 
 /// Results of a simulation run.
@@ -145,8 +157,9 @@ namespace detail {
 struct core_result {
   std::unique_ptr<adversary_model> model;
   std::map<std::uint64_t, message_outcome> outcomes;
-  /// The graph the run routed on; engaged only for restricted topologies,
-  /// so scoring can reuse it instead of rebuilding (random_regular
+  /// The graph the run routed on; engaged for restricted topologies and
+  /// for planned (kpaths) runs — which materialize even the clique — so
+  /// scoring can reuse it instead of rebuilding (random_regular
   /// construction runs a whole swap-chain randomization).
   std::optional<net::topology> topology;
   /// Retry attempt id -> original message id, one entry per retransmission

@@ -209,6 +209,10 @@ void write_trace(const sim_trace& trace, std::ostream& os) {
     put_double(os, c.retry.max_timeout);
     os << '\n';
   }
+  // Planned-routing extension: absent for the default walk model, so every
+  // pre-routing config still serializes byte-identically.
+  if (c.routing.planned())
+    os << "routing kpaths " << c.routing.k << '\n';
   os << "compromised " << trace.compromised.size();
   for (node_id id : trace.compromised) os << ' ' << id;
   os << '\n';
@@ -381,6 +385,7 @@ sim_trace read_trace(std::istream& is) {
     if (s == "outages") return 3;
     if (s == "mixfail") return 4;
     if (s == "retry") return 5;
+    if (s == "routing") return 6;
     return -1;
   };
   int last_rank = -1;
@@ -467,13 +472,27 @@ sim_trace read_trace(std::istream& is) {
       if (!c.faults.mix_failures.enabled() || !c.faults.mix_failures.valid())
         bad(parse_error_kind::out_of_range,
             "mix failure parameters out of range");
-    } else {  // retry
+    } else if (section == "retry") {
       c.retry.max_retries = get_u32(is, "retry budget");
       c.retry.timeout = get_double(is, "retry timeout");
       c.retry.backoff = get_double(is, "retry backoff");
       c.retry.max_timeout = get_double(is, "retry timeout cap");
       if (!c.retry.enabled() || !c.retry.valid())
         bad(parse_error_kind::out_of_range, "retry parameters out of range");
+    } else {  // routing
+      // Only the non-default kind is ever written ("walk" is rejected so
+      // write(read(t)) stays byte-identical), and planned routes exist
+      // only in source-routed mode.
+      const std::string route_kind = next_token(is, "routing kind");
+      if (route_kind != "kpaths")
+        bad("unknown routing kind '" + route_kind + "'");
+      c.routing.kind = net::route_select::kpaths;
+      c.routing.k = get_u32(is, "routing k");
+      if (!c.routing.valid())
+        bad(parse_error_kind::out_of_range, "routing k out of range");
+      if (c.mode != routing_mode::source_routed)
+        bad(parse_error_kind::out_of_range,
+            "planned routing requires source_routed mode");
     }
     section = next_token(is, "compromised");
   }
@@ -486,6 +505,10 @@ sim_trace read_trace(std::istream& is) {
       c.adversary.kind == adversary_kind::timing_correlator)
     bad(parse_error_kind::out_of_range,
         "timing_correlator adversary is not supported on a restricted topology");
+  if (c.routing.planned() &&
+      c.adversary.kind == adversary_kind::timing_correlator)
+    bad(parse_error_kind::out_of_range,
+        "timing_correlator adversary is not supported with planned routing");
   const std::uint32_t effective_comp = get_u32(is, "effective compromised size");
   if (effective_comp > c.sys.node_count)
     bad(parse_error_kind::out_of_range, "effective compromised size > N");

@@ -12,6 +12,8 @@
 //                     --drop 0,0.05 --replicas 8 --threads 0   scenario sweep
 //   anonpath campaign --n 24 --c 2 --topology complete,ring:2,tiered:3 \
 //                     --churn 0,0.5:0.5                 topology/churn axes
+//   anonpath simulate --n 60 --c 2 --topology regular:4 --routing kpaths:4
+//   anonpath plan     --n 1000000 --topology regular:2 --csr --routes 100
 //   anonpath capture  --n 60 --c 2 --dist U:2,14 --out run.trace
 //   anonpath replay   --in run.trace                re-score a captured run
 //   anonpath attack   --users 100000 --rounds 10000 --round-size 12 \
@@ -27,6 +29,8 @@
 // Topology syntax: complete | ring:<k> | regular:<d>[:<seed>] | tiered:<t>
 // | trust:<decay>; out-of-range parameters (for the given --n) are a hard
 // error, never a silent fallback to the clique.
+// Routing syntax: walk (default) | kpaths[:<k>] — planned k-shortest-path
+// routing (Dijkstra/Yen); requires onion mode and a non-timing adversary.
 // Churn syntax: 0 (static) | <down_rate>[:<mean_downtime>] (seconds).
 // Retry syntax: <max>[:<timeout>[:<backoff>[:<max_timeout>]]] (0 = off).
 // Mix-failure syntax: <count>[:<horizon>[:<mean_duration>]] (0 = off).
@@ -36,18 +40,20 @@
 // Popularity-law syntax: uniform | zipf:<s> (s > 0).
 // Attack syntax: none | intersection | sda | bayes (sequential_bayes).
 // Campaign axes (--n, --c, --drop, --rate, --mode, --adversary,
-// --topology, --churn, --population, --rounds, --attack) take
+// --topology, --routing, --churn, --population, --rounds, --attack) take
 // comma-separated lists and --dist may repeat; the campaign runs their
 // cartesian product. Out-of-range or unknown values exit loudly (status 2),
 // never silently fall back.
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -59,9 +65,11 @@
 #include "src/anonymity/analytic.hpp"
 #include "src/anonymity/monte_carlo.hpp"
 #include "src/anonymity/optimizer.hpp"
+#include "src/anonymity/path_sampler.hpp"
 #include "src/attack/disclosure.hpp"
 #include "src/attack/sda.hpp"
 #include "src/net/churn.hpp"
+#include "src/net/route_plan.hpp"
 #include "src/net/topology.hpp"
 #include "src/net/topology_mc.hpp"
 #include "src/repro/figures.hpp"
@@ -81,13 +89,15 @@ using namespace anonpath;
       stderr,
       "usage: anonpath "
       "<degree|estimate|optimize|simulate|campaign|capture|replay|attack"
-      "|figures> [options]\n"
+      "|plan|figures> [options]\n"
       "  common:   --n <nodes>      (default 100)\n"
       "            --c <compromised> (default 1)\n"
       "            --dist F:l | U:a,b | G:pf,min,max | P:lambda,max\n"
       "            --adversary full | partial:<f>[:honest] | timing\n"
       "            --topology complete | ring:<k> | regular:<d>[:<seed>]\n"
       "                       | tiered:<t> | trust:<decay>\n"
+      "            --routing walk | kpaths[:<k>]  planned k-shortest-path\n"
+      "                      routing (simulate/capture/campaign/plan)\n"
       "            --churn 0 | <down_rate>[:<mean_downtime>]\n"
       "            --retry <max>[:<timeout>[:<backoff>[:<max_timeout>]]]\n"
       "            --mix-failures <count>[:<horizon>[:<mean_duration>]]\n"
@@ -101,7 +111,8 @@ using namespace anonpath;
       "            [--population P --rounds R --attack a] session mode\n"
       "  campaign: scenario-grid sweep on the simulator; CSV to stdout.\n"
       "            axes (comma lists): --n --c --drop --rate --adversary\n"
-      "            --topology --churn --mix-failures --retry --population\n"
+      "            --topology --routing --churn --mix-failures --retry\n"
+      "            --population\n"
       "            --rounds --attack; --mode onion,crowds; --dist may\n"
       "            repeat (one spec each)\n"
       "            [--replicas r (default 8)] [--messages k (default 500)]\n"
@@ -119,6 +130,10 @@ using namespace anonpath;
       "            the adversary's event trace instead of scoring it\n"
       "  replay:   --in file; re-scores a captured trace offline (same\n"
       "            output as simulate, no event-driven re-run)\n"
+      "  plan:     graph construction & route-planning diagnostics at scale\n"
+      "            (CSR storage, Dijkstra, Yen k-shortest paths): [--csr]\n"
+      "            [--components] [--source u] [--routes r (default 100)]\n"
+      "            [--routing kpaths[:<k>]] [--seed s]\n"
       "  figures:  (dumps fig3a/3b/4/5/6 series as CSV)\n");
   std::exit(2);
 }
@@ -183,6 +198,7 @@ struct options {
   std::vector<routing_mode> mode_list;
   std::vector<sim::adversary_config> adversary_list;
   std::vector<net::topology_config> topology_list;
+  std::vector<net::routing_config> routing_list;
   std::vector<net::churn_config> churn_list;
   std::vector<sim::mix_failure_config> mixfail_list;
   std::vector<sim::retry_policy> retry_list;
@@ -209,6 +225,12 @@ struct options {
   workload::popularity_law receiver_law{};
   bool receiver_law_set = false;
   std::uint32_t every = 0;            ///< attack: trajectory stride (0=auto)
+  // Route-planning diagnostics surface (the 'plan' command).
+  bool plan_csr = false;              ///< plan: CSR storage mode
+  bool plan_components = false;       ///< plan: run connected components
+  std::uint32_t plan_source = 0;      ///< plan: Dijkstra source node
+  std::uint32_t plan_routes = 100;    ///< plan: routes to extract/plan
+  bool plan_flag_set = false;         ///< any of the four above
 };
 
 sim::adversary_config parse_adversary(const std::string& spec) {
@@ -338,9 +360,13 @@ net::churn_config parse_churn(const std::string& spec) {
 
 double parse_double_or_die(const std::string& tok, const char* what) {
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(tok.c_str(), &end);
-  if (tok.empty() || end == tok.c_str() || *end != '\0')
-    usage((std::string("bad ") + what + " (want a number)").c_str());
+  // Finite only: overflow ("1e999" -> HUGE_VAL with ERANGE) and explicit
+  // inf/nan spellings are never meaningful values for these flags.
+  if (tok.empty() || end == tok.c_str() || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(v))
+    usage((std::string("bad ") + what + " (want a finite number)").c_str());
   return v;
 }
 
@@ -352,6 +378,30 @@ std::uint32_t parse_u32_or_die(const std::string& tok, const char* what) {
     usage((std::string("bad ") + what +
            " (want an unsigned 32-bit integer)").c_str());
   return static_cast<std::uint32_t>(v);
+}
+
+std::uint64_t parse_u64_or_die(const std::string& tok, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (tok.empty() || tok[0] == '-' || end == tok.c_str() || *end != '\0' ||
+      errno == ERANGE)
+    usage((std::string("bad ") + what +
+           " (want an unsigned 64-bit integer)").c_str());
+  return static_cast<std::uint64_t>(v);
+}
+
+net::routing_config parse_routing(const std::string& spec) {
+  net::routing_config cfg;
+  if (spec == "walk") return cfg;
+  if (spec == "kpaths" || spec.rfind("kpaths:", 0) == 0) {
+    cfg.kind = net::route_select::kpaths;
+    if (spec.size() > 6)
+      cfg.k = parse_u32_or_die(spec.substr(7), "--routing kpaths k");
+    if (!cfg.valid()) usage("--routing kpaths:<k> needs k in [1, 64]");
+    return cfg;
+  }
+  usage("--routing values are walk|kpaths[:<k>]");
 }
 
 sim::retry_policy parse_retry(const std::string& spec) {
@@ -466,13 +516,16 @@ options parse(int argc, char** argv) {
       opt.dist = parse_dist(next());
       opt.dist_list.push_back(*opt.dist);
     }
-    else if (flag == "--mean") opt.mean = std::strtod(next(), nullptr);
+    // The scalar numeric flags all go through the checked end-pointer
+    // parsers: "--messages foo" or "--threads 4x" must exit loudly, never
+    // silently become 0 (the historical atoi behavior) or 4.
+    else if (flag == "--mean") opt.mean = parse_double_or_die(next(), "--mean");
     else if (flag == "--messages") {
-      opt.messages = static_cast<std::uint32_t>(std::atoi(next()));
+      opt.messages = parse_u32_or_die(next(), "--messages");
+      if (opt.messages == 0) usage("--messages must be > 0");
       opt.messages_set = true;
     }
-    else if (flag == "--seed")
-      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (flag == "--seed") opt.seed = parse_u64_or_die(next(), "--seed");
     else if (flag == "--drop") {
       opt.drop_list = parse_double_list(next());
       opt.drop = opt.drop_list.front();
@@ -571,28 +624,41 @@ options parse(int argc, char** argv) {
     else if (flag == "--out") opt.out_path = next();
     else if (flag == "--in") opt.in_path = next();
     else if (flag == "--replicas") {
-      const int r = std::atoi(next());
-      if (r <= 0) usage("--replicas must be > 0");
-      opt.replicas = static_cast<std::uint32_t>(r);
+      opt.replicas = parse_u32_or_die(next(), "--replicas");
+      if (opt.replicas == 0) usage("--replicas must be > 0");
       opt.replicas_set = true;
     }
     else if (flag == "--breakdown") opt.breakdown = true;
     else if (flag == "--samples") {
-      const long long s = std::atoll(next());
-      if (s <= 0) usage("--samples must be > 0");
-      opt.samples = static_cast<std::uint64_t>(s);
+      opt.samples = parse_u64_or_die(next(), "--samples");
+      if (opt.samples == 0) usage("--samples must be > 0");
     }
-    else if (flag == "--threads") {
-      const int t = std::atoi(next());
-      if (t < 0) usage("--threads must be >= 0 (0 = all cores)");
-      opt.threads = static_cast<unsigned>(t);
-    }
-    else if (flag == "--shards") {
-      const long long k = std::atoll(next());
-      if (k < 0) usage("--shards must be >= 0 (0 = default)");
-      opt.shards = static_cast<std::uint64_t>(k);
-    }
+    else if (flag == "--threads")
+      opt.threads = parse_u32_or_die(next(), "--threads");
+    else if (flag == "--shards")
+      opt.shards = parse_u64_or_die(next(), "--shards");
     else if (flag == "--no-dedup") opt.dedup = false;
+    else if (flag == "--routing") {
+      for (const std::string& tok : split_commas(next()))
+        opt.routing_list.push_back(parse_routing(tok));
+    }
+    else if (flag == "--csr") {
+      opt.plan_csr = true;
+      opt.plan_flag_set = true;
+    }
+    else if (flag == "--components") {
+      opt.plan_components = true;
+      opt.plan_flag_set = true;
+    }
+    else if (flag == "--source") {
+      opt.plan_source = parse_u32_or_die(next(), "--source");
+      opt.plan_flag_set = true;
+    }
+    else if (flag == "--routes") {
+      opt.plan_routes = parse_u32_or_die(next(), "--routes");
+      if (opt.plan_routes == 0) usage("--routes must be > 0");
+      opt.plan_flag_set = true;
+    }
     else usage(("unknown flag " + flag).c_str());
   }
   return opt;
@@ -610,6 +676,21 @@ void reject_topology_flags(const options& opt, const char* command) {
   if (!opt.churn_list.empty() && opt.churn_list.front().enabled())
     usage((std::string("--churn does not apply to '") + command +
            "'; use simulate/capture/campaign")
+              .c_str());
+  if (!opt.routing_list.empty())
+    usage((std::string("--routing does not apply to '") + command +
+           "'; use simulate/capture/campaign/plan")
+              .c_str());
+}
+
+/// The graph-diagnostics surface belongs to 'plan'; anywhere else these
+/// flags would be silently ignored — the fallback this CLI promises never
+/// to do.
+void reject_plan_flags(const options& opt, const char* command) {
+  if (opt.plan_flag_set)
+    usage((std::string("--csr/--components/--source/--routes do not apply "
+                       "to '") +
+           command + "'; they drive the 'plan' command")
               .c_str());
 }
 
@@ -657,6 +738,7 @@ int cmd_degree(const options& opt) {
   reject_topology_flags(opt, "degree");
   reject_session_flags(opt, "degree");
   reject_fault_flags(opt, "degree");
+  reject_plan_flags(opt, "degree");
   const system_params sys{opt.n, 1};
   const auto d = opt.dist.value_or(path_length_distribution::fixed(3));
   const double h = anonymity_degree(sys, d);
@@ -681,8 +763,12 @@ int cmd_degree(const options& opt) {
 int cmd_estimate(const options& opt) {
   reject_session_flags(opt, "estimate");
   reject_fault_flags(opt, "estimate");
+  reject_plan_flags(opt, "estimate");
   if (!opt.churn_list.empty() && opt.churn_list.front().enabled())
     usage("--churn does not apply to 'estimate'; use simulate/capture/campaign");
+  if (!opt.routing_list.empty())
+    usage("--routing does not apply to 'estimate' (walk-model engine only); "
+          "use simulate/capture/campaign/plan");
   const system_params sys{opt.n, opt.c};
   const auto d = opt.dist.value_or(path_length_distribution::uniform(1, 10));
   const std::vector<node_id> compromised = spread_compromised(opt.n, opt.c);
@@ -743,6 +829,7 @@ int cmd_optimize(const options& opt) {
   reject_topology_flags(opt, "optimize");
   reject_session_flags(opt, "optimize");
   reject_fault_flags(opt, "optimize");
+  reject_plan_flags(opt, "optimize");
   const system_params sys{opt.n, 1};
   const auto cap = static_cast<path_length>(opt.n - 1);
   const auto r = optimize_for_mean(sys, opt.mean, cap);
@@ -762,6 +849,7 @@ sim::sim_config simulate_config(const options& opt) {
     usage("--users/--pairs/--round-size/--send-rate/--every configure the "
           "'attack' workload; simulator sessions batch --messages into "
           "--rounds");
+  reject_plan_flags(opt, "simulate/capture");
   sim::sim_config cfg;
   cfg.sys = {opt.n, opt.c};
   cfg.compromised = spread_compromised(opt.n, opt.c);
@@ -803,6 +891,19 @@ sim::sim_config simulate_config(const options& opt) {
       usage("--adversary timing is not supported on a restricted --topology");
   }
   if (!opt.churn_list.empty()) cfg.faults.churn = opt.churn_list.front();
+  if (opt.routing_list.size() > 1)
+    usage("simulate/capture take a single --routing (the comma-list axis "
+          "belongs to 'campaign')");
+  if (!opt.routing_list.empty()) {
+    cfg.routing = opt.routing_list.front();
+    if (cfg.routing.planned()) {
+      if (cfg.mode != routing_mode::source_routed)
+        usage("--routing kpaths requires onion (source-routed) mode; crowds "
+              "forwarding has no planned-path analogue");
+      if (cfg.adversary.kind == sim::adversary_kind::timing_correlator)
+        usage("--adversary timing is not supported with --routing kpaths");
+    }
+  }
   // Single scalars here; a comma list would otherwise run only its first
   // value — a silent drop (the axes belong to 'campaign').
   if (opt.population_list.size() > 1 || opt.rounds_list.size() > 1 ||
@@ -912,6 +1013,10 @@ int cmd_replay(const options& opt) {
   // the trace.
   reject_session_flags(opt, "replay");
   reject_fault_flags(opt, "replay");
+  reject_plan_flags(opt, "replay");
+  if (!opt.routing_list.empty())
+    usage("--routing does not apply to 'replay' (the trace defines the "
+          "run's routing)");
   if (opt.in_path.empty()) usage("replay requires --in <trace file>");
   std::ifstream in(opt.in_path, std::ios::binary);
   if (!in.good()) usage("cannot open --in file");
@@ -933,6 +1038,7 @@ int cmd_campaign(const options& opt) {
     usage("--users/--pairs/--round-size/--send-rate/--every configure the "
           "'attack' workload; campaign sessions batch --messages into "
           "--rounds");
+  reject_plan_flags(opt, "campaign");
   // Session axes must be swept together: a --population axis with no
   // --rounds axis (or vice versa) would make every session cell incoherent
   // and silently filter the sweep the user asked for down to its
@@ -964,6 +1070,7 @@ int cmd_campaign(const options& opt) {
   if (!opt.rate_list.empty()) grid.arrival_rates = opt.rate_list;
   if (!opt.adversary_list.empty()) grid.adversaries = opt.adversary_list;
   if (!opt.topology_list.empty()) grid.topologies = opt.topology_list;
+  if (!opt.routing_list.empty()) grid.routings = opt.routing_list;
   if (!opt.churn_list.empty()) grid.churns = opt.churn_list;
   if (!opt.mixfail_list.empty()) grid.mix_failures = opt.mixfail_list;
   if (!opt.retry_list.empty()) grid.retries = opt.retry_list;
@@ -995,7 +1102,8 @@ int cmd_campaign(const options& opt) {
   if (sim::expand_grid(grid).empty())
     usage("campaign grid has no feasible cells (check --topology/--churn "
           "parameters against --n, --adversary timing with restricted "
-          "topologies, and --population/--rounds/--attack coherence: both "
+          "topologies or --routing kpaths, --routing kpaths with crowds "
+          "mode, and --population/--rounds/--attack coherence: both "
           "axes on or both off, rounds <= messages, onion mode)");
 
   sim::campaign_config cfg;
@@ -1040,6 +1148,7 @@ int cmd_campaign(const options& opt) {
 int cmd_attack(const options& opt) {
   reject_topology_flags(opt, "attack");
   reject_fault_flags(opt, "attack");
+  reject_plan_flags(opt, "attack");
   // Axes are a campaign concept; here every flag is a single scalar, and a
   // comma list would otherwise run only its first value — a silent drop.
   if (opt.attack_list.size() > 1 || opt.population_list.size() > 1 ||
@@ -1167,10 +1276,109 @@ int cmd_attack(const options& opt) {
   return 0;
 }
 
+/// Graph-scale diagnostics: builds the topology (CSR or adjacency-vector
+/// storage), runs one full Dijkstra tree, extracts --routes shortest routes
+/// to seeded random targets, and — when --routing kpaths is given — plans
+/// the same number of k-shortest-path routes through net::route_planner.
+/// This is the CI smoke for million-node CSR construction and route
+/// planning; all timings go to stdout so regressions are visible in logs.
+int cmd_plan(const options& opt) {
+  reject_session_flags(opt, "plan");
+  reject_fault_flags(opt, "plan");
+  if (!opt.churn_list.empty() && opt.churn_list.front().enabled())
+    usage("--churn does not apply to 'plan' (static graph diagnostics)");
+  if (opt.routing_list.size() > 1)
+    usage("'plan' takes a single --routing value");
+  if (opt.n < 2) usage("plan needs --n >= 2");
+  if (opt.plan_source >= opt.n) usage("--source out of range for --n");
+  net::topology_config topo_cfg;
+  if (!opt.topology_list.empty()) topo_cfg = opt.topology_list.front();
+  if (!topo_cfg.valid_for(opt.n))
+    usage("--topology parameters out of range for --n");
+  const auto elapsed = [](std::chrono::steady_clock::time_point a,
+                          std::chrono::steady_clock::time_point b) {
+    return std::chrono::duration_cast<std::chrono::duration<double>>(b - a)
+        .count();
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const net::topology topo = opt.plan_csr
+                                 ? net::topology::make_csr(opt.n, topo_cfg)
+                                 : net::topology::make(opt.n, topo_cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  std::printf("built %s: N=%u, %llu edges, %s storage, %.3f s\n",
+              topo_cfg.label().c_str(), opt.n,
+              static_cast<unsigned long long>(topo.edge_count()),
+              opt.plan_csr ? "csr" : "adjacency", elapsed(t0, t1));
+
+  if (opt.plan_components) {
+    const auto tc0 = std::chrono::steady_clock::now();
+    const std::vector<std::uint32_t> comp = net::connected_components(topo);
+    const auto tc1 = std::chrono::steady_clock::now();
+    // Labels are 0-based in first-discovery order, so the count is one past
+    // the largest label.
+    std::uint32_t count = 0;
+    for (std::uint32_t label : comp) count = std::max(count, label + 1);
+    std::printf("components: %u, %.3f s\n", count, elapsed(tc0, tc1));
+  }
+
+  const auto t2 = std::chrono::steady_clock::now();
+  const net::shortest_path_tree tree = net::dijkstra(topo, opt.plan_source);
+  const auto t3 = std::chrono::steady_clock::now();
+  std::uint64_t reachable = 0;
+  double eccentricity = 0.0;
+  for (double d : tree.dist)
+    if (d < std::numeric_limits<double>::infinity()) {
+      ++reachable;
+      eccentricity = std::max(eccentricity, d);
+    }
+  std::printf("dijkstra from %u: %llu reachable, eccentricity cost %.6g, "
+              "%.3f s\n",
+              opt.plan_source, static_cast<unsigned long long>(reachable),
+              eccentricity, elapsed(t2, t3));
+
+  // Shortest routes to seeded random targets: O(path length) parent-chain
+  // walks off the one tree, the way a source-routed sender would plan.
+  stats::rng gen(opt.seed);
+  const auto t4 = std::chrono::steady_clock::now();
+  std::uint64_t hop_total = 0;
+  for (std::uint32_t i = 0; i < opt.plan_routes; ++i) {
+    auto target = static_cast<node_id>(gen.next_below(opt.n - 1));
+    if (target >= opt.plan_source) ++target;
+    for (node_id v = target;
+         v != opt.plan_source && v != net::no_vertex; v = tree.parent[v])
+      ++hop_total;
+  }
+  const auto t5 = std::chrono::steady_clock::now();
+  std::printf("%u shortest routes: mean hops %.2f, %.3f s\n", opt.plan_routes,
+              static_cast<double>(hop_total) /
+                  static_cast<double>(opt.plan_routes),
+              elapsed(t4, t5));
+
+  if (!opt.routing_list.empty() && opt.routing_list.front().planned()) {
+    net::route_planner planner(topo, opt.routing_list.front());
+    const auto t6 = std::chrono::steady_clock::now();
+    std::uint64_t planned_hops = 0;
+    for (std::uint32_t i = 0; i < opt.plan_routes; ++i) {
+      const auto sender = static_cast<node_id>(gen.next_below(opt.n));
+      const route r = sample_planned_route(planner, sender, gen);
+      planned_hops += r.hops.size();
+    }
+    const auto t7 = std::chrono::steady_clock::now();
+    std::printf("%u %s routes: mean hops %.2f, %.3f s\n", opt.plan_routes,
+                planner.config().label().c_str(),
+                static_cast<double>(planned_hops) /
+                    static_cast<double>(opt.plan_routes),
+                elapsed(t6, t7));
+  }
+  return 0;
+}
+
 int cmd_figures(const options& opt) {
   reject_topology_flags(opt, "figures");
   reject_session_flags(opt, "figures");
   reject_fault_flags(opt, "figures");
+  reject_plan_flags(opt, "figures");
   const system_params sys{opt.n, 1};
   repro::print_figure(repro::fig3a(sys), std::cout);
   repro::print_figure(repro::fig3b(sys), std::cout);
@@ -1197,6 +1405,7 @@ int main(int argc, char** argv) {
     if (opt.command == "capture") return cmd_capture(opt);
     if (opt.command == "replay") return cmd_replay(opt);
     if (opt.command == "attack") return cmd_attack(opt);
+    if (opt.command == "plan") return cmd_plan(opt);
     if (opt.command == "figures") return cmd_figures(opt);
     usage("unknown command");
   } catch (const std::exception& e) {
