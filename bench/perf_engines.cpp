@@ -19,6 +19,7 @@
 #include "src/anonymity/optimizer.hpp"
 #include "src/anonymity/path_sampler.hpp"
 #include "src/anonymity/posterior.hpp"
+#include "src/attack/sequential_bayes.hpp"
 #include "src/crypto/onion.hpp"
 #include "src/sim/campaign.hpp"
 #include "src/sim/event_queue.hpp"
@@ -173,6 +174,39 @@ void BM_CampaignThroughput(benchmark::State& state) {
 BENCHMARK(BM_CampaignThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+void BM_SequentialBayesRounds(benchmark::State& state) {
+  // The longitudinal-attack hot loop under the perf gate: a full
+  // sequential-Bayes pass over pre-generated rounds (soft-weight evidence,
+  // 10k-receiver population, O(deliveries) sparse updates with member
+  // scratch — no per-round allocations). Arg is deliveries per round.
+  const std::uint32_t receivers = 10000;
+  const auto m = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t round_count = 512;
+  std::vector<attack::round_observation> rounds(round_count);
+  stats::rng gen(11);
+  for (std::size_t i = 0; i < round_count; ++i) {
+    attack::round_observation& round = rounds[i];
+    round.target_present = i % 4 != 3;  // 3:1 target vs pure-background mix
+    round.receivers.reserve(m);
+    for (std::size_t j = 0; j < m; ++j)
+      round.receivers.push_back(static_cast<node_id>(
+          gen.next_u64() % receivers));
+    if (round.target_present) {
+      round.receivers[0] = 17;  // the true partner stays in every round
+      round.target_weight.assign(m, 0.5 / static_cast<double>(m));
+      round.target_weight[0] = 0.4;  // soft per-message posterior evidence
+    }
+  }
+  for (auto _ : state) {
+    attack::sequential_bayes_attack atk(receivers);
+    for (const auto& round : rounds) atk.observe_round(round);
+    benchmark::DoNotOptimize(atk.posterior());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * round_count * m));
+}
+BENCHMARK(BM_SequentialBayesRounds)->Arg(16)->Arg(128);
+
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   for (auto _ : state) {
     sim::event_queue q;
@@ -199,6 +233,7 @@ int main(int argc, char** argv) {
   // Translate --json[=FILE] into google-benchmark's out-file flags before
   // Initialize() consumes the command line; everything else passes through.
   std::vector<std::string> args;
+  std::string json_path;
   args.reserve(static_cast<std::size_t>(argc) + 2);
   args.emplace_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -213,6 +248,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --json= requires a file name\n");
         return 1;
       }
+      json_path = path;
       args.emplace_back("--benchmark_out=" + path);
       args.emplace_back("--benchmark_out_format=json");
     } else {
@@ -227,5 +263,28 @@ int main(int argc, char** argv) {
   if (::benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  if (!json_path.empty()) {
+    // google-benchmark does not surface out-file write failures in its
+    // exit status: an unwritable path, a full disk, or ENOSPC at flush
+    // leaves a missing/empty/stale artifact behind a "successful" run —
+    // exactly what a perf gate must never be fed. Verify the artifact
+    // actually landed: it must open and start with a JSON object.
+    std::FILE* f = std::fopen(json_path.c_str(), "rb");
+    int first = EOF;
+    if (f != nullptr) {
+      do {
+        first = std::fgetc(f);
+      } while (first == ' ' || first == '\n' || first == '\r' ||
+               first == '\t');
+      std::fclose(f);
+    }
+    if (first != '{') {
+      std::fprintf(stderr,
+                   "error: benchmark JSON was not written to '%s' "
+                   "(unwritable path or disk full?)\n",
+                   json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

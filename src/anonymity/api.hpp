@@ -109,10 +109,22 @@
 /// finished cells to an append-only "anonpath-checkpoint v1" file (scope
 /// fingerprint + one bit-exact record per cell, versioned like trace v1),
 /// and a resumed run replays the journal and re-renders byte-identical
-/// output at any thread count. Parsers for both untrusted formats (trace,
-/// checkpoint) reject corruption with the structured anonpath::parse_error
-/// taxonomy (src/stats/error.hpp) — never a contract_violation, never a
-/// crash. The figure generators live in src/repro.
+/// output at any thread count. The same contract extends across machines:
+/// campaign_config{shard_index, shard_count} runs one residue class of the
+/// grid's cells (seeds derive from absolute run indices), each shard
+/// journals under its shard identity, and sim::merge_campaign recombines
+/// the journals into a result bit-identical to an unsharded run — refusing
+/// scope mismatches, duplicate/missing shards, and incomplete journals.
+/// Parsers for both untrusted formats (trace, checkpoint) reject
+/// corruption with the structured anonpath::parse_error taxonomy
+/// (src/stats/error.hpp) — never a contract_violation, never a crash; and
+/// every result-bearing write path (CSV/trace/figure streams, checkpoint
+/// appends, benchmark JSON) is verified, so a full disk or a closed pipe
+/// is a loud nonzero exit, not a silently dropped result. The hot
+/// inference loops (posterior_engine, attack::sequential_bayes_attack)
+/// run allocation-free on member scratch and sit under a CI
+/// perf-regression gate (bench/BENCH_baseline.json + bench/perf_diff.py).
+/// The figure generators live in src/repro.
 
 #include "src/anonymity/analytic.hpp"
 #include "src/anonymity/brute_force.hpp"

@@ -286,7 +286,8 @@ std::vector<double> posterior_engine::sender_posterior(
   // collection compromised nodes are special (excluded without an origin
   // report); under gapped collection an unobserved compromised node is as
   // generic as any other candidate.
-  std::vector<char> special(n, 0);
+  class_scratch_.assign(n, 0);
+  std::vector<char>& special = class_scratch_;
   if (!obs.gapped)
     for (node_id c : compromised_) special[c] = 1;
   for (const auto& f : fragments)
@@ -294,7 +295,8 @@ std::vector<double> posterior_engine::sender_posterior(
       if (x != receiver_node && x < n) special[x] = 1;
   if (v_known && v < n) special[v] = 1;
 
-  std::vector<double> logw(n, stats::log_zero());
+  logw_scratch_.assign(n, stats::log_zero());
+  std::vector<double>& logw = logw_scratch_;
   double generic = stats::log_zero();
   bool generic_done = false;
   for (node_id s = 0; s < n; ++s) {

@@ -117,19 +117,19 @@ void sequential_bayes_attack::observe_round(const round_observation& round) {
         if (log_posterior_[r] != neg_inf) live_.push_back(r);
       live_valid_ = true;
     }
-    std::vector<std::uint32_t> next_live;
-    next_live.reserve(touched_.size());
+    next_live_.clear();
+    next_live_.reserve(touched_.size());
     for (std::uint32_t r : live_) {
       const double evidence =
           (1.0 - nu) * scratch_weight_[r] / background_rate(r);
       if (evidence > 0.0) {
         log_posterior_[r] += std::log(evidence);
-        next_live.push_back(r);
+        next_live_.push_back(r);
       } else {
         log_posterior_[r] = neg_inf;
       }
     }
-    live_ = std::move(next_live);
+    live_.swap(next_live_);
   }
   for (std::uint32_t v : touched_) {
     scratch_weight_[v] = 0.0;

@@ -60,8 +60,11 @@ class sequential_bayes_attack final : public disclosure_attack {
   std::vector<char> touched_flag_;           // membership flags for touched_
   /// Candidates not yet annihilated, maintained from the first hard
   /// (zero-common-evidence) round on so later rounds cost O(live), not
-  /// O(receiver population). Invalid (and unused) until then.
+  /// O(receiver population). Invalid (and unused) until then. next_live_
+  /// is the double-buffer the survivors compact into — kept as a member so
+  /// a long campaign of annihilating rounds allocates twice, not per round.
   std::vector<std::uint32_t> live_;
+  std::vector<std::uint32_t> next_live_;
   bool live_valid_ = false;
 };
 

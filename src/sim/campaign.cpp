@@ -204,28 +204,57 @@ sim_config scenario_config(const scenario& s, const campaign_grid& grid,
   return cfg;
 }
 
+namespace {
+
+/// Every journal write/flush funnels through here: a stream gone bad
+/// (ENOSPC, EIO, a yanked volume) must surface as a structured failure,
+/// never as a "successful" campaign with silently missing cells.
+void check_journal(const std::ofstream& journal, const std::string& path) {
+  if (!journal)
+    throw parse_error(parse_error_kind::io, "checkpoint",
+                      "write to '" + path +
+                          "' failed (disk full or I/O error)");
+}
+
+}  // namespace
+
 campaign_result run_campaign(const campaign_grid& grid,
                              const campaign_config& config) {
   ANONPATH_EXPECTS(config.replicas >= 1);
   ANONPATH_EXPECTS(!config.resume || !config.checkpoint_path.empty());
+  ANONPATH_EXPECTS(config.shard_count >= 1 &&
+                   config.shard_index < config.shard_count);
+  ANONPATH_EXPECTS(config.shard_count == 1 || !config.checkpoint_path.empty());
   const std::vector<scenario> scenarios = expand_grid(grid);
   ANONPATH_EXPECTS(!scenarios.empty());
   const std::uint64_t cell_total = scenarios.size();
 
+  // This shard's slice of the grid: local cell l holds absolute index
+  // shard_index + l * shard_count. The unsharded run is the trivial
+  // 1-shard split, where local and absolute coincide.
+  std::vector<std::uint64_t> local_to_abs;
+  for (std::uint64_t a = config.shard_index; a < cell_total;
+       a += config.shard_count)
+    local_to_abs.push_back(a);
+  const std::uint64_t local_total = local_to_abs.size();
+
   campaign_result result;
   result.requested_cells = grid.cell_count();
   result.skipped_cells = result.requested_cells - cell_total;
-  result.runs = cell_total * config.replicas;
+  result.runs = local_total * config.replicas;
 
   // Checkpoint plumbing: on resume, adopt the journal's completed-cell
   // prefix; either way rewrite the file (header + adopted prefix) so any
-  // kill-point tail is truncated before new records append.
+  // kill-point tail is truncated before new records append. Every write
+  // is checked — see check_journal.
   std::ofstream journal;
   if (!config.checkpoint_path.empty()) {
     const std::uint64_t scope = campaign_scope(grid, config);
     if (config.resume) {
       std::ifstream in(config.checkpoint_path);
-      if (in) result.cells = read_checkpoint(in, scope, cell_total);
+      if (in)
+        result.cells = read_checkpoint(in, scope, local_total,
+                                       config.shard_index, config.shard_count);
     }
     journal.open(config.checkpoint_path,
                  std::ios::out | std::ios::trunc);
@@ -233,27 +262,32 @@ campaign_result run_campaign(const campaign_grid& grid,
       throw parse_error(parse_error_kind::io, "checkpoint",
                         "cannot open '" + config.checkpoint_path +
                             "' for writing");
-    write_checkpoint_header(journal, scope);
-    for (std::uint64_t i = 0; i < result.cells.size(); ++i)
-      append_checkpoint_cell(journal, i, result.cells[i]);
+    write_checkpoint_header(journal, scope, config.shard_index,
+                            config.shard_count);
+    for (std::uint64_t l = 0; l < result.cells.size(); ++l)
+      append_checkpoint_cell(journal, local_to_abs[l], result.cells[l]);
     journal.flush();
+    check_journal(journal, config.checkpoint_path);
   }
   // Restored records carry default scenes; rebind them from the grid.
-  for (std::uint64_t i = 0; i < result.cells.size(); ++i)
-    result.cells[i].scene = scenarios[i];
+  for (std::uint64_t l = 0; l < result.cells.size(); ++l)
+    result.cells[l].scene = scenarios[local_to_abs[l]];
 
   const std::uint64_t first_cell = result.cells.size();
-  const std::uint64_t pending_cells = cell_total - first_cell;
+  const std::uint64_t pending_cells = local_total - first_cell;
   const std::uint64_t pending_runs = pending_cells * config.replicas;
-  result.cells.reserve(cell_total);
+  result.cells.reserve(local_total);
 
   // Fan out: every (cell, replica) run is self-contained — its seed comes
-  // from a deterministic per-ABSOLUTE-run rng stream (so a resumed campaign
-  // reruns nothing differently) and its report lands in its own slot. A
-  // replica that throws becomes an error string instead of a dead process.
-  // Completed cells flush to the journal in cell order as their replicas
-  // finish, under the lock, so the reduction stays bit-identical for any
-  // thread count while a kill loses only in-flight cells.
+  // from a deterministic per-ABSOLUTE-run rng stream (so resumed or
+  // sharded campaigns rerun nothing differently: abs_run depends only on
+  // the cell's place in the full grid) and its report lands in its own
+  // slot. A replica that throws becomes an error string instead of a dead
+  // process. Completed cells flush to the journal in cell order as their
+  // replicas finish, under the lock, so the reduction stays bit-identical
+  // for any thread count while a kill loses only in-flight cells. A
+  // journal write failure throws out of the worker; parallel_for rethrows
+  // it on the calling thread and the campaign exits nonzero.
   std::vector<sim_report> reports(pending_runs);
   std::vector<std::string> errors(pending_runs);
   std::vector<std::uint32_t> completed(pending_cells, 0);
@@ -261,8 +295,11 @@ campaign_result run_campaign(const campaign_grid& grid,
   std::mutex mu;
   stats::parallel_for(
       config.threads, pending_runs, [&](std::uint64_t run, unsigned) {
-        const std::uint64_t abs_run = first_cell * config.replicas + run;
-        const scenario& s = scenarios[abs_run / config.replicas];
+        const std::uint64_t local_cell = first_cell + run / config.replicas;
+        const std::uint64_t abs_cell = local_to_abs[local_cell];
+        const std::uint64_t abs_run =
+            abs_cell * config.replicas + run % config.replicas;
+        const scenario& s = scenarios[abs_cell];
         const std::uint64_t seed =
             stats::rng::stream(config.master_seed, abs_run).next_u64();
         try {
@@ -276,15 +313,17 @@ campaign_result run_campaign(const campaign_grid& grid,
         }
         std::lock_guard<std::mutex> lock(mu);
         if (++completed[run / config.replicas] < config.replicas) return;
-        while (flushed < cell_total &&
+        while (flushed < local_total &&
                completed[flushed - first_cell] == config.replicas) {
           const std::uint64_t base = (flushed - first_cell) * config.replicas;
-          result.cells.push_back(reduce_cell(scenarios[flushed],
+          result.cells.push_back(reduce_cell(scenarios[local_to_abs[flushed]],
                                              config.replicas, &reports[base],
                                              &errors[base]));
           if (journal.is_open()) {
-            append_checkpoint_cell(journal, flushed, result.cells.back());
+            append_checkpoint_cell(journal, local_to_abs[flushed],
+                                   result.cells.back());
             journal.flush();
+            check_journal(journal, config.checkpoint_path);
           }
           ++flushed;
         }

@@ -114,6 +114,19 @@ struct campaign_config {
   /// derive from absolute run indices. A missing or empty checkpoint file
   /// degrades to a fresh start; a corrupt one throws anonpath::parse_error.
   bool resume = false;
+  /// Distributed split: run only the cells whose absolute grid index is
+  /// congruent to shard_index mod shard_count (the CLI's `--shard i/n`).
+  /// Every shard derives its seeds from ABSOLUTE run indices and journals
+  /// absolute cell indices under a `shard i n` header line, so the shards'
+  /// checkpoints — produced on any mix of machines and thread counts —
+  /// merge_campaign() back into output bit-identical to an unsharded run.
+  /// Shard identity is deliberately NOT part of campaign_scope: all shards
+  /// of one campaign share a scope, which is how the merge validates they
+  /// belong together. Defaults (0 of 1) are the unsharded run, journal
+  /// bytes unchanged. Sharded runs require a checkpoint_path (the journal
+  /// IS the shard's output hand-off).
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
 };
 
 /// The coordinates of one feasible grid cell. Default-constructed scenarios
@@ -191,13 +204,19 @@ struct campaign_result {
                                          const campaign_grid& grid,
                                          std::uint64_t seed);
 
-/// Runs the whole campaign: expands the grid, fans every (cell, replica)
-/// run out over a stats::thread_pool, and reduces the reports into
-/// per-cell summaries in run order. See campaign_config for the
-/// thread-count invariance guarantee and the checkpoint/resume behaviour;
-/// per-replica failures are isolated into campaign_cell::error.
-/// Preconditions: replicas >= 1, at least one feasible cell, and resume
-/// only with a checkpoint path.
+/// Runs the whole campaign — or, with shard_count > 1, this config's
+/// shard of it: expands the grid, fans every (cell, replica) run out over
+/// a stats::thread_pool, and reduces the reports into per-cell summaries
+/// in run order. See campaign_config for the thread-count invariance
+/// guarantee and the checkpoint/resume/shard behaviour; per-replica
+/// failures are isolated into campaign_cell::error. A sharded result
+/// holds only the shard's cells (in absolute grid order); its
+/// requested/skipped counts stay grid-global while `runs` counts what the
+/// shard executed. Every journal write is verified: a failed write or
+/// flush (disk full, I/O error) throws anonpath::parse_error{io} instead
+/// of silently dropping cells. Preconditions: replicas >= 1, at least one
+/// feasible cell, shard_index < shard_count, resume only with a
+/// checkpoint path, and shard_count > 1 only with a checkpoint path.
 [[nodiscard]] campaign_result run_campaign(const campaign_grid& grid,
                                            const campaign_config& config);
 

@@ -149,6 +149,126 @@ TEST_F(CliParse, RoutingFlagValidation) {
   }
 }
 
+TEST_F(CliParse, ShardAndMergeFlagValidation) {
+  const std::string grid = "--n 16,24 --c 1,2 --messages 40 --replicas 1";
+  const std::vector<std::string> cases = {
+           // --shard spec must be i/n with i < n, n >= 1.
+           "campaign " + grid + " --checkpoint /tmp/x.ckpt --shard foo",
+           "campaign " + grid + " --checkpoint /tmp/x.ckpt --shard 3",
+           "campaign " + grid + " --checkpoint /tmp/x.ckpt --shard 3/3",
+           "campaign " + grid + " --checkpoint /tmp/x.ckpt --shard 1/0",
+           "campaign " + grid + " --checkpoint /tmp/x.ckpt --shard 1/2x",
+           // a shard run without a journal has no output to merge.
+           "campaign " + grid + " --shard 0/2",
+           // more shards than cells: some shards would be empty.
+           "campaign " + grid + " --checkpoint /tmp/x.ckpt --shard 0/64",
+           // --shard/--input belong to campaign/merge only.
+           "simulate --n 20 --c 2 --shard 0/2",
+           "estimate --n 50 --c 2 --input /tmp/x.ckpt",
+           "merge " + grid,  // no --input
+           "merge " + grid + " --input /tmp/x.ckpt --shard 0/2",
+           "merge " + grid + " --input /tmp/x.ckpt --resume",
+       };
+  for (const std::string& args : cases) {
+    const run_result r = run_cli(args);
+    EXPECT_NE(r.exit_code, 0) << "accepted: anonpath " << args;
+    EXPECT_FALSE(r.stderr_text.empty())
+        << "no stderr diagnostic: anonpath " << args;
+  }
+}
+
+TEST_F(CliParse, ShardedCampaignMergesToUnshardedCsv) {
+  // End-to-end through the real binary: 3 shard runs + merge reproduce the
+  // unsharded CSV byte for byte, and a merge missing a shard exits nonzero.
+  const std::string dir = ::testing::TempDir();
+  const std::string grid =
+      "--n 16,24 --c 1,2 --messages 40 --replicas 1 --seed 11";
+  const std::string clean_csv = dir + "anonpath_cli_clean.csv";
+  ASSERT_EQ(std::system(("'" + cli_binary() + "' campaign " + grid + " > '" +
+                         clean_csv + "' 2>/dev/null")
+                            .c_str()),
+            0);
+  std::string inputs;
+  for (int i = 0; i < 3; ++i) {
+    const std::string ckpt =
+        dir + "anonpath_cli_shard" + std::to_string(i) + ".ckpt";
+    inputs += " --input '" + ckpt + "'";
+    EXPECT_EQ(run_cli("campaign " + grid + " --shard " + std::to_string(i) +
+                      "/3 --checkpoint '" + ckpt + "'")
+                  .exit_code,
+              0);
+  }
+  const std::string merged_csv = dir + "anonpath_cli_merged.csv";
+  ASSERT_EQ(std::system(("'" + cli_binary() + "' merge " + grid + inputs +
+                         " > '" + merged_csv + "' 2>/dev/null")
+                            .c_str()),
+            0);
+  std::ifstream a(clean_csv), b(merged_csv);
+  std::ostringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_FALSE(sa.str().empty());
+  EXPECT_EQ(sa.str(), sb.str());
+  // Drop shard 1 from the input list: the merge must refuse, not emit a
+  // CSV with silently absent cells.
+  const run_result partial = run_cli(
+      "merge " + grid + " --input '" + dir + "anonpath_cli_shard0.ckpt' " +
+      "--input '" + dir + "anonpath_cli_shard2.ckpt'");
+  EXPECT_NE(partial.exit_code, 0);
+  EXPECT_NE(partial.stderr_text.find("missing shard"), std::string::npos)
+      << partial.stderr_text;
+  for (int i = 0; i < 3; ++i)
+    std::remove(
+        (dir + "anonpath_cli_shard" + std::to_string(i) + ".ckpt").c_str());
+  std::remove(clean_csv.c_str());
+  std::remove(merged_csv.c_str());
+}
+
+TEST_F(CliParse, WriteFailuresExitNonzeroWithDiagnostic) {
+  // Output that cannot land must never yield exit 0. /dev/full accepts the
+  // open and fails the flush (ENOSPC); a pipe whose reader is gone raises
+  // EPIPE. Both are checked at exit via the stream/stdout state. Skip where
+  // /dev/full does not fail writes (non-Linux).
+  if (std::system("sh -c 'echo x > /dev/full' 2>/dev/null") == 0)
+    GTEST_SKIP() << "/dev/full does not reject writes here";
+  struct io_case {
+    const char* tag;
+    std::string cmd;
+  };
+  const std::string base =
+      "'" + cli_binary() + "' campaign --n 16 --c 1 --messages 30";
+  const std::vector<io_case> cases = {
+      {"csv to full disk", base + " > /dev/full"},
+      // The trace (~160K) overflows the 64K pipe buffer, so the writer is
+      // guaranteed to hit EPIPE once `true` exits — a short CSV piped to a
+      // fast-exiting reader can legitimately land in the buffer and win.
+      {"closed pipe",
+       "set -o pipefail; '" + cli_binary() +
+           "' capture --n 16 --c 1 --messages 2000 | true"},
+      {"checkpoint on full disk", base + " --checkpoint /dev/full >/dev/null"},
+      {"trace on full disk",
+       "'" + cli_binary() +
+           "' capture --n 16 --c 1 --messages 30 --out /dev/full >/dev/null"},
+  };
+  for (const auto& c : cases) {
+    static int serial = 0;
+    const std::string err_path = ::testing::TempDir() +
+                                 "anonpath_cli_io_stderr." +
+                                 std::to_string(serial++) + ".txt";
+    const std::string cmd =
+        "bash -c \"" + c.cmd + "\" 2>'" + err_path + "'";
+    const int status = std::system(cmd.c_str());
+    const int rc = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    EXPECT_NE(rc, 0) << c.tag << " exited 0";
+    std::ifstream err(err_path);
+    std::ostringstream text;
+    text << err.rdbuf();
+    EXPECT_NE(text.str().find("error"), std::string::npos)
+        << c.tag << ": no stderr diagnostic, got: " << text.str();
+    std::remove(err_path.c_str());
+  }
+}
+
 TEST_F(CliParse, PositiveControls) {
   // The matrix proves rejection; these prove the runner and the happy path
   // still work, so a binary that exits nonzero on everything cannot pass.

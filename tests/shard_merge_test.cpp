@@ -1,0 +1,352 @@
+// Distributed campaigns: shard/merge conformance. The pinned contract is
+// the one the engine already holds across threads, extended across
+// processes — any i/n partition of the grid, run shard by shard at any
+// thread count, merges back into output bit-identical (CSV and journal
+// bytes) to the unsharded run. The other half is loud failure: merges of
+// overlapping/missing/foreign/truncated shards throw classified
+// parse_errors, and a journal write failure is a thrown io error, never a
+// "successful" campaign with dropped cells.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/sim/campaign.hpp"
+#include "src/sim/checkpoint.hpp"
+#include "src/stats/error.hpp"
+
+namespace anonpath {
+namespace {
+
+sim::campaign_grid small_grid() {
+  sim::campaign_grid grid;
+  grid.node_counts = {16, 24};
+  grid.compromised_counts = {1, 2};
+  grid.lengths = {path_length_distribution::fixed(3)};
+  grid.drop_probabilities = {0.0, 0.15};
+  grid.retries = {sim::retry_policy{}, sim::retry_policy{2, 0.2, 2.0, 5.0}};
+  grid.message_count = 120;
+  return grid;  // 16 cells
+}
+
+std::string render(const sim::campaign_result& result) {
+  std::ostringstream os;
+  sim::write_csv(result, os);
+  return os.str();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// A scratch file path unique to the current test.
+std::string scratch_path(const std::string& tag) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "anonpath_" + info->name() + "_" + tag +
+         ".ckpt";
+}
+
+/// Renders a merged result as the unsharded journal a single-process run
+/// would have written (what the CLI's `merge --checkpoint` emits).
+std::string render_journal(const sim::campaign_grid& grid,
+                           const sim::campaign_config& config,
+                           const sim::campaign_result& result) {
+  std::ostringstream os;
+  sim::write_checkpoint_header(os, sim::campaign_scope(grid, config));
+  for (std::uint64_t i = 0; i < result.cells.size(); ++i)
+    sim::append_checkpoint_cell(os, i, result.cells[i]);
+  return os.str();
+}
+
+parse_error_kind merge_failure_kind(const sim::campaign_grid& grid,
+                                    const sim::campaign_config& config,
+                                    const std::vector<std::string>& paths) {
+  try {
+    (void)sim::merge_campaign(grid, config, paths);
+  } catch (const parse_error& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "merge_campaign unexpectedly succeeded";
+  return parse_error_kind::io;
+}
+
+TEST(ShardCellCount, PartitionsTheGridExactly) {
+  for (std::uint64_t total : {0ull, 1ull, 15ull, 16ull, 17ull}) {
+    for (std::uint32_t n : {1u, 2u, 3u, 8u, 32u}) {
+      std::uint64_t sum = 0;
+      for (std::uint32_t i = 0; i < n; ++i)
+        sum += sim::shard_cell_count(total, i, n);
+      EXPECT_EQ(sum, total) << total << " cells over " << n << " shards";
+    }
+  }
+  EXPECT_EQ(sim::shard_cell_count(16, 0, 3), 6u);
+  EXPECT_EQ(sim::shard_cell_count(16, 1, 3), 5u);
+  EXPECT_EQ(sim::shard_cell_count(16, 2, 3), 5u);
+  EXPECT_EQ(sim::shard_cell_count(3, 7, 8), 0u);
+}
+
+TEST(ShardMerge, EveryPartitionMergesBitIdentically) {
+  const sim::campaign_grid grid = small_grid();
+  sim::campaign_config config;
+  config.replicas = 2;
+  config.master_seed = 77;
+  config.threads = 1;
+  config.checkpoint_path = scratch_path("unsharded");
+
+  const auto clean = sim::run_campaign(grid, config);
+  const std::string clean_csv = render(clean);
+  const std::string clean_journal = slurp(config.checkpoint_path);
+  ASSERT_EQ(clean.cells.size(), 16u);
+
+  for (std::uint32_t n : {1u, 2u, 3u, 8u}) {
+    for (unsigned threads : {1u, 8u}) {
+      std::vector<std::string> paths;
+      std::uint64_t shard_cells = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        sim::campaign_config shard = config;
+        shard.threads = threads;
+        shard.shard_index = i;
+        shard.shard_count = n;
+        shard.checkpoint_path = scratch_path(
+            std::to_string(n) + "t" + std::to_string(threads) + "s" +
+            std::to_string(i));
+        paths.push_back(shard.checkpoint_path);
+        const auto part = sim::run_campaign(grid, shard);
+        EXPECT_EQ(part.cells.size(), sim::shard_cell_count(16, i, n));
+        shard_cells += part.cells.size();
+        // A shard's own cells must BE the unsharded run's cells: same
+        // summaries bit for bit, fetched by absolute index.
+        for (std::uint64_t l = 0; l < part.cells.size(); ++l) {
+          const auto& ours = part.cells[l];
+          const auto& theirs = clean.cells[i + l * n];
+          EXPECT_EQ(ours.submitted, theirs.submitted);
+          EXPECT_EQ(ours.delivered_fraction.mean(),
+                    theirs.delivered_fraction.mean());
+          EXPECT_EQ(ours.entropy_bits.m2(), theirs.entropy_bits.m2());
+        }
+      }
+      EXPECT_EQ(shard_cells, 16u);
+
+      const auto merged = sim::merge_campaign(grid, config, paths);
+      EXPECT_EQ(render(merged), clean_csv)
+          << n << " shards, " << threads << " thread(s)";
+      EXPECT_EQ(render_journal(grid, config, merged), clean_journal)
+          << n << " shards, " << threads << " thread(s)";
+      EXPECT_EQ(merged.runs, clean.runs);
+      EXPECT_EQ(merged.requested_cells, clean.requested_cells);
+      for (const std::string& p : paths) std::remove(p.c_str());
+    }
+  }
+  std::remove(config.checkpoint_path.c_str());
+}
+
+TEST(ShardMerge, ShardOrderAndInputOrderDoNotMatter) {
+  const sim::campaign_grid grid = small_grid();
+  sim::campaign_config config;
+  config.replicas = 2;
+  config.master_seed = 9;
+
+  std::vector<std::string> paths;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    sim::campaign_config shard = config;
+    shard.shard_index = i;
+    shard.shard_count = 3;
+    shard.checkpoint_path = scratch_path("s" + std::to_string(i));
+    paths.push_back(shard.checkpoint_path);
+    (void)sim::run_campaign(grid, shard);
+  }
+  const std::string forward =
+      render(sim::merge_campaign(grid, config, paths));
+  const std::vector<std::string> reversed{paths[2], paths[0], paths[1]};
+  EXPECT_EQ(render(sim::merge_campaign(grid, config, reversed)), forward);
+  for (const std::string& p : paths) std::remove(p.c_str());
+}
+
+TEST(ShardMerge, ShardResumeIsBitIdenticalAtAnyKillPoint) {
+  const sim::campaign_grid grid = small_grid();
+  sim::campaign_config config;
+  config.replicas = 2;
+  config.master_seed = 31;
+  config.shard_index = 1;
+  config.shard_count = 3;  // owns absolute cells 1,4,7,10,13 (5 cells)
+  config.checkpoint_path = scratch_path("whole");
+
+  const auto whole = sim::run_campaign(grid, config);
+  ASSERT_EQ(whole.cells.size(), 5u);
+  const std::string whole_csv = render(whole);
+  const std::string journal = slurp(config.checkpoint_path);
+
+  // Kill after the shard header line, after 2 records, and mid-append of
+  // the final record; every resume (1 and 8 threads) re-renders the bytes.
+  std::size_t after_header = 0;
+  for (int lines = 0; lines < 3; ++lines)
+    after_header = journal.find('\n', after_header) + 1;
+  std::size_t after_two = after_header;
+  for (int lines = 0; lines < 2; ++lines)
+    after_two = journal.find('\n', after_two) + 1;
+  int tag = 0;
+  for (std::size_t kill :
+       {after_header, after_two, journal.size() - 5, journal.size()}) {
+    for (unsigned threads : {1u, 8u}) {
+      sim::campaign_config resume = config;
+      resume.resume = true;
+      resume.threads = threads;
+      resume.checkpoint_path = scratch_path("k" + std::to_string(tag++));
+      {
+        std::ofstream out(resume.checkpoint_path, std::ios::binary);
+        out << journal.substr(0, kill);
+      }
+      EXPECT_EQ(render(sim::run_campaign(grid, resume)), whole_csv)
+          << "kill at byte " << kill << ", " << threads << " thread(s)";
+      EXPECT_EQ(slurp(resume.checkpoint_path), journal);
+      std::remove(resume.checkpoint_path.c_str());
+    }
+  }
+  std::remove(config.checkpoint_path.c_str());
+}
+
+TEST(ShardMerge, RejectsOverlapMissingForeignAndTruncatedShards) {
+  const sim::campaign_grid grid = small_grid();
+  sim::campaign_config config;
+  config.replicas = 2;
+  config.master_seed = 4;
+
+  std::vector<std::string> paths;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    sim::campaign_config shard = config;
+    shard.shard_index = i;
+    shard.shard_count = 3;
+    shard.checkpoint_path = scratch_path("s" + std::to_string(i));
+    paths.push_back(shard.checkpoint_path);
+    (void)sim::run_campaign(grid, shard);
+  }
+
+  // Missing shard 2.
+  EXPECT_EQ(merge_failure_kind(grid, config, {paths[0], paths[1]}),
+            parse_error_kind::mismatch);
+  // The same shard twice (overlap).
+  EXPECT_EQ(merge_failure_kind(grid, config, {paths[0], paths[1], paths[1]}),
+            parse_error_kind::mismatch);
+  // Foreign campaign: same shards, different master seed -> scope mismatch.
+  sim::campaign_config foreign = config;
+  foreign.master_seed = 5;
+  EXPECT_EQ(merge_failure_kind(grid, foreign, paths),
+            parse_error_kind::mismatch);
+  // Shard-count disagreement: a 2-way shard 0 mixed into the 3-way set.
+  sim::campaign_config half = config;
+  half.shard_index = 0;
+  half.shard_count = 2;
+  half.checkpoint_path = scratch_path("half");
+  (void)sim::run_campaign(grid, half);
+  EXPECT_EQ(merge_failure_kind(grid, config,
+                               {paths[0], half.checkpoint_path, paths[2]}),
+            parse_error_kind::mismatch);
+  // Truncated shard: keep the header + one record of shard 2.
+  const std::string journal = slurp(paths[2]);
+  std::size_t keep = 0;
+  for (int lines = 0; lines < 4; ++lines) keep = journal.find('\n', keep) + 1;
+  const std::string cut_path = scratch_path("cut");
+  {
+    std::ofstream out(cut_path, std::ios::binary);
+    out << journal.substr(0, keep);
+  }
+  EXPECT_EQ(merge_failure_kind(grid, config, {paths[0], paths[1], cut_path}),
+            parse_error_kind::truncated);
+  // A header-only (pre-flush kill) shard is truncated, not silently empty.
+  const std::string empty_path = scratch_path("empty");
+  {
+    std::ofstream out(empty_path, std::ios::binary);
+  }
+  EXPECT_EQ(merge_failure_kind(grid, config,
+                               {paths[0], paths[1], empty_path}),
+            parse_error_kind::truncated);
+  // An unopenable path is an io error, naming the file.
+  const std::string absent = scratch_path("absent");
+  std::remove(absent.c_str());
+  try {
+    (void)sim::merge_campaign(grid, config, {paths[0], paths[1], absent});
+    ADD_FAILURE() << "merge of an absent shard succeeded";
+  } catch (const parse_error& e) {
+    EXPECT_EQ(e.kind(), parse_error_kind::io);
+    EXPECT_NE(std::string(e.what()).find(absent), std::string::npos);
+  }
+  for (const std::string& p : paths) std::remove(p.c_str());
+  std::remove(half.checkpoint_path.c_str());
+  std::remove(cut_path.c_str());
+  std::remove(empty_path.c_str());
+}
+
+TEST(ShardMerge, UnshardedResumeRefusesAShardJournal) {
+  const sim::campaign_grid grid = small_grid();
+  sim::campaign_config config;
+  config.replicas = 2;
+  config.shard_index = 0;
+  config.shard_count = 2;
+  config.checkpoint_path = scratch_path("shard");
+  (void)sim::run_campaign(grid, config);
+
+  sim::campaign_config unsharded = config;
+  unsharded.shard_index = 0;
+  unsharded.shard_count = 1;
+  unsharded.resume = true;
+  try {
+    (void)sim::run_campaign(grid, unsharded);
+    ADD_FAILURE() << "unsharded resume adopted a shard journal";
+  } catch (const parse_error& e) {
+    EXPECT_EQ(e.kind(), parse_error_kind::mismatch);
+  }
+  // And the wrong shard identity is refused too.
+  sim::campaign_config wrong = config;
+  wrong.shard_index = 1;
+  wrong.resume = true;
+  try {
+    (void)sim::run_campaign(grid, wrong);
+    ADD_FAILURE() << "shard 1 resume adopted shard 0's journal";
+  } catch (const parse_error& e) {
+    EXPECT_EQ(e.kind(), parse_error_kind::mismatch);
+  }
+  std::remove(config.checkpoint_path.c_str());
+}
+
+TEST(ShardMerge, JournalWriteFailureThrowsIoInsteadOfDroppingCells) {
+  const sim::campaign_grid grid = small_grid();
+  sim::campaign_config config;
+  config.replicas = 1;
+
+  // Unopenable journal path (a directory that does not exist).
+  config.checkpoint_path =
+      ::testing::TempDir() + "anonpath_no_such_dir/journal.ckpt";
+  try {
+    (void)sim::run_campaign(grid, config);
+    ADD_FAILURE() << "campaign succeeded with an unopenable journal";
+  } catch (const parse_error& e) {
+    EXPECT_EQ(e.kind(), parse_error_kind::io);
+  }
+
+  // A device that accepts the open but fails every flush (ENOSPC). The
+  // header flush is checked, so the failure surfaces before any cell runs.
+  std::ofstream probe("/dev/full");
+  if (probe) {
+    probe << 'x';
+    probe.flush();
+    if (probe.fail()) {  // only meaningful where /dev/full behaves
+      config.checkpoint_path = "/dev/full";
+      try {
+        (void)sim::run_campaign(grid, config);
+        ADD_FAILURE() << "campaign succeeded journaling to /dev/full";
+      } catch (const parse_error& e) {
+        EXPECT_EQ(e.kind(), parse_error_kind::io);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anonpath

@@ -48,6 +48,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -74,8 +75,10 @@
 #include "src/net/topology_mc.hpp"
 #include "src/repro/figures.hpp"
 #include "src/sim/campaign.hpp"
+#include "src/sim/checkpoint.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/sim/trace.hpp"
+#include "src/stats/error.hpp"
 #include "src/workload/cooccurrence.hpp"
 #include "src/workload/population.hpp"
 
@@ -88,8 +91,8 @@ using namespace anonpath;
   std::fprintf(
       stderr,
       "usage: anonpath "
-      "<degree|estimate|optimize|simulate|campaign|capture|replay|attack"
-      "|plan|figures> [options]\n"
+      "<degree|estimate|optimize|simulate|campaign|merge|capture|replay"
+      "|attack|plan|figures> [options]\n"
       "  common:   --n <nodes>      (default 100)\n"
       "            --c <compromised> (default 1)\n"
       "            --dist F:l | U:a,b | G:pf,min,max | P:lambda,max\n"
@@ -119,6 +122,14 @@ using namespace anonpath;
       "            [--seed s] [--threads t (0=all cores)] [--via-trace]\n"
       "            [--receiver-law uniform|zipf:<s>]\n"
       "            [--checkpoint file [--resume]]  crash-resumable journal\n"
+      "            [--shard i/n]  run only cells with index = i mod n\n"
+      "            (requires --checkpoint; combine shards with 'merge')\n"
+      "  merge:    combine completed shard journals into the unsharded\n"
+      "            result: the campaign's grid/config flags (they rebuild\n"
+      "            the scope fingerprint) + --input file (repeatable, one\n"
+      "            per shard) [--checkpoint file  also write the merged\n"
+      "            journal]; CSV to stdout, bit-identical to an unsharded\n"
+      "            run\n"
       "  attack:   longitudinal disclosure on a population workload (no\n"
       "            rerouting sim): --attack intersection|sda|bayes plus\n"
       "            [--users U] [--population P (default U)] [--rounds R]\n"
@@ -205,6 +216,10 @@ struct options {
   std::vector<net::outage> crash_list;
   std::string checkpoint_path;   ///< campaign: journal file ("" = off)
   bool resume = false;           ///< campaign: adopt the journal's prefix
+  std::uint32_t shard_index = 0; ///< campaign: this process's shard
+  std::uint32_t shard_count = 1; ///< campaign: total shards (--shard i/n)
+  bool shard_set = false;
+  std::vector<std::string> input_paths;  ///< merge: shard journals
   std::uint32_t replicas = 8;
   bool replicas_set = false;
   double threshold = 0.99;
@@ -391,6 +406,18 @@ std::uint64_t parse_u64_or_die(const std::string& tok, const char* what) {
   return static_cast<std::uint64_t>(v);
 }
 
+/// "--shard i/n": i in [0, n), n >= 1. Everything else exits loudly.
+void parse_shard(const std::string& spec, options& opt) {
+  const auto slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size())
+    usage("bad --shard (want i/n, e.g. --shard 0/4)");
+  opt.shard_index = parse_u32_or_die(spec.substr(0, slash), "--shard index");
+  opt.shard_count = parse_u32_or_die(spec.substr(slash + 1), "--shard count");
+  if (opt.shard_count == 0 || opt.shard_index >= opt.shard_count)
+    usage("--shard index must be in [0, count) with count >= 1");
+  opt.shard_set = true;
+}
+
 net::routing_config parse_routing(const std::string& spec) {
   net::routing_config cfg;
   if (spec == "walk") return cfg;
@@ -566,6 +593,8 @@ options parse(int argc, char** argv) {
     }
     else if (flag == "--checkpoint") opt.checkpoint_path = next();
     else if (flag == "--resume") opt.resume = true;
+    else if (flag == "--shard") parse_shard(next(), opt);
+    else if (flag == "--input") opt.input_paths.emplace_back(next());
     else if (flag == "--population")
       opt.population_list = parse_u32_list(next());
     else if (flag == "--rounds") opt.rounds_list = parse_u32_list(next());
@@ -730,7 +759,15 @@ void reject_fault_flags(const options& opt, const char* command) {
               .c_str());
   if (!opt.checkpoint_path.empty() || opt.resume)
     usage((std::string("--checkpoint/--resume do not apply to '") + command +
-           "'; only 'campaign' journals its progress")
+           "'; only 'campaign' and 'merge' touch journals")
+              .c_str());
+  if (opt.shard_set)
+    usage((std::string("--shard does not apply to '") + command +
+           "'; only 'campaign' splits its grid into shards")
+              .c_str());
+  if (!opt.input_paths.empty())
+    usage((std::string("--input does not apply to '") + command +
+           "'; it names the shard journals 'merge' combines")
               .c_str());
 }
 
@@ -860,9 +897,10 @@ sim::sim_config simulate_config(const options& opt) {
             "belongs to 'campaign')");
     cfg.mode = opt.mode_list.front();
   }
-  if (!opt.checkpoint_path.empty() || opt.resume)
-    usage("--checkpoint/--resume do not apply to simulate/capture; only "
-          "'campaign' journals its progress");
+  if (!opt.checkpoint_path.empty() || opt.resume || opt.shard_set ||
+      !opt.input_paths.empty())
+    usage("--checkpoint/--resume/--shard/--input do not apply to "
+          "simulate/capture; they drive 'campaign' and 'merge'");
   cfg.message_count = opt.messages;
   cfg.seed = opt.seed;
   if (!(opt.drop >= 0.0 && opt.drop < 1.0))
@@ -1001,7 +1039,13 @@ int cmd_capture(const options& opt) {
     std::ofstream out(opt.out_path, std::ios::binary);
     if (!out.good()) usage("cannot open --out file for writing");
     sim::write_trace(trace, out);
-    if (!out.good()) usage("failed writing --out file");
+    // Flush before checking: an ENOSPC trace often fails only when the
+    // buffer drains, which the destructor would have swallowed.
+    out.flush();
+    if (!out.good())
+      throw parse_error(parse_error_kind::io, "trace",
+                        "write to '" + opt.out_path +
+                            "' failed (disk full or I/O error)");
   }
   std::fprintf(stderr, "# captured %zu adversary events, %zu messages\n",
                trace.events.size(), trace.truths.size());
@@ -1026,19 +1070,26 @@ int cmd_replay(const options& opt) {
   return 0;
 }
 
-int cmd_campaign(const options& opt) {
+/// Builds and validates the scenario grid shared by 'campaign' (which runs
+/// it, whole or as one shard) and 'merge' (which must reconstruct the
+/// IDENTICAL grid — same flags, same validation — to recompute the scope
+/// fingerprint the shard journals are checked against).
+sim::campaign_grid build_campaign_grid(const options& opt,
+                                       const char* command) {
   if (opt.sender_law_set)
     usage("--sender-law only applies to the 'attack' command (simulator "
           "senders are the N nodes, drawn uniformly)");
   if (opt.receiver_law_set && opt.population_list.empty() &&
       opt.rounds_list.empty())
-    usage("--receiver-law on 'campaign' needs session axes "
-          "(--population/--rounds); it is the session destination law");
+    usage((std::string("--receiver-law on '") + command +
+           "' needs session axes (--population/--rounds); it is the "
+           "session destination law")
+              .c_str());
   if (opt.workload_flag_set)
     usage("--users/--pairs/--round-size/--send-rate/--every configure the "
           "'attack' workload; campaign sessions batch --messages into "
           "--rounds");
-  reject_plan_flags(opt, "campaign");
+  reject_plan_flags(opt, command);
   // Session axes must be swept together: a --population axis with no
   // --rounds axis (or vice versa) would make every session cell incoherent
   // and silently filter the sweep the user asked for down to its
@@ -1105,16 +1156,45 @@ int cmd_campaign(const options& opt) {
           "topologies or --routing kpaths, --routing kpaths with crowds "
           "mode, and --population/--rounds/--attack coherence: both "
           "axes on or both off, rounds <= messages, onion mode)");
+  return grid;
+}
 
+/// Execution config shared by 'campaign' and 'merge'; every field below is
+/// part of the scope fingerprint or the seed derivation, so the two
+/// commands MUST build it identically.
+sim::campaign_config build_campaign_config(const options& opt) {
   sim::campaign_config cfg;
   cfg.replicas = opt.replicas;
   cfg.master_seed = opt.seed;
   cfg.threads = opt.threads;
   cfg.via_trace = opt.via_trace;
-  if (opt.resume && opt.checkpoint_path.empty())
-    usage("--resume requires --checkpoint <file>");
   cfg.checkpoint_path = opt.checkpoint_path;
   cfg.resume = opt.resume;
+  return cfg;
+}
+
+int cmd_campaign(const options& opt) {
+  if (!opt.input_paths.empty())
+    usage("--input belongs to 'merge'; 'campaign' writes one journal via "
+          "--checkpoint");
+  const sim::campaign_grid grid = build_campaign_grid(opt, "campaign");
+  sim::campaign_config cfg = build_campaign_config(opt);
+  if (opt.resume && opt.checkpoint_path.empty())
+    usage("--resume requires --checkpoint <file>");
+  if (opt.shard_set) {
+    // The journal is a shard's only durable output (its CSV covers just
+    // its own cells); running one without a checkpoint would leave
+    // nothing for 'merge' to combine.
+    if (opt.checkpoint_path.empty())
+      usage("--shard requires --checkpoint <file> (the shard journal is "
+            "what 'merge' combines)");
+    cfg.shard_index = opt.shard_index;
+    cfg.shard_count = opt.shard_count;
+    const std::uint64_t cells = sim::expand_grid(grid).size();
+    if (opt.shard_count > cells)
+      usage("--shard count exceeds the grid's feasible cell count (some "
+            "shards would own zero cells)");
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto result = sim::run_campaign(grid, cfg);
@@ -1126,6 +1206,10 @@ int cmd_campaign(const options& opt) {
   // Pure CSV on stdout (diffable across runs and thread counts); the run
   // synopsis goes to stderr.
   sim::write_csv(result, std::cout);
+  if (cfg.shard_count > 1)
+    std::fprintf(stderr, "# shard %u/%u: %llu of the grid's cells\n",
+                 cfg.shard_index, cfg.shard_count,
+                 static_cast<unsigned long long>(result.cells.size()));
   std::fprintf(stderr,
                "# campaign: %llu cells (%llu infeasible skipped) x %u "
                "replicas = %llu runs, %llu msgs, %.3f s\n",
@@ -1142,6 +1226,52 @@ int cmd_campaign(const options& opt) {
     std::fprintf(stderr,
                  "# warning: %llu cell(s) failed; see the CSV error column\n",
                  static_cast<unsigned long long>(errored));
+  return 0;
+}
+
+int cmd_merge(const options& opt) {
+  if (opt.input_paths.empty())
+    usage("merge requires at least one --input <shard checkpoint>");
+  if (opt.shard_set)
+    usage("--shard does not apply to 'merge' (the journals declare their "
+          "own shard identities)");
+  if (opt.resume) usage("--resume does not apply to 'merge'");
+  if (opt.via_trace)
+    usage("--via-trace does not apply to 'merge' (nothing is re-run; it "
+          "only affects the scope fingerprint of the original campaign)");
+  // The grid/config flags must repeat the sharded runs' flags exactly:
+  // the scope fingerprint recomputed here is what authenticates the
+  // shard journals as belonging to this campaign.
+  const sim::campaign_grid grid = build_campaign_grid(opt, "merge");
+  const sim::campaign_config cfg = build_campaign_config(opt);
+  const auto result = sim::merge_campaign(grid, cfg, opt.input_paths);
+
+  // With --checkpoint, also emit the merged result as an UNSHARDED
+  // journal — byte-identical to the one a single-process run would have
+  // left behind, and resumable/auditable as such.
+  if (!opt.checkpoint_path.empty()) {
+    std::ofstream out(opt.checkpoint_path, std::ios::out | std::ios::trunc);
+    if (!out)
+      throw parse_error(parse_error_kind::io, "checkpoint",
+                        "cannot open '" + opt.checkpoint_path +
+                            "' for writing");
+    sim::write_checkpoint_header(out, sim::campaign_scope(grid, cfg));
+    for (std::uint64_t i = 0; i < result.cells.size(); ++i)
+      sim::append_checkpoint_cell(out, i, result.cells[i]);
+    out.flush();
+    if (!out)
+      throw parse_error(parse_error_kind::io, "checkpoint",
+                        "write to '" + opt.checkpoint_path +
+                            "' failed (disk full or I/O error)");
+  }
+
+  sim::write_csv(result, std::cout);
+  std::fprintf(stderr,
+               "# merge: %llu cells (%llu infeasible skipped) from %zu "
+               "shard journal(s)\n",
+               static_cast<unsigned long long>(result.cells.size()),
+               static_cast<unsigned long long>(result.skipped_cells),
+               opt.input_paths.size());
   return 0;
 }
 
@@ -1392,24 +1522,51 @@ int cmd_figures(const options& opt) {
   return 0;
 }
 
+int run_command(const options& opt) {
+  if (opt.command == "degree") return cmd_degree(opt);
+  if (opt.command == "estimate") return cmd_estimate(opt);
+  if (opt.command == "optimize") return cmd_optimize(opt);
+  if (opt.command == "simulate") return cmd_simulate(opt);
+  if (opt.command == "campaign") return cmd_campaign(opt);
+  if (opt.command == "merge") return cmd_merge(opt);
+  if (opt.command == "capture") return cmd_capture(opt);
+  if (opt.command == "replay") return cmd_replay(opt);
+  if (opt.command == "attack") return cmd_attack(opt);
+  if (opt.command == "plan") return cmd_plan(opt);
+  if (opt.command == "figures") return cmd_figures(opt);
+  usage("unknown command");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifdef SIGPIPE
+  // A reader that closes the pipe must surface as a checked write failure
+  // (EPIPE -> bad stream state below), not kill the process mid-output
+  // with no diagnostic and no exit code of ours.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   const options opt = parse(argc, argv);
+  int rc;
   try {
-    if (opt.command == "degree") return cmd_degree(opt);
-    if (opt.command == "estimate") return cmd_estimate(opt);
-    if (opt.command == "optimize") return cmd_optimize(opt);
-    if (opt.command == "simulate") return cmd_simulate(opt);
-    if (opt.command == "campaign") return cmd_campaign(opt);
-    if (opt.command == "capture") return cmd_capture(opt);
-    if (opt.command == "replay") return cmd_replay(opt);
-    if (opt.command == "attack") return cmd_attack(opt);
-    if (opt.command == "plan") return cmd_plan(opt);
-    if (opt.command == "figures") return cmd_figures(opt);
-    usage("unknown command");
+    rc = run_command(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  // Every command streams its primary output (CSV, traces, figures)
+  // through std::cout or C stdout. Both are buffered: a full disk or a
+  // closed pipe often only shows up at the final flush, after the command
+  // already "succeeded". Verify delivery before claiming success — a
+  // truncated CSV that exits 0 is a silently dropped result.
+  std::cout.flush();
+  const bool cout_ok = std::cout.good();
+  const bool stdout_ok = std::fflush(stdout) == 0 && std::ferror(stdout) == 0;
+  if (rc == 0 && !(cout_ok && stdout_ok)) {
+    std::fprintf(stderr,
+                 "error: writing output to stdout failed "
+                 "(disk full or closed pipe?)\n");
+    return 1;
+  }
+  return rc;
 }
