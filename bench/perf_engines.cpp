@@ -19,7 +19,9 @@
 #include "src/anonymity/optimizer.hpp"
 #include "src/anonymity/path_sampler.hpp"
 #include "src/anonymity/posterior.hpp"
+#include "src/attack/sda.hpp"
 #include "src/attack/sequential_bayes.hpp"
+#include "src/attack/sketch_sda.hpp"
 #include "src/crypto/onion.hpp"
 #include "src/sim/campaign.hpp"
 #include "src/sim/event_queue.hpp"
@@ -206,6 +208,60 @@ void BM_SequentialBayesRounds(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * round_count * m));
 }
 BENCHMARK(BM_SequentialBayesRounds)->Arg(16)->Arg(128);
+
+/// Shared round stream for the streaming-ingest benches: 512 pre-generated
+/// rounds, `m` deliveries each, 3:1 target vs pure-background mix, the true
+/// partner in every target round. Crisp membership (the mix rounds are the
+/// evidence) — this is the per-round cost an online session pays.
+std::vector<attack::round_observation> streaming_rounds(
+    std::uint32_t receivers, std::size_t m) {
+  constexpr std::size_t round_count = 512;
+  std::vector<attack::round_observation> rounds(round_count);
+  stats::rng gen(11);
+  for (std::size_t i = 0; i < round_count; ++i) {
+    attack::round_observation& round = rounds[i];
+    round.target_present = i % 4 != 3;
+    round.receivers.reserve(m);
+    for (std::size_t j = 0; j < m; ++j)
+      round.receivers.push_back(
+          static_cast<node_id>(gen.next_u64() % receivers));
+    if (round.target_present) round.receivers[0] = 17;
+  }
+  return rounds;
+}
+
+void BM_StreamingSdaIngestExact(benchmark::State& state) {
+  // The exact online-inference hot loop: dense per-receiver counters, an
+  // O(deliveries) update per round. Arg is deliveries per round.
+  const std::uint32_t receivers = 10000;
+  const auto rounds =
+      streaming_rounds(receivers, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    attack::sda_attack atk(receivers);
+    for (const auto& round : rounds) atk.observe_round(round);
+    benchmark::DoNotOptimize(atk.posterior());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * rounds.size() * state.range(0)));
+}
+BENCHMARK(BM_StreamingSdaIngestExact)->Arg(16)->Arg(128);
+
+void BM_StreamingSdaIngestSketch(benchmark::State& state) {
+  // The sketch-backed counterpart: count-min updates plus the weighted
+  // bottom-k reservoir, memory independent of the receiver population.
+  // Same stream as the exact bench so the two rows read as one trade-off.
+  const std::uint32_t receivers = 10000;
+  const auto rounds =
+      streaming_rounds(receivers, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    attack::sketch_sda_attack atk(receivers);
+    for (const auto& round : rounds) atk.observe_round(round);
+    benchmark::DoNotOptimize(atk.posterior());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * rounds.size() * state.range(0)));
+}
+BENCHMARK(BM_StreamingSdaIngestSketch)->Arg(16)->Arg(128);
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   for (auto _ : state) {

@@ -64,6 +64,32 @@
 /// the paper's per-message analysis and long-term disclosure). All report
 /// entropy / identified trajectories per round.
 ///
+/// Disclosure inference is *online*: attack::online_attack
+/// (src/attack/online.hpp) ingests rounds as they arrive and exposes the
+/// posterior, a stride-sampled trajectory, and the identified round at any
+/// stream position — the offline post-processors (run_workload_attack, the
+/// simulator's session scoring) are implemented on it, so online equals
+/// offline bit for bit by construction. Its state backend is selectable:
+/// `exact` keeps the dense engines above; `sketch`
+/// (attack::sketch_sda_attack, for the counting attack) replaces the dense
+/// per-receiver counters with count-min sketches plus a weighted bottom-k
+/// candidate reservoir (src/workload/sketch.hpp), making session memory
+/// independent of the receiver population (~300 KB at 1e6 receivers vs 16
+/// MB dense) while the posterior stays conformance-pinned to the exact
+/// engine — bit-identical when the sketches are collision-free, and
+/// count-min estimates never undercount with overestimates bounded by
+/// 2*total/width per key w.p. >= 1 - 2^-depth. The same split lives in the
+/// accumulation layer: workload::streaming_accumulator
+/// (src/workload/streaming.hpp) ingests rounds incrementally under either
+/// backend, treats empty/partial streams as first-class, and merges across
+/// disjoint round ranges bit-identically for every thread/shard split
+/// (accumulate_cooccurrence is now a thin wrapper over it).
+/// sda_attack::from_counts treats accumulated totals as untrusted input —
+/// merged, replayed, or deserialized counts are validated against the
+/// parse_error taxonomy (out-of-range receivers, non-ascending rows,
+/// target/global mismatches) before any unsigned subtraction or division
+/// can corrupt the posterior.
+///
 /// The discrete-event simulator lives in src/sim (include
 /// "src/sim/simulator.hpp"). Its threat model is pluggable
 /// (src/sim/adversary.hpp): full_coalition (the paper's Sec. 4 worst

@@ -5,6 +5,7 @@
 
 #include "src/anonymity/entropy.hpp"
 #include "src/attack/intersection.hpp"
+#include "src/attack/online.hpp"
 #include "src/attack/sda.hpp"
 #include "src/attack/sequential_bayes.hpp"
 #include "src/stats/contract.hpp"
@@ -101,13 +102,13 @@ attack_result run_workload_attack(const workload::population& pop,
                                   std::uint32_t stride) {
   ANONPATH_EXPECTS(pair_index < pop.pairs().size());
   ANONPATH_EXPECTS(attack.receiver_count() == pop.config().receiver_count);
-  ANONPATH_EXPECTS(stride >= 1);
-  ANONPATH_EXPECTS(identified_threshold > 0.0 && identified_threshold < 1.0);
   const node_id target = pop.pairs()[pair_index].sender;
   const std::uint32_t rounds = pop.config().round_count;
 
-  attack_result result;
-  result.rounds = rounds;
+  // The offline post-process IS the online session fed to the end of the
+  // stream — one trajectory/identification implementation, so the
+  // online == offline bit-identity holds by construction.
+  online_attack online(attack, identified_threshold, stride);
   round_observation obs;
   for (std::uint32_t r = 0; r < rounds; ++r) {
     const workload::round_batch batch = pop.round(r);
@@ -115,21 +116,9 @@ attack_result run_workload_attack(const workload::population& pop,
         std::find(batch.senders.begin(), batch.senders.end(), target) !=
         batch.senders.end();
     obs.receivers = batch.receivers;
-    attack.observe_round(obs);
-    if ((r + 1) % stride == 0 || r + 1 == rounds) {
-      trajectory_point pt =
-          summarize_posterior(attack.posterior(), r + 1, identified_threshold);
-      if (pt.identified && !result.identified_round)
-        result.identified_round = pt.round;
-      result.trajectory.push_back(pt);
-    }
+    online.ingest(obs);
   }
-  result.final_posterior = attack.posterior();
-  const trajectory_point last = result.trajectory.back();
-  result.top_receiver = last.top_receiver;
-  result.top_mass = last.top_mass;
-  result.entropy_bits = last.entropy_bits;
-  return result;
+  return online.result();
 }
 
 }  // namespace anonpath::attack

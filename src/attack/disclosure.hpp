@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -73,6 +74,13 @@ class disclosure_attack {
   [[nodiscard]] virtual std::vector<double> posterior() const = 0;
 
   [[nodiscard]] virtual attack_kind kind() const noexcept = 0;
+
+  /// Approximate resident engine state, for the memory accounting of
+  /// streaming runs: exact engines grow with the receiver population,
+  /// sketch-backed engines stay sublinear.
+  [[nodiscard]] virtual std::size_t memory_bytes() const noexcept {
+    return sizeof(*this);
+  }
 
   [[nodiscard]] std::uint32_t receiver_count() const noexcept {
     return receiver_count_;

@@ -42,6 +42,10 @@ class intersection_attack final : public disclosure_attack {
     return target_rounds_;
   }
 
+  [[nodiscard]] std::size_t memory_bytes() const noexcept override {
+    return sizeof(*this) + candidates_.capacity() * sizeof(node_id);
+  }
+
  private:
   std::vector<node_id> candidates_;  // ascending; empty before first round
   std::uint64_t target_rounds_ = 0;

@@ -1,8 +1,10 @@
 #include "src/attack/sda.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "src/stats/contract.hpp"
+#include "src/stats/error.hpp"
 #include "src/stats/kahan.hpp"
 
 namespace anonpath::attack {
@@ -61,8 +63,15 @@ std::vector<double> sda_attack::confidence() const {
                      (static_cast<double>(background_messages_) +
                       static_cast<double>(receiver_count_));
     const double expected = n * q;
-    const double sd = std::sqrt(n * q * (1.0 - q));
-    out[r] = (static_cast<double>(target_counts_[r]) - expected) / sd;
+    // The smoothed q can still round to exactly 1.0 when the background is
+    // fully concentrated on r at huge counts; the null then has zero
+    // variance and no z-score is defined. Degenerate evidence, not NaN: a
+    // receiver the null predicts with certainty carries no surprise.
+    const double variance = n * q * (1.0 - q);
+    out[r] = variance > 0.0
+                 ? (static_cast<double>(target_counts_[r]) - expected) /
+                       std::sqrt(variance)
+                 : 0.0;
   }
   return out;
 }
@@ -83,22 +92,82 @@ std::vector<double> sda_attack::posterior() const {
   return post;
 }
 
+namespace {
+
+[[noreturn]] void reject_counts(parse_error_kind kind,
+                                const std::string& detail) {
+  throw parse_error(kind, "cooccurrence", detail);
+}
+
+/// Rejects a sparse count row that is not strictly ascending by receiver or
+/// that names a receiver outside the declared population.
+void check_rows(const workload::receiver_counts& rows,
+                std::uint32_t receiver_count, const char* what) {
+  const workload::receiver_counts::value_type* prev = nullptr;
+  for (const auto& row : rows) {
+    if (row.first >= receiver_count)
+      reject_counts(parse_error_kind::out_of_range,
+                    std::string(what) + " receiver id " +
+                        std::to_string(row.first) +
+                        " >= receiver population " +
+                        std::to_string(receiver_count));
+    if (prev != nullptr && prev->first >= row.first)
+      reject_counts(parse_error_kind::malformed,
+                    std::string(what) +
+                        " receiver counts not strictly ascending at id " +
+                        std::to_string(row.first));
+    prev = &row;
+  }
+}
+
+}  // namespace
+
 sda_attack sda_attack::from_counts(const workload::cooccurrence_result& totals,
                                    std::uint32_t pair_index,
                                    std::uint32_t receiver_count) {
   ANONPATH_EXPECTS(pair_index < totals.per_pair.size());
   const workload::pair_counts& pc = totals.per_pair[pair_index];
+  // `totals` is untrusted — it may be merged, replayed, or deserialized from
+  // a corrupt shard — so every complement computed below is validated before
+  // the unsigned subtraction that would otherwise underflow, and the
+  // m-bar = target_messages / target_rounds divisor is pinned non-zero.
+  check_rows(totals.global_receiver_counts, receiver_count, "global");
+  check_rows(pc.target_receiver_counts, receiver_count, "target");
+  if (pc.target_rounds > totals.rounds)
+    reject_counts(parse_error_kind::mismatch,
+                  "target rounds " + std::to_string(pc.target_rounds) +
+                      " exceed total rounds " + std::to_string(totals.rounds));
+  if (pc.target_messages > totals.messages)
+    reject_counts(parse_error_kind::mismatch,
+                  "target messages " + std::to_string(pc.target_messages) +
+                      " exceed total messages " +
+                      std::to_string(totals.messages));
+  if (pc.target_messages > 0 && pc.target_rounds == 0)
+    reject_counts(parse_error_kind::mismatch,
+                  std::to_string(pc.target_messages) +
+                      " target messages with zero target rounds");
   sda_attack out(receiver_count);
-  for (const auto& [r, c] : pc.target_receiver_counts) {
-    ANONPATH_EXPECTS(r < receiver_count);
-    out.target_counts_[r] = c;
-  }
   // Background is the exact complement of the target rounds within the
-  // global accumulation.
+  // global accumulation: one linear pass over both ascending sparse rows,
+  // rejecting any target count its global row cannot cover.
+  auto t = pc.target_receiver_counts.begin();
+  const auto t_end = pc.target_receiver_counts.end();
   for (const auto& [r, c] : totals.global_receiver_counts) {
-    ANONPATH_EXPECTS(r < receiver_count);
-    out.background_counts_[r] = c - out.target_counts_[r];
+    if (t != t_end && t->first < r) break;  // reported after the loop
+    std::uint64_t tc = 0;
+    if (t != t_end && t->first == r) tc = (t++)->second;
+    if (tc > c)
+      reject_counts(parse_error_kind::mismatch,
+                    "target count " + std::to_string(tc) +
+                        " exceeds global count " + std::to_string(c) +
+                        " for receiver " + std::to_string(r));
+    out.target_counts_[r] = tc;
+    out.background_counts_[r] = c - tc;
   }
+  if (t != t_end)
+    reject_counts(parse_error_kind::mismatch,
+                  "target receiver " + std::to_string(t->first) +
+                      " absent from the global counts");
   out.target_rounds_ = pc.target_rounds;
   out.target_messages_ = pc.target_messages;
   out.background_rounds_ = totals.rounds - pc.target_rounds;

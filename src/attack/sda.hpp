@@ -46,11 +46,23 @@ class sda_attack final : public disclosure_attack {
     return target_rounds_;
   }
 
+  [[nodiscard]] std::size_t memory_bytes() const noexcept override {
+    return sizeof(*this) + (target_counts_.capacity() +
+                            background_counts_.capacity()) *
+                               sizeof(std::uint64_t);
+  }
+
   /// Seeds an attack from a sharded population accumulation — identical
   /// state to streaming the same rounds through observe_round (the
   /// accumulator's membership rule is the same), so population-scale counts
-  /// can be gathered in parallel and scored here. Preconditions:
-  /// pair_index < totals.per_pair.size(); receiver ids < receiver_count.
+  /// can be gathered in parallel and scored here. `totals` is treated as
+  /// untrusted (merged / replayed / deserialized counts): rows out of the
+  /// declared receiver population, non-ascending rows, target counts
+  /// exceeding their global complement, target rounds/messages exceeding
+  /// the totals, and target messages with zero target rounds all throw
+  /// parse_error (source "cooccurrence") instead of underflowing or
+  /// dividing by zero downstream. Precondition (trusted caller input):
+  /// pair_index < totals.per_pair.size().
   [[nodiscard]] static sda_attack from_counts(
       const workload::cooccurrence_result& totals, std::uint32_t pair_index,
       std::uint32_t receiver_count);

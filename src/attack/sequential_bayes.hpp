@@ -46,6 +46,17 @@ class sequential_bayes_attack final : public disclosure_attack {
     return target_rounds_;
   }
 
+  [[nodiscard]] std::size_t memory_bytes() const noexcept override {
+    return sizeof(*this) +
+           (config_.background_pmf.capacity() + log_posterior_.capacity() +
+            scratch_weight_.capacity()) *
+               sizeof(double) +
+           background_counts_.capacity() * sizeof(std::uint64_t) +
+           (touched_.capacity() + live_.capacity() + next_live_.capacity()) *
+               sizeof(std::uint32_t) +
+           touched_flag_.capacity();
+  }
+
  private:
   /// Background rate q̂(r), from the configured pmf or the online counts.
   [[nodiscard]] double background_rate(std::uint32_t r) const;

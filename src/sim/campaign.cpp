@@ -29,7 +29,8 @@ bool feasible(const campaign_grid& grid, std::uint32_t n, std::uint32_t c,
               const net::routing_config& routing,
               const net::churn_config& churn, const mix_failure_config& mf,
               const retry_policy& retry, std::uint32_t population,
-              std::uint32_t rounds, attack::attack_kind atk) {
+              std::uint32_t rounds, attack::attack_kind atk,
+              workload::stream_backend stream) {
   const system_params sys{n, c};
   // Session coordinates must be coherent: population and rounds are both
   // off or both on, attacks need rounds, enabled sessions need a population
@@ -40,7 +41,10 @@ bool feasible(const campaign_grid& grid, std::uint32_t n, std::uint32_t c,
       (atk == attack::attack_kind::none || rounds > 0) &&
       (rounds == 0 ||
        (population >= 2 && rounds <= grid.message_count &&
-        mode == routing_mode::source_routed));
+        mode == routing_mode::source_routed)) &&
+      // Sketch-backed state exists for the counting attack only.
+      (stream == workload::stream_backend::exact ||
+       atk == attack::attack_kind::sda);
   // Planned (kpaths) routing mirrors run_core's preconditions: whole-path
   // planning only exists for source routing, and its observations have no
   // gapped (timing-correlator) likelihood.
@@ -155,16 +159,19 @@ std::vector<scenario> expand_grid(const campaign_grid& grid) {
                         for (const retry_policy& retry : grid.retries)
                           for (std::uint32_t population : grid.populations)
                             for (std::uint32_t rounds : grid.session_rounds)
-                              for (attack::attack_kind atk : grid.attacks) {
-                                if (!feasible(grid, n, c, lengths, mode, adv,
-                                              topo, routing, churn, mf, retry,
-                                              population, rounds, atk))
-                                  continue;
-                                out.push_back(scenario{
-                                    n, c, lengths, mode, drop, rate, adv,
-                                    topo, routing, churn, mf, retry,
-                                    population, rounds, atk});
-                              }
+                              for (attack::attack_kind atk : grid.attacks)
+                                for (workload::stream_backend stream :
+                                     grid.streams) {
+                                  if (!feasible(grid, n, c, lengths, mode,
+                                                adv, topo, routing, churn,
+                                                mf, retry, population,
+                                                rounds, atk, stream))
+                                    continue;
+                                  out.push_back(scenario{
+                                      n, c, lengths, mode, drop, rate, adv,
+                                      topo, routing, churn, mf, retry,
+                                      population, rounds, atk, stream});
+                                }
   return out;
 }
 
@@ -193,6 +200,7 @@ sim_config scenario_config(const scenario& s, const campaign_grid& grid,
     cfg.session.receiver_count = s.population;
     cfg.session.receiver_law = grid.session_receiver_law;
     cfg.session.attack = s.attack;
+    cfg.session.stream = s.stream;
     cfg.session.partner = canonical_partner(s.population);
     // The effective flags, not the configured list: a partial_coverage
     // adversary supersedes cfg.compromised with a seeded draw, and the
@@ -337,8 +345,10 @@ void write_csv(const campaign_result& result, std::ostream& os) {
   // historical byte-identical rendering (pinned by the topology golden).
   // The fault and error columns follow the same rule.
   bool sessions = false, faults = false, routed = false, errored = false;
+  bool streamed = false;
   for (const campaign_cell& cell : result.cells) {
     if (cell.scene.population > 0) sessions = true;
+    if (cell.scene.stream != workload::stream_backend::exact) streamed = true;
     if (cell.scene.mix_failure.enabled() || cell.scene.retry.enabled())
       faults = true;
     if (cell.scene.routing.planned()) routed = true;
@@ -352,10 +362,13 @@ void write_csv(const campaign_result& result, std::ostream& os) {
   if (routed) os << ",routing";
   if (faults)
     os << ",mix_failures,retry,retransmit_rate,retransmit_stderr";
-  if (sessions)
-    os << ",population,rounds,attack,attack_entropy_bits,"
+  if (sessions) {
+    os << ",population,rounds,attack";
+    if (streamed) os << ",stream";
+    os << ",attack_entropy_bits,"
           "attack_entropy_stderr,attack_identified,attack_identified_stderr,"
           "rounds_to_identify,rounds_to_identify_stderr";
+  }
   if (errored) os << ",error";
   os << '\n';
   for (const campaign_cell& cell : result.cells) {
@@ -388,7 +401,9 @@ void write_csv(const campaign_result& result, std::ostream& os) {
     }
     if (sessions) {
       os << ',' << s.population << ',' << s.rounds << ','
-         << attack::attack_kind_label(s.attack) << ',';
+         << attack::attack_kind_label(s.attack);
+      if (streamed) os << ',' << workload::stream_backend_label(s.stream);
+      os << ',';
       put_summary(os, cell.attack_entropy_bits);
       os << ',';
       put_summary(os, cell.attack_identified);

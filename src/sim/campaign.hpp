@@ -57,6 +57,12 @@ struct campaign_grid {
   std::vector<std::uint32_t> populations{0};
   std::vector<std::uint32_t> session_rounds{0};
   std::vector<attack::attack_kind> attacks{attack::attack_kind::none};
+  /// Engine state backend for session attacks (src/workload/streaming.hpp):
+  /// exact counts or sublinear-memory sketches. Non-exact backends are
+  /// feasible only for sda cells; the default keeps every historical cell
+  /// and CSV byte identical.
+  std::vector<workload::stream_backend> streams{
+      workload::stream_backend::exact};
 
   // Shared (non-swept) per-run settings.
   std::uint32_t message_count = 1000;
@@ -80,7 +86,7 @@ struct campaign_grid {
            adversaries.size() * topologies.size() * routings.size() *
            churns.size() *
            mix_failures.size() * retries.size() * populations.size() *
-           session_rounds.size() * attacks.size();
+           session_rounds.size() * attacks.size() * streams.size();
   }
 };
 
@@ -148,6 +154,7 @@ struct scenario {
   std::uint32_t population = 0;     ///< session receiver population (0 = off)
   std::uint32_t rounds = 0;         ///< session mix rounds (0 = off)
   attack::attack_kind attack = attack::attack_kind::none;
+  workload::stream_backend stream = workload::stream_backend::exact;
 };
 
 /// Cross-replica aggregates of one cell. Each replica contributes one
@@ -185,7 +192,7 @@ struct campaign_cell {
 /// deterministic grid order (node_counts outermost, then compromised
 /// counts, lengths, modes, drop probabilities, arrival rates, adversaries,
 /// topologies, routings, churns, mix failures, retries, populations,
-/// session rounds, attacks innermost).
+/// session rounds, attacks, stream backends innermost).
 struct campaign_result {
   std::vector<campaign_cell> cells;
   std::uint64_t requested_cells = 0;   ///< full cartesian product size

@@ -238,6 +238,9 @@ std::uint64_t campaign_scope(const campaign_grid& grid,
   for (std::uint32_t r : grid.session_rounds) ss << ' ' << r;
   ss << " attack";
   for (attack::attack_kind a : grid.attacks) ss << ' ' << static_cast<int>(a);
+  ss << " stream";
+  for (workload::stream_backend s : grid.streams)
+    ss << ' ' << static_cast<int>(s);
   ss << " outages";
   for (const net::outage& o : grid.fault_outages) {
     ss << ' ' << o.node;

@@ -23,7 +23,13 @@ std::string session_config::label() const {
   char buf[96];
   std::snprintf(buf, sizeof buf, "rounds=%u;pop=%u;%s", rounds, receiver_count,
                 attack::attack_kind_label(attack));
-  return buf;
+  std::string out = buf;
+  // Additive: the exact (historical) backend keeps the historical label.
+  if (stream != workload::stream_backend::exact) {
+    out += ";stream=";
+    out += workload::stream_backend_label(stream);
+  }
+  return out;
 }
 
 std::vector<session_assignment> assign_session_destinations(

@@ -8,6 +8,7 @@
 #include "src/anonymity/types.hpp"
 #include "src/attack/disclosure.hpp"
 #include "src/workload/population.hpp"
+#include "src/workload/streaming.hpp"
 
 namespace anonpath::sim {
 
@@ -30,16 +31,24 @@ struct session_config {
   std::uint32_t partner = 0;         ///< their fixed destination pseudonym
   /// Longitudinal engine run by scoring; `none` records destinations only.
   attack::attack_kind attack = attack::attack_kind::none;
+  /// Engine state backend for the scoring attack. `sketch` (sublinear
+  /// memory, count-min + candidate reservoir) is available for the
+  /// counting attack (sda) only; `exact` (the default) is byte-identical
+  /// to pre-streaming behavior on every surface.
+  workload::stream_backend stream = workload::stream_backend::exact;
 
   [[nodiscard]] bool enabled() const noexcept { return rounds > 0; }
 
   [[nodiscard]] bool valid_for(std::uint32_t node_count,
                                std::uint32_t message_count) const noexcept {
     if (!enabled())
-      return receiver_count == 0 && attack == attack::attack_kind::none;
+      return receiver_count == 0 && attack == attack::attack_kind::none &&
+             stream == workload::stream_backend::exact;
     return receiver_count >= 2 && partner < receiver_count &&
            target_sender < node_count && rounds <= message_count &&
-           receiver_law.valid();
+           receiver_law.valid() &&
+           (stream == workload::stream_backend::exact ||
+            attack == attack::attack_kind::sda);
   }
 
   /// "off" or e.g. "rounds=50;pop=20;sda" — stable CSV/CLI label.

@@ -12,6 +12,7 @@
 #include "src/anonymity/path_sampler.hpp"
 #include "src/anonymity/posterior.hpp"
 #include "src/attack/noise.hpp"
+#include "src/attack/online.hpp"
 #include "src/crypto/onion.hpp"
 #include "src/net/approx_posterior.hpp"
 #include "src/net/topology_posterior.hpp"
@@ -536,28 +537,29 @@ sim_report score_run(const sim_config& config, const adversary_model& model,
     // attack::membership_noise_floor for the loss model.
     const bool lossy_observation =
         config.adversary.kind != adversary_kind::full_coalition;
-    attack::sequential_bayes_config bayes;
-    bayes.membership_noise = attack::membership_noise_floor(
+    attack::online_config ocfg;
+    ocfg.kind = config.session.attack;
+    ocfg.backend = config.session.stream;
+    ocfg.bayes.membership_noise = attack::membership_noise_floor(
         config.faults.drop_probability, config.retry.max_retries,
         lossy_observation);
-    const auto engine_ptr = attack::make_attack(
-        config.session.attack, config.session.receiver_count, bayes);
+    ocfg.identified_threshold = config.identified_threshold;
+    // The session score is the online session run to the end of the round
+    // stream (stride 1) — the same implementation the offline runners use,
+    // so inline scoring, replay, and any-round snapshots cannot drift.
+    attack::online_attack online(config.session.receiver_count, ocfg);
     session_report sr;
     sr.rounds = config.session.rounds;
     sr.target_messages = target_messages;
-    sr.trajectory.reserve(rounds.size());
     attack::round_observation obs;
     for (std::uint32_t r = 0; r < rounds.size(); ++r) {
       obs.target_present = rounds[r].target_present;
       obs.receivers = std::move(rounds[r].receivers);
       obs.target_weight = std::move(rounds[r].weights);
-      engine_ptr->observe_round(obs);
-      const attack::trajectory_point pt = attack::summarize_posterior(
-          engine_ptr->posterior(), r + 1, config.identified_threshold);
-      if (pt.identified && sr.identified_round == 0)
-        sr.identified_round = pt.round;
-      sr.trajectory.push_back(pt);
+      online.ingest(obs);
     }
+    sr.trajectory = online.trajectory();
+    sr.identified_round = online.identified_round().value_or(0);
     const attack::trajectory_point& last = sr.trajectory.back();
     sr.entropy_bits = last.entropy_bits;
     sr.top_mass = last.top_mass;

@@ -166,6 +166,11 @@ void write_trace(const sim_trace& trace, std::ostream& os) {
     os << ' ' << c.session.target_sender << ' ' << c.session.partner << ' '
        << attack::attack_kind_label(c.session.attack) << '\n';
   }
+  // Additive: the exact (historical) backend writes no line, so every
+  // pre-streaming trace stays byte-identical.
+  if (c.session.stream != workload::stream_backend::exact)
+    os << "stream " << workload::stream_backend_label(c.session.stream)
+       << '\n';
   if (c.topology.kind != net::topology_kind::complete) {
     os << "topology " << topology_kind_name(c.topology.kind) << ' '
        << c.topology.ring_k << ' ' << c.topology.degree << ' '
@@ -380,12 +385,13 @@ sim_trace read_trace(std::istream& is) {
   // a duplicate is just a rank that does not increase.
   const auto section_rank = [](const std::string& s) -> int {
     if (s == "session") return 0;
-    if (s == "topology") return 1;
-    if (s == "churn") return 2;
-    if (s == "outages") return 3;
-    if (s == "mixfail") return 4;
-    if (s == "retry") return 5;
-    if (s == "routing") return 6;
+    if (s == "stream") return 1;
+    if (s == "topology") return 2;
+    if (s == "churn") return 3;
+    if (s == "outages") return 4;
+    if (s == "mixfail") return 5;
+    if (s == "retry") return 6;
+    if (s == "routing") return 7;
     return -1;
   };
   int last_rank = -1;
@@ -423,6 +429,17 @@ sim_trace read_trace(std::istream& is) {
       if (c.mode != routing_mode::source_routed)
         bad(parse_error_kind::out_of_range,
             "session mode requires source_routed routing");
+    } else if (section == "stream") {
+      const std::string backend = next_token(is, "stream backend");
+      const auto parsed = workload::parse_stream_backend(backend);
+      // The never-written default ("exact") is rejected so write(read(t))
+      // stays byte-identical, same as the other extension sections.
+      if (!parsed || *parsed == workload::stream_backend::exact)
+        bad("unknown stream backend '" + backend + "'");
+      c.session.stream = *parsed;
+      if (!c.session.valid_for(c.sys.node_count, c.message_count))
+        bad(parse_error_kind::out_of_range,
+            "stream backend requires an sda session");
     } else if (section == "topology") {
       const std::string kind = next_token(is, "topology kind");
       if (kind == "ring") c.topology.kind = net::topology_kind::ring;

@@ -1,120 +1,18 @@
 #include "src/workload/cooccurrence.hpp"
 
-#include <algorithm>
-#include <map>
-
-#include "src/stats/contract.hpp"
-#include "src/stats/thread_pool.hpp"
+#include "src/workload/streaming.hpp"
 
 namespace anonpath::workload {
 
-namespace {
-
-/// Per-shard scratch: ordered sparse maps so the shard-order merge below is
-/// deterministic by construction (integer adds would commute anyway; the
-/// fixed merge order keeps the contract auditable rather than incidental).
-struct shard_counts {
-  std::uint64_t rounds = 0;
-  std::uint64_t messages = 0;
-  std::map<node_id, std::uint64_t> global;
-  struct pair_shard {
-    std::uint64_t target_rounds = 0;
-    std::uint64_t target_messages = 0;
-    std::map<node_id, std::uint64_t> receivers;
-  };
-  std::vector<pair_shard> per_pair;
-};
-
-void merge_into(receiver_counts& out,
-                const std::map<node_id, std::uint64_t>& shard) {
-  // Both sides ascend by receiver id: one linear merge pass.
-  receiver_counts merged;
-  merged.reserve(out.size() + shard.size());
-  auto a = out.begin();
-  auto b = shard.begin();
-  while (a != out.end() || b != shard.end()) {
-    if (b == shard.end() || (a != out.end() && a->first < b->first)) {
-      merged.push_back(*a++);
-    } else if (a == out.end() || b->first < a->first) {
-      merged.push_back(*b++);
-    } else {
-      merged.emplace_back(a->first, a->second + b->second);
-      ++a;
-      ++b;
-    }
-  }
-  out = std::move(merged);
-}
-
-}  // namespace
-
 cooccurrence_result accumulate_cooccurrence(const population& pop,
                                             const cooccurrence_config& cfg) {
-  const population_config& pc = pop.config();
-  const std::uint32_t shards =
-      cfg.shard_count != 0 ? std::min(cfg.shard_count, pc.round_count)
-                           : std::min<std::uint32_t>(pc.round_count, 256);
-  ANONPATH_EXPECTS(shards >= 1);
-
-  // Sorted persistent-sender list for the membership scan: a message's
-  // sender marks round-membership for the pair that owns that sender
-  // (senders are distinct across pairs by construction).
-  std::vector<std::pair<node_id, std::uint32_t>> pair_of_sender;
-  pair_of_sender.reserve(pop.pairs().size());
-  for (std::uint32_t p = 0; p < pop.pairs().size(); ++p)
-    pair_of_sender.emplace_back(pop.pairs()[p].sender, p);
-  std::sort(pair_of_sender.begin(), pair_of_sender.end());
-
-  std::vector<shard_counts> locals(shards);
-  stats::parallel_for(
-      cfg.threads, shards, [&](std::uint64_t shard, unsigned) {
-        shard_counts& local = locals[shard];
-        local.per_pair.resize(pop.pairs().size());
-        const std::uint32_t lo = static_cast<std::uint32_t>(
-            shard * pc.round_count / shards);
-        const std::uint32_t hi = static_cast<std::uint32_t>(
-            (shard + 1) * pc.round_count / shards);
-        std::vector<std::uint32_t> present;  // pairs present this round
-        for (std::uint32_t r = lo; r < hi; ++r) {
-          const round_batch b = pop.round(r);
-          ++local.rounds;
-          local.messages += b.senders.size();
-          for (node_id v : b.receivers) ++local.global[v];
-          present.clear();
-          for (node_id s : b.senders) {
-            const auto it = std::lower_bound(
-                pair_of_sender.begin(), pair_of_sender.end(),
-                std::make_pair(s, std::uint32_t{0}));
-            if (it != pair_of_sender.end() && it->first == s)
-              present.push_back(it->second);
-          }
-          std::sort(present.begin(), present.end());
-          present.erase(std::unique(present.begin(), present.end()),
-                        present.end());
-          for (std::uint32_t p : present) {
-            auto& ps = local.per_pair[p];
-            ++ps.target_rounds;
-            ps.target_messages += b.senders.size();
-            for (node_id v : b.receivers) ++ps.receivers[v];
-          }
-        }
-      });
-
-  // Fixed-order reduction on this thread: ascending shard index.
-  cooccurrence_result out;
-  out.per_pair.resize(pop.pairs().size());
-  for (const shard_counts& local : locals) {
-    out.rounds += local.rounds;
-    out.messages += local.messages;
-    merge_into(out.global_receiver_counts, local.global);
-    for (std::size_t p = 0; p < out.per_pair.size(); ++p) {
-      out.per_pair[p].target_rounds += local.per_pair[p].target_rounds;
-      out.per_pair[p].target_messages += local.per_pair[p].target_messages;
-      merge_into(out.per_pair[p].target_receiver_counts,
-                 local.per_pair[p].receivers);
-    }
-  }
-  return out;
+  // The offline accumulation is the exact-backend streaming accumulation of
+  // every round — one implementation, one determinism contract. Zero-round
+  // populations yield an empty (per_pair-sized) result, not an error: the
+  // streaming path needs empty and partial ranges to be first-class.
+  return accumulate_streaming(pop, 0, pop.config().round_count,
+                              streaming_config{}, cfg)
+      .totals();
 }
 
 }  // namespace anonpath::workload

@@ -55,8 +55,9 @@ struct cooccurrence_result {
 };
 
 /// Streams every round of `pop` through the sharded accumulator. See
-/// cooccurrence_config for the determinism contract.
-/// Preconditions: cfg.shard_count == 0 or >= 1.
+/// cooccurrence_config for the determinism contract. A zero-round
+/// population yields an empty (per_pair-sized) result. Implemented on the
+/// exact streaming_accumulator backend (src/workload/streaming.hpp).
 [[nodiscard]] cooccurrence_result accumulate_cooccurrence(
     const population& pop, const cooccurrence_config& cfg = {});
 

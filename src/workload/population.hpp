@@ -62,8 +62,11 @@ struct population_config {
   popularity_law sender_law{};          ///< background sender popularity
   popularity_law receiver_law{};        ///< background receiver popularity
 
+  /// round_count == 0 is valid: a population with no rounds to model (the
+  /// streaming accumulator treats empty streams as first-class; CLI
+  /// surfaces keep their own rounds >= 1 policy).
   [[nodiscard]] bool valid() const noexcept {
-    return user_count >= 1 && receiver_count >= 1 && round_count >= 1 &&
+    return user_count >= 1 && receiver_count >= 1 &&
            persistent_pairs <= user_count && persistent_rate >= 0.0 &&
            persistent_rate <= 1.0 && sender_law.valid() &&
            receiver_law.valid() &&

@@ -1,0 +1,111 @@
+#include "src/workload/sketch.hpp"
+
+#include <algorithm>
+
+#include "src/stats/contract.hpp"
+#include "src/stats/rng.hpp"
+
+namespace anonpath::workload {
+
+std::uint64_t sketch_hash(std::uint64_t salt, std::uint64_t row,
+                          std::uint64_t key) noexcept {
+  // Distinct golden-ratio multiples decorrelate the three inputs before the
+  // SplitMix64 finalizer; the +1 keeps row 0 from degenerating to salt^key.
+  std::uint64_t state = salt ^ (0x9e3779b97f4a7c15ULL * (row + 1)) ^
+                        (key * 0xbf58476d1ce4e5b9ULL);
+  return stats::splitmix64(state);
+}
+
+std::uint64_t occurrence_priority(std::uint64_t salt, std::uint64_t round,
+                                  std::uint64_t slot) noexcept {
+  return sketch_hash(salt ^ 0x0cca51a11ca11edULL, round, slot);
+}
+
+std::string sketch_params::label() const {
+  return "d" + std::to_string(depth) + "w" + std::to_string(width) + "k" +
+         std::to_string(candidates);
+}
+
+count_min_sketch::count_min_sketch(std::uint32_t depth, std::uint32_t width,
+                                   std::uint64_t salt)
+    : depth_(depth), width_(width), salt_(salt) {
+  ANONPATH_EXPECTS(depth >= 1 && depth <= 16);
+  ANONPATH_EXPECTS(width >= 2);
+  cells_.assign(static_cast<std::size_t>(depth_) * width_, 0);
+}
+
+void count_min_sketch::add(std::uint64_t key, std::uint64_t delta) {
+  for (std::uint32_t row = 0; row < depth_; ++row) {
+    const std::uint64_t h = sketch_hash(salt_, row, key) % width_;
+    cells_[static_cast<std::size_t>(row) * width_ + h] += delta;
+  }
+  total_ += delta;
+}
+
+std::uint64_t count_min_sketch::estimate(std::uint64_t key) const {
+  std::uint64_t best = ~std::uint64_t{0};
+  for (std::uint32_t row = 0; row < depth_; ++row) {
+    const std::uint64_t h = sketch_hash(salt_, row, key) % width_;
+    best = std::min(best, cells_[static_cast<std::size_t>(row) * width_ + h]);
+  }
+  return best;
+}
+
+void count_min_sketch::merge(const count_min_sketch& other) {
+  ANONPATH_EXPECTS(depth_ == other.depth_ && width_ == other.width_ &&
+                   salt_ == other.salt_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_ += other.total_;
+}
+
+bottom_k_sample::bottom_k_sample(std::uint32_t k, std::uint64_t salt)
+    : k_(k), salt_(salt) {
+  ANONPATH_EXPECTS(k >= 1);
+}
+
+void bottom_k_sample::offer(std::uint64_t key) {
+  offer(key, sketch_hash(salt_, 0x5eed, key));
+}
+
+void bottom_k_sample::offer(std::uint64_t key, std::uint64_t priority) {
+  const auto it = prio_of_.find(key);
+  if (it != prio_of_.end()) {
+    if (priority >= it->second) return;  // not an improvement
+    entries_.erase({it->second, key});
+    it->second = priority;
+    entries_.emplace(priority, key);
+    return;
+  }
+  prio_of_.emplace(key, priority);
+  entries_.emplace(priority, key);
+  if (entries_.size() > k_) {
+    const auto worst = std::prev(entries_.end());
+    prio_of_.erase(worst->second);
+    entries_.erase(worst);
+    saturated_ = true;
+  }
+}
+
+void bottom_k_sample::merge(const bottom_k_sample& other) {
+  ANONPATH_EXPECTS(k_ == other.k_ && salt_ == other.salt_);
+  for (const auto& [prio, key] : other.entries_) offer(key, prio);
+  saturated_ = saturated_ || other.saturated_;
+}
+
+std::vector<std::uint64_t> bottom_k_sample::keys() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(entries_.size());
+  for (const auto& [prio, key] : entries_) out.push_back(key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t bottom_k_sample::memory_bytes() const noexcept {
+  // Two red-black nodes per entry: pair payload + parent/child pointers.
+  return entries_.size() *
+             2 * (sizeof(std::pair<std::uint64_t, std::uint64_t>) +
+              4 * sizeof(void*)) +
+         sizeof(*this);
+}
+
+}  // namespace anonpath::workload

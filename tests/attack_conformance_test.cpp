@@ -17,6 +17,7 @@
 #include "src/attack/intersection.hpp"
 #include "src/attack/sda.hpp"
 #include "src/attack/sequential_bayes.hpp"
+#include "src/attack/sketch_sda.hpp"
 #include "src/stats/rng.hpp"
 
 namespace anonpath::attack {
@@ -154,6 +155,35 @@ TEST(AttackConformance, ConstructedFamiliesResolveUniquely) {
     const auto oracle = minimum_hitting_sets(f.target_rounds, f.receivers);
     ASSERT_EQ(oracle.size(), 1u) << f.name;
     EXPECT_EQ(oracle.front(), std::vector<node_id>{n - 1}) << f.name;
+  }
+}
+
+TEST(AttackConformance, SketchSdaMatchesExactSdaOnEveryFixtureFamily) {
+  // The sketch backend's conformance pin: on every N <= 8 fixture the
+  // default-width sketches are collision-free and the candidate reservoir
+  // never saturates, so the sketched posterior must be bit-identical to the
+  // exact sda on the same stream — and every count-min estimate must cover
+  // the exact count without exceeding its error bound.
+  for (const fixture& f : fixtures()) {
+    sda_attack exact(f.receivers);
+    run_fixture(f, exact);
+    sketch_sda_attack sketched(f.receivers);
+    const std::vector<double> post = run_fixture(f, sketched);
+    ASSERT_FALSE(sketched.candidates_saturated()) << f.name;
+    EXPECT_EQ(post, exact.posterior()) << f.name;
+
+    std::vector<std::uint64_t> global(f.receivers, 0);
+    std::vector<std::uint64_t> target(f.receivers, 0);
+    for (const auto& round : f.target_rounds)
+      for (node_id r : round) ++global[r], ++target[r];
+    for (const auto& round : f.background_rounds)
+      for (node_id r : round) ++global[r];
+    for (node_id r = 0; r < f.receivers; ++r) {
+      EXPECT_GE(sketched.estimate_global(r), global[r]) << f.name;
+      EXPECT_LE(sketched.estimate_global(r), global[r] + sketched.error_bound())
+          << f.name;
+      EXPECT_GE(sketched.estimate_target(r), target[r]) << f.name;
+    }
   }
 }
 

@@ -149,6 +149,46 @@ TEST_F(CliParse, RoutingFlagValidation) {
   }
 }
 
+TEST_F(CliParse, StreamFlagValidation) {
+  for (const char* args : {
+           // unknown backend label
+           "simulate --n 20 --c 2 --stream dense",
+           "attack --users 200 --rounds 30 --attack sda --stream dense",
+           // sketch state exists for the counting attack (sda) only
+           "attack --users 200 --rounds 30 --attack bayes --stream sketch",
+           "attack --users 200 --rounds 30 --attack intersection "
+           "--stream sketch",
+           "simulate --n 20 --c 2 --messages 30 --population 100 --rounds 30 "
+           "--attack intersection --stream sketch",
+           // simulate/attack take one backend, not an axis list
+           "simulate --n 20 --c 2 --messages 30 --population 100 --rounds 30 "
+           "--attack sda --stream exact,sketch",
+           "attack --users 200 --rounds 30 --attack sda --stream exact,sketch",
+           // --stream without a session to back it
+           "simulate --n 20 --c 2 --messages 30 --stream sketch",
+           // a sketch axis needs sda on the --attack axis
+           "campaign --n 16 --c 1 --messages 30 --replicas 1 --population 100 "
+           "--rounds 30 --attack intersection --stream sketch",
+           // commands with no disclosure accumulator at all
+           "estimate --n 50 --c 2 --stream exact",
+           "plan --n 100 --stream sketch",
+       }) {
+    const run_result r = run_cli(args);
+    EXPECT_NE(r.exit_code, 0) << "accepted: anonpath " << args;
+    EXPECT_FALSE(r.stderr_text.empty())
+        << "no stderr diagnostic: anonpath " << args;
+  }
+  // Positive controls: the sketch backend on its intended surfaces.
+  EXPECT_EQ(run_cli("attack --users 200 --rounds 30 --attack sda "
+                    "--stream sketch")
+                .exit_code,
+            0);
+  EXPECT_EQ(run_cli("simulate --n 20 --c 2 --messages 30 --population 100 "
+                    "--rounds 30 --attack sda --stream sketch --seed 5")
+                .exit_code,
+            0);
+}
+
 TEST_F(CliParse, ShardAndMergeFlagValidation) {
   const std::string grid = "--n 16,24 --c 1,2 --messages 40 --replicas 1";
   const std::vector<std::string> cases = {

@@ -39,6 +39,8 @@
 // into its error column instead of killing the sweep).
 // Popularity-law syntax: uniform | zipf:<s> (s > 0).
 // Attack syntax: none | intersection | sda | bayes (sequential_bayes).
+// Stream-backend syntax: exact | sketch (sketched sda accumulator state:
+// count-min counts plus a bottom-k candidate reservoir; sda cells only).
 // Campaign axes (--n, --c, --drop, --rate, --mode, --adversary,
 // --topology, --routing, --churn, --population, --rounds, --attack) take
 // comma-separated lists and --dist may repeat; the campaign runs their
@@ -68,7 +70,9 @@
 #include "src/anonymity/optimizer.hpp"
 #include "src/anonymity/path_sampler.hpp"
 #include "src/attack/disclosure.hpp"
+#include "src/attack/online.hpp"
 #include "src/attack/sda.hpp"
+#include "src/attack/sketch_sda.hpp"
 #include "src/net/churn.hpp"
 #include "src/net/route_plan.hpp"
 #include "src/net/topology.hpp"
@@ -81,6 +85,7 @@
 #include "src/stats/error.hpp"
 #include "src/workload/cooccurrence.hpp"
 #include "src/workload/population.hpp"
+#include "src/workload/streaming.hpp"
 
 namespace {
 
@@ -112,12 +117,13 @@ using namespace anonpath;
       "  optimize: --mean <target expected length>\n"
       "  simulate: [--messages k] [--seed s] [--drop p] [--threshold x]\n"
       "            [--population P --rounds R --attack a] session mode\n"
+      "            [--stream exact|sketch]  sda accumulator backend\n"
       "  campaign: scenario-grid sweep on the simulator; CSV to stdout.\n"
       "            axes (comma lists): --n --c --drop --rate --adversary\n"
       "            --topology --routing --churn --mix-failures --retry\n"
       "            --population\n"
-      "            --rounds --attack; --mode onion,crowds; --dist may\n"
-      "            repeat (one spec each)\n"
+      "            --rounds --attack --stream; --mode onion,crowds; --dist\n"
+      "            may repeat (one spec each)\n"
       "            [--replicas r (default 8)] [--messages k (default 500)]\n"
       "            [--seed s] [--threads t (0=all cores)] [--via-trace]\n"
       "            [--receiver-law uniform|zipf:<s>]\n"
@@ -136,6 +142,7 @@ using namespace anonpath;
       "            [--pairs M] [--round-size B] [--send-rate p]\n"
       "            [--sender-law L] [--receiver-law L] [--threshold x]\n"
       "            [--seed s] [--every k] [--threads t (sda cross-check)]\n"
+      "            [--stream exact|sketch  online conformance report]\n"
       "            trajectory CSV to stdout, summary to stderr\n"
       "  capture:  simulate flags + [--out file (default stdout)]; writes\n"
       "            the adversary's event trace instead of scoring it\n"
@@ -230,6 +237,7 @@ struct options {
   std::vector<std::uint32_t> population_list;
   std::vector<std::uint32_t> rounds_list;
   std::vector<attack::attack_kind> attack_list;
+  std::vector<workload::stream_backend> stream_list;
   std::uint32_t users = 1000;         ///< attack: sender population
   std::uint32_t pairs = 1;            ///< attack: persistent pairs
   std::uint32_t round_size = 32;      ///< attack: threshold batch size
@@ -602,6 +610,13 @@ options parse(int argc, char** argv) {
       for (const std::string& tok : split_commas(next()))
         opt.attack_list.push_back(parse_attack(tok));
     }
+    else if (flag == "--stream") {
+      for (const std::string& tok : split_commas(next())) {
+        const auto backend = workload::parse_stream_backend(tok);
+        if (!backend) usage("--stream values are exact|sketch");
+        opt.stream_list.push_back(*backend);
+      }
+    }
     else if (flag == "--users") {
       const auto v = parse_u32_list(next());
       if (v.size() != 1 || v[0] < 2) usage("--users wants one value >= 2");
@@ -732,6 +747,11 @@ void reject_session_flags(const options& opt, const char* command) {
     usage((std::string("--population/--rounds/--attack do not apply to '") +
            command + "'; use simulate/capture/campaign or the 'attack' "
                      "command")
+              .c_str());
+  if (!opt.stream_list.empty())
+    usage((std::string("--stream does not apply to '") + command +
+           "'; it selects the disclosure accumulator backend on "
+           "simulate/capture/campaign/attack")
               .c_str());
   if (opt.sender_law_set)
     usage((std::string("--sender-law does not apply to '") + command +
@@ -945,10 +965,10 @@ sim::sim_config simulate_config(const options& opt) {
   // Single scalars here; a comma list would otherwise run only its first
   // value — a silent drop (the axes belong to 'campaign').
   if (opt.population_list.size() > 1 || opt.rounds_list.size() > 1 ||
-      opt.attack_list.size() > 1)
+      opt.attack_list.size() > 1 || opt.stream_list.size() > 1)
     usage("simulate/capture take single values for "
-          "--population/--rounds/--attack (comma-list axes belong to "
-          "'campaign')");
+          "--population/--rounds/--attack/--stream (comma-list axes belong "
+          "to 'campaign')");
   const std::uint32_t population =
       opt.population_list.empty() ? 0 : opt.population_list.front();
   const std::uint32_t rounds =
@@ -964,6 +984,13 @@ sim::sim_config simulate_config(const options& opt) {
     cfg.session.partner = sim::canonical_partner(population);
     cfg.session.receiver_law = opt.receiver_law;
     if (!opt.attack_list.empty()) cfg.session.attack = opt.attack_list.front();
+    if (!opt.stream_list.empty()) {
+      cfg.session.stream = opt.stream_list.front();
+      if (cfg.session.stream != workload::stream_backend::exact &&
+          cfg.session.attack != attack::attack_kind::sda)
+        usage("--stream sketch requires --attack sda (the sketch backend "
+              "exists for the counting attack only)");
+    }
     // Honest under the run's *effective* corruption (partial_coverage
     // draws its own set from the seed, superseding the configured list).
     cfg.session.target_sender = sim::lowest_honest_node(
@@ -979,6 +1006,10 @@ sim::sim_config simulate_config(const options& opt) {
     if (opt.receiver_law_set)
       usage("--receiver-law on 'simulate'/'capture' needs --population and "
             "--rounds (it is the session destination law)");
+    if (!opt.stream_list.empty())
+      usage("--stream on 'simulate'/'capture' needs --population and "
+            "--rounds (it selects the session attack's accumulator "
+            "backend)");
   }
   return cfg;
 }
@@ -1112,6 +1143,21 @@ sim::campaign_grid build_campaign_grid(const options& opt,
   if (wants_attack && !wants_rounds)
     usage("--attack on 'campaign' needs the session axes "
           "(--population/--rounds)");
+  // A sketch backend only pairs with sda cells; demanding the sda axis up
+  // front beats silently filtering every sketch cell out as infeasible.
+  const bool wants_sketch = [&opt] {
+    for (workload::stream_backend s : opt.stream_list)
+      if (s != workload::stream_backend::exact) return true;
+    return false;
+  }();
+  if (wants_sketch) {
+    bool has_sda = false;
+    for (attack::attack_kind k : opt.attack_list)
+      if (k == attack::attack_kind::sda) has_sda = true;
+    if (!has_sda)
+      usage("--stream sketch on 'campaign' needs sda on the --attack axis "
+            "(the sketch backend exists for the counting attack only)");
+  }
   sim::campaign_grid grid;
   if (!opt.n_list.empty()) grid.node_counts = opt.n_list;
   if (!opt.c_list.empty()) grid.compromised_counts = opt.c_list;
@@ -1129,6 +1175,7 @@ sim::campaign_grid build_campaign_grid(const options& opt,
   if (!opt.population_list.empty()) grid.populations = opt.population_list;
   if (!opt.rounds_list.empty()) grid.session_rounds = opt.rounds_list;
   if (!opt.attack_list.empty()) grid.attacks = opt.attack_list;
+  if (!opt.stream_list.empty()) grid.streams = opt.stream_list;
   grid.session_receiver_law = opt.receiver_law;
   grid.message_count = opt.messages_set ? opt.messages : 500;
   grid.identified_threshold = opt.threshold;
@@ -1282,9 +1329,10 @@ int cmd_attack(const options& opt) {
   // Axes are a campaign concept; here every flag is a single scalar, and a
   // comma list would otherwise run only its first value — a silent drop.
   if (opt.attack_list.size() > 1 || opt.population_list.size() > 1 ||
-      opt.rounds_list.size() > 1)
-    usage("'attack' takes single values for --attack/--population/--rounds "
-          "(comma-list axes belong to 'campaign')");
+      opt.rounds_list.size() > 1 || opt.stream_list.size() > 1)
+    usage("'attack' takes single values for "
+          "--attack/--population/--rounds/--stream (comma-list axes belong "
+          "to 'campaign')");
   // Simulator-only flags have no meaning on the pure workload path; run
   // the attack through 'simulate'/'campaign' sessions to combine them.
   if (!opt.drop_list.empty() || opt.messages_set || !opt.dist_list.empty() ||
@@ -1301,6 +1349,15 @@ int cmd_attack(const options& opt) {
       opt.attack_list.front() == attack::attack_kind::none)
     usage("attack requires --attack intersection|sda|bayes");
   const attack::attack_kind kind = opt.attack_list.front();
+  // --stream asks for the online conformance report (exact: the
+  // online==offline identity; sketch: the sketched engine plus its bound
+  // and memory cross-checks), which only the counting attack defines.
+  const bool stream_set = !opt.stream_list.empty();
+  const workload::stream_backend stream =
+      stream_set ? opt.stream_list.front() : workload::stream_backend::exact;
+  if (stream_set && kind != attack::attack_kind::sda)
+    usage("--stream on 'attack' requires --attack sda (the accumulator "
+          "backends exist for the counting attack)");
 
   workload::population_config cfg;
   cfg.seed = opt.seed;
@@ -1382,12 +1439,15 @@ int cmd_attack(const options& opt) {
                  result.rounds, result.top_receiver, result.top_mass,
                  result.entropy_bits);
 
-  if (kind == attack::attack_kind::sda && opt.threads != 1) {
+  if (kind == attack::attack_kind::sda && (opt.threads != 1 || stream_set)) {
     // The sharded population-scale path must reproduce the streaming counts
     // bit for bit; a mismatch is a determinism bug, reported loudly.
     workload::cooccurrence_config ccfg;
     ccfg.threads = opt.threads;
-    const auto totals = workload::accumulate_cooccurrence(pop, ccfg);
+    const workload::streaming_accumulator exact_acc =
+        workload::accumulate_streaming(pop, 0, cfg.round_count,
+                                       workload::streaming_config{}, ccfg);
+    const workload::cooccurrence_result totals = exact_acc.totals();
     const attack::sda_attack parallel_sda =
         attack::sda_attack::from_counts(totals, 0, cfg.receiver_count);
     if (parallel_sda.posterior() != result.final_posterior) {
@@ -1402,6 +1462,104 @@ int cmd_attack(const options& opt) {
                  opt.threads != 0 ? opt.threads
                                   : std::thread::hardware_concurrency(),
                  static_cast<unsigned long long>(totals.rounds));
+    if (stream_set)
+      std::fprintf(stderr,
+                   "# online==offline: final posterior bit-identical "
+                   "(exact backend)\n");
+
+    if (stream == workload::stream_backend::sketch) {
+      // Online sketched session over the same round stream.
+      attack::online_config ocfg;
+      ocfg.kind = kind;
+      ocfg.backend = workload::stream_backend::sketch;
+      ocfg.identified_threshold = opt.threshold;
+      ocfg.stride = stride;
+      attack::online_attack online(cfg.receiver_count, ocfg);
+      attack::round_observation obs;
+      const node_id target_sender = pop.pairs().front().sender;
+      for (std::uint32_t r = 0; r < cfg.round_count; ++r) {
+        const workload::round_batch batch = pop.round(r);
+        obs.target_present =
+            std::find(batch.senders.begin(), batch.senders.end(),
+                      target_sender) != batch.senders.end();
+        obs.receivers = batch.receivers;
+        online.ingest(obs);
+      }
+      const attack::attack_result sres = online.result();
+
+      // The sharded sketch accumulation must reproduce online ingestion
+      // bit for bit — same contract as the exact path above.
+      workload::streaming_config scfg;
+      scfg.backend = workload::stream_backend::sketch;
+      const workload::streaming_accumulator sketch_acc =
+          workload::accumulate_streaming(pop, 0, cfg.round_count, scfg,
+                                         ccfg);
+      const attack::sketch_sda_attack sharded =
+          attack::sketch_sda_attack::from_accumulator(sketch_acc, 0,
+                                                      cfg.receiver_count);
+      if (sharded.posterior() != sres.final_posterior) {
+        std::fprintf(stderr,
+                     "# ERROR: sharded sketch accumulator diverged from "
+                     "online ingestion\n");
+        return 1;
+      }
+      const auto& online_sketch =
+          static_cast<const attack::sketch_sda_attack&>(online.engine());
+
+      // Count-min conformance against the exact counts: estimates never
+      // undercount (worst-case), and each key overcounts past the bound
+      // with probability at most 2^-depth — so across all keys, allow
+      // twice that expected violation count before calling it a bug.
+      std::uint64_t max_over = 0, over_bound = 0;
+      bool under = false;
+      for (const auto& [receiver, count] : totals.global_receiver_counts) {
+        const std::uint64_t est = online_sketch.estimate_global(receiver);
+        if (est < count) { under = true; continue; }
+        max_over = std::max(max_over, est - count);
+        if (est - count > online_sketch.error_bound()) ++over_bound;
+      }
+      const std::size_t keys = totals.global_receiver_counts.size();
+      const double allowance =
+          2.0 * std::ldexp(static_cast<double>(keys),
+                           -static_cast<int>(online_sketch.params().depth)) +
+          1.0;
+      if (under || static_cast<double>(over_bound) > allowance) {
+        std::fprintf(stderr,
+                     "# ERROR: sketch estimates violate the count-min "
+                     "bound (%llu/%zu keys over bound %llu, allowance "
+                     "%.0f%s)\n",
+                     static_cast<unsigned long long>(over_bound), keys,
+                     static_cast<unsigned long long>(
+                         online_sketch.error_bound()),
+                     allowance, under ? ", undercount seen" : "");
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "# sketch bound check: %llu/%zu keys over the per-key "
+                   "bound %llu (allowance %.0f), max overestimate %llu, "
+                   "no undercounts\n",
+                   static_cast<unsigned long long>(over_bound), keys,
+                   static_cast<unsigned long long>(
+                       online_sketch.error_bound()),
+                   allowance, static_cast<unsigned long long>(max_over));
+
+      std::fprintf(stderr,
+                   "# sketch posterior (%s, %zu candidates%s): top receiver "
+                   "%u (%s exact), H = %.4f bits\n",
+                   online_sketch.params().label().c_str(),
+                   online_sketch.candidates().size(),
+                   online_sketch.candidates_saturated() ? ", saturated" : "",
+                   sres.top_receiver,
+                   sres.top_receiver == result.top_receiver
+                       ? "matches" : "DIFFERS from",
+                   sres.entropy_bits);
+      std::fprintf(stderr,
+                   "# memory: sketch engine %zu bytes, exact accumulator "
+                   "%zu bytes (exact/sketch ratio %.2f)\n",
+                   online.memory_bytes(), exact_acc.memory_bytes(),
+                   static_cast<double>(exact_acc.memory_bytes()) /
+                       static_cast<double>(online.memory_bytes()));
+    }
   }
   return 0;
 }
