@@ -35,7 +35,12 @@ import sys
 
 
 def load_benchmarks(path):
-    """name -> time in ns, for plain iteration entries (no aggregates)."""
+    """(name -> time in ns, name -> memo_hit_rate) for iteration entries.
+
+    memo_hit_rate is an optional user counter some benchmarks attach
+    (an extra numeric key on the entry); it is informational only and
+    never part of the gate math.
+    """
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -44,6 +49,7 @@ def load_benchmarks(path):
         sys.exit(2)
     unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
     out = {}
+    hit_rates = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
             continue  # mean/median/stddev aggregates would double-count
@@ -53,10 +59,13 @@ def load_benchmarks(path):
         if name is None or t is None or unit not in unit_ns or t <= 0:
             continue
         out[name] = t * unit_ns[unit]
+        rate = b.get("memo_hit_rate")
+        if isinstance(rate, (int, float)):
+            hit_rates[name] = float(rate)
     if not out:
         sys.stderr.write(f"perf_diff: no benchmark entries in '{path}'\n")
         sys.exit(2)
-    return out
+    return out, hit_rates
 
 
 def main():
@@ -72,8 +81,8 @@ def main():
         sys.stderr.write("perf_diff: --tolerance must be > 1.0\n")
         sys.exit(2)
 
-    base = load_benchmarks(args.baseline)
-    cur = load_benchmarks(args.current)
+    base, base_rates = load_benchmarks(args.baseline)
+    cur, cur_rates = load_benchmarks(args.current)
 
     missing = sorted(set(base) - set(cur))
     new = sorted(set(cur) - set(base))
@@ -107,6 +116,17 @@ def main():
         for name in new:
             print(f"{name:48s} {'-':>12s} {cur[name]:12.0f}        "
                   f"(new, not gated)")
+        # Memo hit-rate deltas: informational telemetry carried as user
+        # counters, shown only when both artifacts have them for a
+        # benchmark. Never affects the gate's exit status.
+        rated = sorted(set(base_rates) & set(cur_rates))
+        if rated:
+            print(f"{'memo hit rate':48s} {'base':>12s} {'current':>12s} "
+                  f"{'delta':>8s}")
+            for name in rated:
+                delta = cur_rates[name] - base_rates[name]
+                print(f"{name:48s} {base_rates[name]:12.4f} "
+                      f"{cur_rates[name]:12.4f} {delta:+8.4f}")
 
     ok = True
     if failures:

@@ -65,6 +65,12 @@ void BM_PosteriorSingleObservation(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine.sender_posterior(obs));
   }
+  // Memo effectiveness rides along as a user counter (an extra JSON key on
+  // this benchmark's entries): perf_diff.py prints baseline-vs-current
+  // hit-rate deltas when both artifacts carry it. Not part of the gate.
+  const auto evals = static_cast<double>(engine.likelihood_evaluations());
+  state.counters["memo_hit_rate"] =
+      evals == 0.0 ? 0.0 : static_cast<double>(engine.memo_hits()) / evals;
 }
 BENCHMARK(BM_PosteriorSingleObservation)->Arg(1)->Arg(4)->Arg(16);
 

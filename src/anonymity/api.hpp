@@ -151,6 +151,27 @@
 /// run allocation-free on member scratch and sit under a CI
 /// perf-regression gate (bench/BENCH_baseline.json + bench/perf_diff.py).
 /// The figure generators live in src/repro.
+///
+/// Observability is src/obs, an opt-in tap over all of the above:
+/// obs::metrics_registry holds named counters, gauges, and 65-bucket
+/// log-scale histograms (obs::log_histogram) in thread-sharded slabs — one
+/// per stats::thread_pool worker, merged in fixed index order, so a
+/// snapshot of the same logical work is bit-identical for every thread
+/// count; obs::merge_snapshots recombines sharded campaigns' telemetry
+/// (counters/bins sum, gauges keep the max) to equal the unsharded run's.
+/// obs::span is an RAII scoped timer feeding an obs::tracer whose
+/// parent/child tree carries explicit creation-order ids (never wall-clock
+/// keys), so trace *structure* is deterministic and only durations are
+/// real telemetry — the `_ms`/`_us`/`_ns` naming convention
+/// (obs::is_timing_metric) marks which histograms determinism comparisons
+/// reduce to totals (obs::stable_text). Snapshots and spans serialize as
+/// versioned "anonpath-metrics v1" JSONL through the obs::sink family
+/// (jsonl_file_sink with checked writes, stderr_summary_sink, null_sink);
+/// the reader rejects corruption with the same parse_error taxonomy as
+/// trace/checkpoint. Instrumented layers hold non-owning registry/tracer
+/// pointers defaulting to nullptr — no `--metrics`/`--progress`, no
+/// allocation, byte-identical outputs. obs::progress_meter is the
+/// rate-limited `# progress:` stderr heartbeat with a linear ETA.
 
 #include "src/anonymity/analytic.hpp"
 #include "src/anonymity/brute_force.hpp"

@@ -201,6 +201,7 @@ double posterior_engine::log_likelihood_from_layout(
   if (lay.span_total > span_cache_max_ || lay.gap_count > gap_cache_max_ ||
       lay.pool_size < 0 ||
       lay.pool_size > static_cast<long long>(sys_.node_count)) {
+    ++memo_misses_;
     return log_likelihood_from_layout_uncached(lay);
   }
   const std::size_t idx =
@@ -210,7 +211,12 @@ double posterior_engine::log_likelihood_from_layout(
           static_cast<std::size_t>(sys_.node_count + 1) +
       static_cast<std::size_t>(lay.pool_size);
   double& slot = likelihood_cache_[idx];
-  if (std::isnan(slot)) slot = log_likelihood_from_layout_uncached(lay);
+  if (std::isnan(slot)) {
+    ++memo_misses_;
+    slot = log_likelihood_from_layout_uncached(lay);
+  } else {
+    ++memo_hits_;
+  }
   return slot;
 }
 

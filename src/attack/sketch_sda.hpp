@@ -65,6 +65,19 @@ class sketch_sda_attack final : public disclosure_attack {
   [[nodiscard]] std::uint64_t target_rounds() const noexcept {
     return target_rounds_;
   }
+  /// Reservoir displacements so far — ingest-order-dependent telemetry
+  /// (see workload::bottom_k_sample::evictions); feeds the obs layer only,
+  /// never a correctness contract.
+  [[nodiscard]] std::uint64_t reservoir_evictions() const noexcept {
+    return candidates_.evictions();
+  }
+
+  /// Non-zero cells across both count-min sketches — the occupancy gauge
+  /// (order- and shard-invariant, unlike the eviction count).
+  [[nodiscard]] std::uint64_t occupied_cells() const noexcept {
+    return global_.occupied_cells() + target_.occupied_cells();
+  }
+
   [[nodiscard]] const workload::sketch_params& params() const noexcept {
     return params_;
   }

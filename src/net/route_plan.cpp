@@ -43,7 +43,8 @@ using heap =
 void dijkstra_core(const topology& topo, node_id source, node_id target,
                    const std::vector<char>& banned_nodes,
                    const std::vector<std::uint64_t>& banned_arcs,
-                   std::vector<double>& dist, std::vector<node_id>& parent) {
+                   std::vector<double>& dist, std::vector<node_id>& parent,
+                   plan_counters* counters) {
   const std::uint32_t n = topo.node_count();
   dist.assign(n, inf);
   parent.assign(n, no_vertex);
@@ -51,13 +52,16 @@ void dijkstra_core(const topology& topo, node_id source, node_id target,
   heap pq;
   dist[source] = 0.0;
   pq.push({0.0, source});
+  if (counters != nullptr) ++counters->dijkstra_runs;
   while (!pq.empty()) {
     const heap_item top = pq.top();
     pq.pop();
     if (settled[top.node]) continue;  // lazy deletion
     settled[top.node] = 1;
+    if (counters != nullptr) ++counters->nodes_settled;
     if (top.node == target) return;
     const neighbor_view a = topo.adjacency(top.node);
+    if (counters != nullptr) counters->edges_scanned += a.size;
     for (std::uint32_t i = 0; i < a.size; ++i) {
       const node_id v = a.ids[i];
       if (settled[v]) continue;
@@ -92,10 +96,11 @@ std::optional<planned_path> extract_path(const std::vector<double>& dist,
 std::optional<planned_path> shortest_path_masked(
     const topology& topo, node_id s, node_id t,
     const std::vector<char>& banned_nodes,
-    const std::vector<std::uint64_t>& banned_arcs) {
+    const std::vector<std::uint64_t>& banned_arcs,
+    plan_counters* counters) {
   std::vector<double> dist;
   std::vector<node_id> parent;
-  dijkstra_core(topo, s, t, banned_nodes, banned_arcs, dist, parent);
+  dijkstra_core(topo, s, t, banned_nodes, banned_arcs, dist, parent, counters);
   return extract_path(dist, parent, s, t);
 }
 
@@ -108,27 +113,30 @@ bool candidate_less(const planned_path& a, const planned_path& b) {
 
 }  // namespace
 
-shortest_path_tree dijkstra(const topology& topo, node_id source) {
+shortest_path_tree dijkstra(const topology& topo, node_id source,
+                            plan_counters* counters) {
   ANONPATH_EXPECTS(source < topo.node_count());
   shortest_path_tree tree;
   tree.source = source;
-  dijkstra_core(topo, source, no_vertex, {}, {}, tree.dist, tree.parent);
+  dijkstra_core(topo, source, no_vertex, {}, {}, tree.dist, tree.parent,
+                counters);
   return tree;
 }
 
 std::optional<planned_path> shortest_path(const topology& topo, node_id s,
-                                          node_id t) {
+                                          node_id t, plan_counters* counters) {
   ANONPATH_EXPECTS(s < topo.node_count() && t < topo.node_count() && s != t);
-  return shortest_path_masked(topo, s, t, {}, {});
+  return shortest_path_masked(topo, s, t, {}, {}, counters);
 }
 
 std::vector<planned_path> k_shortest_paths(const topology& topo, node_id s,
-                                           node_id t, std::uint32_t k) {
+                                           node_id t, std::uint32_t k,
+                                           plan_counters* counters) {
   ANONPATH_EXPECTS(s < topo.node_count() && t < topo.node_count() && s != t);
   ANONPATH_EXPECTS(k >= 1);
   std::vector<planned_path> A;
   {
-    auto first = shortest_path(topo, s, t);
+    auto first = shortest_path(topo, s, t, counters);
     if (!first) return A;  // unreachable (only under masks/teardown)
     A.push_back(std::move(*first));
   }
@@ -153,8 +161,10 @@ std::vector<planned_path> k_shortest_paths(const topology& topo, node_id s,
                         banned_arcs.end());
       // Root nodes before the spur are off limits: keeps candidates simple.
       for (std::size_t i = 0; i < j; ++i) banned_nodes[prev.nodes[i]] = 1;
+      if (counters != nullptr) ++counters->yen_spur_searches;
       auto spur_path =
-          shortest_path_masked(topo, spur, t, banned_nodes, banned_arcs);
+          shortest_path_masked(topo, spur, t, banned_nodes, banned_arcs,
+                               counters);
       for (std::size_t i = 0; i < j; ++i) banned_nodes[prev.nodes[i]] = 0;
       if (spur_path) {
         planned_path cand;
@@ -249,7 +259,8 @@ const std::vector<planned_path>& route_planner::plan(node_id s, node_id t) {
   const std::uint64_t key = (static_cast<std::uint64_t>(s) << 32) | t;
   const auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
-  return cache_.emplace(key, k_shortest_paths(*topo_, s, t, cfg_.k))
+  return cache_
+      .emplace(key, k_shortest_paths(*topo_, s, t, cfg_.k, &counters_))
       .first->second;
 }
 

@@ -41,28 +41,42 @@ struct shortest_path_tree {
   std::vector<node_id> parent;
 };
 
+/// Work counters for the planning algorithms, for the obs metrics layer.
+/// Pure functions of the graph and the query sequence (the algorithms are
+/// deterministic), so they are stable metrics — identical across runs,
+/// thread counts, and platforms. Passing nullptr (the default everywhere)
+/// skips all accounting.
+struct plan_counters {
+  std::uint64_t dijkstra_runs = 0;   ///< full or early-exit searches started
+  std::uint64_t nodes_settled = 0;   ///< heap pops that settled a node
+  std::uint64_t edges_scanned = 0;   ///< adjacency entries examined
+  std::uint64_t yen_spur_searches = 0;  ///< masked searches inside Yen
+};
+
 /// Binary-heap Dijkstra over the whole graph. Deterministic: equal
 /// tentative distances pop in ascending node-id order, so the tree (and
 /// every path read out of it) is a pure function of the graph. Works in
 /// either storage mode; on CSR this is the million-node workhorse.
 /// O((V + E) log V). Precondition: source < node_count.
 [[nodiscard]] shortest_path_tree dijkstra(const topology& topo,
-                                          node_id source);
+                                          node_id source,
+                                          plan_counters* counters = nullptr);
 
 /// Point-to-point shortest path with early exit once the target settles.
 /// nullopt only when the target is unreachable (never on a full topology;
 /// the masked variants inside Yen do hit it). Preconditions: s, t <
 /// node_count and s != t.
-[[nodiscard]] std::optional<planned_path> shortest_path(const topology& topo,
-                                                        node_id s, node_id t);
+[[nodiscard]] std::optional<planned_path> shortest_path(
+    const topology& topo, node_id s, node_id t,
+    plan_counters* counters = nullptr);
 
 /// Yen's k shortest loopless paths, best first. Deterministic: candidates
 /// order by (cost, lexicographic node sequence). Returns fewer than k
 /// entries when the graph has fewer simple s->t paths. Preconditions:
 /// s, t < node_count, s != t, k >= 1.
-[[nodiscard]] std::vector<planned_path> k_shortest_paths(const topology& topo,
-                                                         node_id s, node_id t,
-                                                         std::uint32_t k);
+[[nodiscard]] std::vector<planned_path> k_shortest_paths(
+    const topology& topo, node_id s, node_id t, std::uint32_t k,
+    plan_counters* counters = nullptr);
 
 /// Connected-component labels, 0-based in first-discovery order (node 0's
 /// component is 0). A whole topology is one component by construction —
@@ -146,10 +160,18 @@ class route_planner {
     return cache_.size();
   }
 
+  /// Accumulated search work across every cache-miss plan() call (cache
+  /// hits add nothing — the gap between planned_pairs() growth and route
+  /// draws is the planner's own memoization win).
+  [[nodiscard]] const plan_counters& counters() const noexcept {
+    return counters_;
+  }
+
  private:
   const topology* topo_;
   routing_config cfg_;
   std::unordered_map<std::uint64_t, std::vector<planned_path>> cache_;
+  plan_counters counters_;
 };
 
 }  // namespace anonpath::net

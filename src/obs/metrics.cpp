@@ -1,0 +1,92 @@
+#include "src/obs/metrics.hpp"
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath::obs {
+
+bool is_timing_metric(std::string_view name) noexcept {
+  const auto ends_with = [&](std::string_view suffix) {
+    return name.size() >= suffix.size() &&
+           name.substr(name.size() - suffix.size()) == suffix;
+  };
+  return ends_with("_ms") || ends_with("_us") || ends_with("_ns");
+}
+
+log_histogram log_histogram::from_counts(
+    const std::vector<std::uint64_t>& counts) {
+  ANONPATH_EXPECTS(counts.size() == bucket_count);
+  log_histogram out;
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    if (counts[i] != 0) out.bins_.add(i, counts[i]);
+  return out;
+}
+
+void metrics_registry::ensure_shards(unsigned worker_count) {
+  ANONPATH_EXPECTS(worker_count >= 1);
+  if (worker_count > slabs_.size()) slabs_.resize(worker_count);
+}
+
+void metrics_registry::add_counter(unsigned worker, std::string_view name,
+                                   std::uint64_t delta) {
+  ANONPATH_EXPECTS(worker < slabs_.size());
+  auto& counters = slabs_[worker].counters;
+  auto it = counters.find(name);
+  if (it == counters.end())
+    counters.emplace(std::string(name), delta);
+  else
+    it->second += delta;
+}
+
+void metrics_registry::observe(unsigned worker, std::string_view name,
+                               std::uint64_t value) {
+  ANONPATH_EXPECTS(worker < slabs_.size());
+  auto& histograms = slabs_[worker].histograms;
+  auto it = histograms.find(name);
+  if (it == histograms.end())
+    it = histograms.emplace(std::string(name), log_histogram{}).first;
+  it->second.add(value);
+}
+
+void metrics_registry::set_gauge(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    gauges_.emplace(std::string(name), value);
+  else
+    it->second = value;
+}
+
+metrics_snapshot metrics_registry::snapshot() const {
+  metrics_snapshot snap;
+  for (const slab& s : slabs_) {
+    for (const auto& [name, value] : s.counters) snap.counters[name] += value;
+    for (const auto& [name, hist] : s.histograms) {
+      auto it = snap.histograms.find(name);
+      if (it == snap.histograms.end())
+        snap.histograms.emplace(name, hist);
+      else
+        it->second.merge(hist);
+    }
+  }
+  for (const auto& [name, value] : gauges_) snap.gauges[name] = value;
+  return snap;
+}
+
+metrics_snapshot merge_snapshots(const metrics_snapshot& a,
+                                 const metrics_snapshot& b) {
+  metrics_snapshot out = a;
+  for (const auto& [name, value] : b.counters) out.counters[name] += value;
+  for (const auto& [name, value] : b.gauges) {
+    auto it = out.gauges.find(name);
+    if (it == out.gauges.end() || it->second < value) out.gauges[name] = value;
+  }
+  for (const auto& [name, hist] : b.histograms) {
+    auto it = out.histograms.find(name);
+    if (it == out.histograms.end())
+      out.histograms.emplace(name, hist);
+    else
+      it->second.merge(hist);
+  }
+  return out;
+}
+
+}  // namespace anonpath::obs

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/stats/histogram.hpp"
+
+namespace anonpath::obs {
+
+/// Log-scale histogram of unsigned values: bucket `i` holds the values of
+/// bit-width `i`, i.e. bucket 0 counts exact zeros and bucket i >= 1 counts
+/// 2^(i-1) <= v < 2^i. 65 buckets cover the full uint64 range, every add is
+/// one bit-width and one increment, and merge/quantile are inherited from
+/// stats::int_histogram (integer sums — associative, commutative, and so
+/// bit-identical under any shard/merge order).
+class log_histogram {
+ public:
+  static constexpr std::size_t bucket_count = 65;
+
+  log_histogram() : bins_(bucket_count) {}
+
+  /// Index of the bucket `value` lands in (its bit-width).
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) noexcept {
+    std::size_t width = 0;
+    while (value != 0) {
+      ++width;
+      value >>= 1;
+    }
+    return width;
+  }
+
+  /// Smallest value that lands in bucket `i` (0 for bucket 0).
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t i) noexcept {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+
+  void add(std::uint64_t value) { bins_.add(bucket_of(value)); }
+
+  void merge(const log_histogram& other) { bins_.merge(other.bins_); }
+
+  /// Rebuilds a histogram from dense per-bucket counts (deserialization).
+  /// Preconditions: counts.size() == bucket_count and the sum fits uint64
+  /// (untrusted readers validate both before calling).
+  [[nodiscard]] static log_histogram from_counts(
+      const std::vector<std::uint64_t>& counts);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return bins_.total(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bucket) const {
+    return bins_.count(bucket);
+  }
+
+  /// Lower bound of the bucket holding the empirical q-quantile.
+  /// Preconditions as stats::int_histogram::quantile.
+  [[nodiscard]] std::uint64_t quantile_floor(double q) const {
+    return bucket_floor(bins_.quantile(q));
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return bins_.counts();
+  }
+
+ private:
+  stats::int_histogram bins_;
+};
+
+/// One merged, name-sorted view of every metric a registry has recorded.
+/// Counters and histograms are pure integer sums, so a snapshot taken after
+/// the same logical work is bit-identical regardless of how many workers
+/// recorded it or in which order the slabs merged. Gauges are last-write
+/// point samples set on the reducing thread.
+struct metrics_snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, log_histogram> histograms;
+};
+
+/// Names ending in `_ms` / `_us` / `_ns` record wall-clock durations. They
+/// are real telemetry but not reproducible; determinism tests and the
+/// stable rendering below keep only their totals (how many events were
+/// timed — deterministic) and drop the bucket placement.
+[[nodiscard]] bool is_timing_metric(std::string_view name) noexcept;
+
+/// Named counters, gauges, and log-scale histograms with thread-sharded
+/// storage. Each stats::thread_pool worker writes its own slab (the pool
+/// guarantees a worker id is never active on two threads at once, so slab
+/// access needs no locks); snapshot() merges the slabs in fixed index
+/// order. Because counters and histogram bins are integer sums, the merged
+/// snapshot is bit-identical for every thread count — the repo-wide
+/// determinism contract.
+///
+/// Cost model: a registry only exists when the user asked for telemetry
+/// (`--metrics` / `--progress`); instrumented layers hold a non-owning
+/// `metrics_registry*` that defaults to nullptr and skip every recording
+/// under a single branch, so default runs pay one predictable-not-taken
+/// test per harvest point and allocate nothing.
+class metrics_registry {
+ public:
+  /// Starts with a single slab (shard 0) for single-threaded use.
+  metrics_registry() : slabs_(1) {}
+
+  metrics_registry(const metrics_registry&) = delete;
+  metrics_registry& operator=(const metrics_registry&) = delete;
+
+  /// Grows the slab set to `worker_count` shards. Must be called on a
+  /// single thread before any parallel section that records with worker
+  /// ids >= 1 (growing while workers write would race).
+  /// Precondition: worker_count >= 1.
+  void ensure_shards(unsigned worker_count);
+
+  [[nodiscard]] unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(slabs_.size());
+  }
+
+  /// Adds `delta` to the named counter on `worker`'s slab.
+  /// Precondition: worker < shard_count().
+  void add_counter(unsigned worker, std::string_view name,
+                   std::uint64_t delta);
+  void add_counter(std::string_view name, std::uint64_t delta) {
+    add_counter(0, name, delta);
+  }
+
+  /// Records `value` into the named log-scale histogram on `worker`'s slab.
+  /// Precondition: worker < shard_count().
+  void observe(unsigned worker, std::string_view name, std::uint64_t value);
+  void observe(std::string_view name, std::uint64_t value) {
+    observe(0, name, value);
+  }
+
+  /// Sets a point-sample gauge. Gauges are not sharded: set them from the
+  /// thread that owns the reduction (single-threaded sections only).
+  void set_gauge(std::string_view name, double value);
+
+  /// Merges every slab in fixed index order into one name-sorted view.
+  /// Call from a single thread (no recording in flight).
+  [[nodiscard]] metrics_snapshot snapshot() const;
+
+ private:
+  struct slab {
+    std::map<std::string, std::uint64_t, std::less<>> counters;
+    std::map<std::string, log_histogram, std::less<>> histograms;
+  };
+
+  std::vector<slab> slabs_;
+  std::map<std::string, double, std::less<>> gauges_;
+};
+
+/// Pointwise combination of two snapshots: counters and histogram bins add
+/// (associative/commutative — a sharded campaign's merged counters equal
+/// the unsharded run's), gauges keep the maximum (the only order-free
+/// choice for point samples like peak memory).
+[[nodiscard]] metrics_snapshot merge_snapshots(const metrics_snapshot& a,
+                                               const metrics_snapshot& b);
+
+}  // namespace anonpath::obs

@@ -1,0 +1,23 @@
+#include "src/obs/span.hpp"
+
+#include "src/stats/contract.hpp"
+
+namespace anonpath::obs {
+
+std::uint64_t tracer::open(std::string_view name) {
+  span_record record;
+  record.id = static_cast<std::uint64_t>(records_.size()) + 1;
+  record.parent = open_stack_.empty() ? 0 : open_stack_.back();
+  record.name.assign(name);
+  records_.push_back(std::move(record));
+  open_stack_.push_back(records_.back().id);
+  return records_.back().id;
+}
+
+void tracer::close(std::uint64_t id, double duration_ms) {
+  ANONPATH_EXPECTS(!open_stack_.empty() && open_stack_.back() == id);
+  records_[id - 1].duration_ms = duration_ms;
+  open_stack_.pop_back();
+}
+
+}  // namespace anonpath::obs

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anonpath::obs {
+
+/// One closed span in a trace tree. Ids are assigned in creation order
+/// (1-based; parent 0 means root), never derived from wall-clock time, so
+/// the tree *structure* (id, parent, name) is deterministic for a given
+/// code path — only `duration_ms` is real telemetry. Determinism tests
+/// compare structure and ignore durations (see is_timing_metric's
+/// convention in metrics.hpp).
+struct span_record {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::string name;
+  double duration_ms = 0.0;
+};
+
+/// Collects spans from one thread of execution. Open spans form a stack,
+/// so nested `obs::span` locals record a parent/child tree. Single-threaded
+/// by design: instrument the orchestration path (CLI roots, campaign
+/// phases, single-run scoring), not the worker fan-out — worker-side
+/// telemetry belongs in metrics_registry slabs.
+class tracer {
+ public:
+  /// Opens a span under the currently open span (or as a root) and returns
+  /// its id.
+  std::uint64_t open(std::string_view name);
+
+  /// Closes the most recently opened span. Precondition: `id` is that
+  /// span's id (enforces stack discipline).
+  void close(std::uint64_t id, double duration_ms);
+
+  /// Every closed span, in id order (records of still-open spans carry
+  /// duration 0 until closed).
+  [[nodiscard]] const std::vector<span_record>& spans() const noexcept {
+    return records_;
+  }
+
+ private:
+  std::vector<span_record> records_;
+  std::vector<std::uint64_t> open_stack_;
+};
+
+/// RAII scoped timer: opens a tracer span on construction, closes it with
+/// the elapsed wall time on destruction. A null tracer makes the span
+/// inert (two branches total), so call sites stay unconditional.
+class span {
+ public:
+  span(tracer* t, std::string_view name)
+      : tracer_(t),
+        id_(t != nullptr ? t->open(name) : 0),
+        start_(std::chrono::steady_clock::now()) {}
+
+  span(const span&) = delete;
+  span& operator=(const span&) = delete;
+
+  ~span() {
+    if (tracer_ == nullptr) return;
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    tracer_->close(id_, elapsed.count());
+  }
+
+ private:
+  tracer* tracer_;
+  std::uint64_t id_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace anonpath::obs

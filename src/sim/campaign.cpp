@@ -1,12 +1,14 @@
 #include "src/sim/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <thread>
 
 #include "src/sim/checkpoint.hpp"
 #include "src/sim/trace.hpp"
@@ -299,10 +301,21 @@ campaign_result run_campaign(const campaign_grid& grid,
   std::vector<sim_report> reports(pending_runs);
   std::vector<std::string> errors(pending_runs);
   std::vector<std::uint32_t> completed(pending_cells, 0);
+  std::vector<double> cell_us(pending_cells, 0.0);
   std::uint64_t flushed = first_cell;
   std::mutex mu;
+  if (config.metrics != nullptr) {
+    // One slab per parallel_for worker (resolve_thread_count semantics:
+    // 0 means hardware concurrency, itself floored at one worker).
+    const unsigned hw = std::thread::hardware_concurrency();
+    config.metrics->ensure_shards(
+        config.threads != 0 ? config.threads : (hw == 0 ? 1u : hw));
+  }
+  // Progress counts LOCAL cells (restored prefix included, shown as
+  // already complete), so the caller sizes the meter from the grid alone.
+  if (config.progress != nullptr) config.progress->advance(first_cell);
   stats::parallel_for(
-      config.threads, pending_runs, [&](std::uint64_t run, unsigned) {
+      config.threads, pending_runs, [&](std::uint64_t run, unsigned worker) {
         const std::uint64_t local_cell = first_cell + run / config.replicas;
         const std::uint64_t abs_cell = local_to_abs[local_cell];
         const std::uint64_t abs_run =
@@ -310,6 +323,7 @@ campaign_result run_campaign(const campaign_grid& grid,
         const scenario& s = scenarios[abs_cell];
         const std::uint64_t seed =
             stats::rng::stream(config.master_seed, abs_run).next_u64();
+        const auto run_started = std::chrono::steady_clock::now();
         try {
           const sim_config cfg = scenario_config(s, grid, seed);
           reports[run] = config.via_trace ? replay_trace(capture_trace(cfg))
@@ -319,7 +333,38 @@ campaign_result run_campaign(const campaign_grid& grid,
         } catch (...) {
           errors[run] = "unknown error";
         }
+        const double run_us = std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() -
+                                  run_started)
+                                  .count();
+        // Slab writes are per-worker and lock-free; only the flush loop and
+        // the per-cell duration accumulator need the mutex. Every counter
+        // harvested here is a deterministic function of the run's seed, so
+        // the merged snapshot is identical for any thread count or shard
+        // split; the *_us histograms are wall-clock and excluded from
+        // stable comparisons by the timing-suffix convention.
+        if (config.metrics != nullptr) {
+          obs::metrics_registry& m = *config.metrics;
+          m.add_counter(worker, "campaign.runs_completed", 1);
+          if (errors[run].empty()) {
+            const sim_report& r = reports[run];
+            m.add_counter(worker, "sim.events_executed", r.events_executed);
+            m.add_counter(worker, "sim.messages_submitted", r.submitted);
+            m.add_counter(worker, "sim.messages_delivered", r.delivered);
+            m.add_counter(worker, "sim.messages_dropped", r.wire_dropped);
+            m.add_counter(worker, "sim.messages_stranded",
+                          r.wire_stranded + r.wire_crashed);
+            m.add_counter(worker, "sim.retransmissions", r.retransmissions);
+            m.add_counter(worker, "attack.memo_hits", r.memo_hits);
+            m.add_counter(worker, "attack.memo_misses", r.memo_misses);
+          } else {
+            m.add_counter(worker, "campaign.runs_errored", 1);
+          }
+          m.observe(worker, "campaign.run_us",
+                    static_cast<std::uint64_t>(run_us));
+        }
         std::lock_guard<std::mutex> lock(mu);
+        cell_us[run / config.replicas] += run_us;
         if (++completed[run / config.replicas] < config.replicas) return;
         while (flushed < local_total &&
                completed[flushed - first_cell] == config.replicas) {
@@ -333,6 +378,14 @@ campaign_result run_campaign(const campaign_grid& grid,
             journal.flush();
             check_journal(journal, config.checkpoint_path);
           }
+          if (config.metrics != nullptr) {
+            config.metrics->add_counter(worker, "campaign.cells_completed", 1);
+            config.metrics->observe(
+                worker, "campaign.cell_us",
+                static_cast<std::uint64_t>(cell_us[flushed - first_cell]));
+          }
+          if (config.progress != nullptr)
+            config.progress->advance(flushed + 1);
           ++flushed;
         }
       });

@@ -7,6 +7,8 @@
 
 #include "src/anonymity/length_distribution.hpp"
 #include "src/anonymity/strategy.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/progress.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/stats/summary.hpp"
 
@@ -133,6 +135,21 @@ struct campaign_config {
   /// IS the shard's output hand-off).
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
+  /// Optional observability hooks (src/obs): non-owning, default off, and
+  /// deliberately NOT part of campaign_scope — telemetry never changes
+  /// what a campaign computes, its rng streams, or which checkpoints
+  /// match. With `metrics` set, every completed run records its
+  /// deterministic sim_report counters into the registry (thread-sharded
+  /// by worker id; run_campaign sizes the shards before fanning out) plus
+  /// wall-clock run/cell duration histograms (campaign.run_us,
+  /// campaign.cell_us) and a campaign.cells_completed counter. With
+  /// `progress` set, cell flushes drive its stderr heartbeat (one line at
+  /// start, rate-limited updates, a guaranteed final line) counted over
+  /// this shard's local cells — a resumed campaign's restored prefix shows
+  /// as already complete, while metrics cover only the cells actually
+  /// executed.
+  obs::metrics_registry* metrics = nullptr;
+  obs::progress_meter* progress = nullptr;
 };
 
 /// The coordinates of one feasible grid cell. Default-constructed scenarios

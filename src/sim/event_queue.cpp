@@ -21,6 +21,7 @@ bool event_queue::run_next() {
   entry e = heap_.top();
   heap_.pop();
   now_ = e.at;
+  ++executed_;
   e.action();
   return true;
 }

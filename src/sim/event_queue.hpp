@@ -31,6 +31,10 @@ class event_queue {
   [[nodiscard]] sim_time now() const noexcept { return now_; }
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
 
+  /// Events executed since construction (deterministic per run; feeds the
+  /// `sim.events_executed` metric).
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
  private:
   struct entry {
     sim_time at;
@@ -46,6 +50,7 @@ class event_queue {
   std::priority_queue<entry, std::vector<entry>, later> heap_;
   sim_time now_ = 0.0;
   std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
 };
 
 }  // namespace anonpath::sim

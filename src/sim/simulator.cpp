@@ -301,6 +301,10 @@ core_result run_core(const sim_config& config,
   ANONPATH_ENSURES(drained);
 
   core_result result;
+  result.events_executed = net.queue().executed();
+  result.wire_dropped = net.dropped_count();
+  result.wire_stranded = net.stranded_count();
+  result.wire_crashed = net.crashed_count();
   result.model = std::move(model);
   // Safe to move out from under `net`'s pointer: the queue has drained, so
   // the fabric sends nothing further.
@@ -335,6 +339,7 @@ sim_report score_run(const sim_config& config, const adversary_model& model,
                      const std::map<std::uint64_t, message_outcome>& outcomes,
                      const posterior_fn* engine, const net::topology* graph,
                      const std::map<std::uint64_t, std::uint64_t>* attempt_parent) {
+  obs::span score_span(config.tracer, "sim.score");
   sim_report report;
   report.submitted = config.message_count;
   const bool fused = attempt_parent != nullptr && !attempt_parent->empty();
@@ -486,6 +491,10 @@ sim_report score_run(const sim_config& config, const adversary_model& model,
       report.top1_accuracy =
           static_cast<double>(top1_hits) / static_cast<double>(scored);
     }
+    if (exact) {
+      report.memo_hits = exact->memo_hits();
+      report.memo_misses = exact->memo_misses();
+    }
   } else {
     report.empirical_entropy_bits = std::numeric_limits<double>::quiet_NaN();
     report.empirical_entropy_stderr = std::numeric_limits<double>::quiet_NaN();
@@ -551,12 +560,15 @@ sim_report score_run(const sim_config& config, const adversary_model& model,
     session_report sr;
     sr.rounds = config.session.rounds;
     sr.target_messages = target_messages;
-    attack::round_observation obs;
-    for (std::uint32_t r = 0; r < rounds.size(); ++r) {
-      obs.target_present = rounds[r].target_present;
-      obs.receivers = std::move(rounds[r].receivers);
-      obs.target_weight = std::move(rounds[r].weights);
-      online.ingest(obs);
+    {
+      obs::span ingest_span(config.tracer, "attack.ingest");
+      attack::round_observation obs;
+      for (std::uint32_t r = 0; r < rounds.size(); ++r) {
+        obs.target_present = rounds[r].target_present;
+        obs.receivers = std::move(rounds[r].receivers);
+        obs.target_weight = std::move(rounds[r].weights);
+        online.ingest(obs);
+      }
     }
     sr.trajectory = online.trajectory();
     sr.identified_round = online.identified_round().value_or(0);
@@ -574,10 +586,20 @@ sim_report score_run(const sim_config& config, const adversary_model& model,
 }  // namespace detail
 
 sim_report run_simulation(const sim_config& config) {
-  const detail::core_result core = detail::run_core(config, nullptr);
-  return detail::score_run(config, *core.model, core.outcomes, nullptr,
-                           core.topology ? &*core.topology : nullptr,
-                           &core.attempt_parent);
+  obs::span run_span(config.tracer, "sim.run");
+  const detail::core_result core = [&] {
+    obs::span core_span(config.tracer, "sim.run_core");
+    return detail::run_core(config, nullptr);
+  }();
+  sim_report report =
+      detail::score_run(config, *core.model, core.outcomes, nullptr,
+                        core.topology ? &*core.topology : nullptr,
+                        &core.attempt_parent);
+  report.events_executed = core.events_executed;
+  report.wire_dropped = core.wire_dropped;
+  report.wire_stranded = core.wire_stranded;
+  report.wire_crashed = core.wire_crashed;
+  return report;
 }
 
 }  // namespace anonpath::sim

@@ -12,6 +12,7 @@
 #include "src/anonymity/types.hpp"
 #include "src/net/route_plan.hpp"
 #include "src/net/topology.hpp"
+#include "src/obs/span.hpp"
 #include "src/sim/adversary.hpp"
 #include "src/sim/fault_plan.hpp"
 #include "src/sim/latency.hpp"
@@ -83,6 +84,13 @@ struct sim_config {
   /// (net::approx_topology_posterior) under a diffuse uniform(1, N-1)
   /// length prior. Requires source_routed mode and a non-timing adversary.
   net::routing_config routing{};
+  /// Optional span collector (non-owning; default off). When set,
+  /// run_simulation records a "sim.run" span with "sim.run_core" /
+  /// "sim.score" / "attack.ingest" children on the calling thread. Never
+  /// touches results, rng streams, or outputs — a null tracer is
+  /// byte-identical to pre-obs behavior — and single-threaded like the
+  /// tracer itself, so campaign workers leave it null.
+  obs::tracer* tracer = nullptr;
 };
 
 /// Results of a simulation run.
@@ -120,6 +128,21 @@ struct sim_report {
   /// Longitudinal attack results; engaged only when the config enables a
   /// session with an attack kind other than none.
   std::optional<session_report> session;
+
+  /// Always-on run telemetry for the obs metrics layer (src/obs): plain
+  /// counters the run maintains anyway, deterministic under the seed.
+  /// events_executed counts every discrete event the run's queue fired;
+  /// the wire_* fields split undelivered transmissions by cause (failure
+  /// injection, churned-down destination, crash-scheduled destination);
+  /// memo_hits/memo_misses mirror the exact posterior engine's layout
+  /// memo when this run was scored by it (0 under the topology/approx
+  /// engines, which have no layout memo).
+  std::uint64_t events_executed = 0;
+  std::uint64_t wire_dropped = 0;
+  std::uint64_t wire_stranded = 0;
+  std::uint64_t wire_crashed = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
 };
 
 /// Builds the network, relays, receiver, adversary and workload from the
@@ -167,6 +190,12 @@ struct core_result {
   /// message_count, so original ids keep their dense 1..message_count range
   /// and every pre-retry consumer is unaffected.
   std::map<std::uint64_t, std::uint64_t> attempt_parent;
+  /// Event/fabric telemetry harvested from the run (see sim_report);
+  /// run_simulation copies these onto the report it returns.
+  std::uint64_t events_executed = 0;
+  std::uint64_t wire_dropped = 0;
+  std::uint64_t wire_stranded = 0;
+  std::uint64_t wire_crashed = 0;
 };
 [[nodiscard]] core_result run_core(const sim_config& config,
                                    std::vector<adversary_event>* event_log);

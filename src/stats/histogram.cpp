@@ -14,6 +14,35 @@ void int_histogram::add(std::size_t value) {
   ++total_;
 }
 
+void int_histogram::add(std::size_t value, std::uint64_t n) {
+  ANONPATH_EXPECTS(value < counts_.size());
+  counts_[value] += n;
+  total_ += n;
+}
+
+void int_histogram::merge(const int_histogram& other) {
+  ANONPATH_EXPECTS(other.counts_.size() == counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+std::size_t int_histogram::quantile(double q) const {
+  ANONPATH_EXPECTS(total_ > 0);
+  ANONPATH_EXPECTS(q >= 0.0 && q <= 1.0);
+  // Rank of the order statistic we want, clamped into [1, total].
+  const double scaled = q * static_cast<double>(total_);
+  std::uint64_t rank = static_cast<std::uint64_t>(scaled);
+  if (static_cast<double>(rank) < scaled) ++rank;  // ceil without FP drift
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) return i;
+  }
+  return counts_.size() - 1;  // unreachable: cumulative ends at total()
+}
+
 std::uint64_t int_histogram::count(std::size_t bin) const {
   ANONPATH_EXPECTS(bin < counts_.size());
   return counts_[bin];

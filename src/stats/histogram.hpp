@@ -15,6 +15,23 @@ class int_histogram {
   /// Increments the bin for `value`. Precondition: value < size().
   void add(std::size_t value);
 
+  /// Adds `n` occurrences of `value` at once (bulk load for merge paths
+  /// and deserialization). Preconditions: value < size(), and the running
+  /// total must not overflow (validated by untrusted-input readers before
+  /// calling).
+  void add(std::size_t value, std::uint64_t n);
+
+  /// Adds `other`'s counts bin-by-bin. Precondition: other.size() == size().
+  /// Merge is associative and commutative (integer sums), so any
+  /// shard/merge tree over the same additions yields identical counts —
+  /// the property the campaign duration histograms rely on.
+  void merge(const int_histogram& other);
+
+  /// Smallest bin whose cumulative count reaches a `q` fraction of the
+  /// total (the empirical q-quantile of the recorded values).
+  /// Preconditions: total() > 0 and 0.0 <= q <= 1.0.
+  [[nodiscard]] std::size_t quantile(double q) const;
+
   [[nodiscard]] std::size_t size() const noexcept { return counts_.size(); }
   [[nodiscard]] std::uint64_t count(std::size_t bin) const;
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }

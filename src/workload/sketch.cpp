@@ -51,6 +51,13 @@ std::uint64_t count_min_sketch::estimate(std::uint64_t key) const {
   return best;
 }
 
+std::uint64_t count_min_sketch::occupied_cells() const noexcept {
+  std::uint64_t occupied = 0;
+  for (std::uint64_t cell : cells_)
+    if (cell != 0) ++occupied;
+  return occupied;
+}
+
 void count_min_sketch::merge(const count_min_sketch& other) {
   ANONPATH_EXPECTS(depth_ == other.depth_ && width_ == other.width_ &&
                    salt_ == other.salt_);
@@ -83,11 +90,13 @@ void bottom_k_sample::offer(std::uint64_t key, std::uint64_t priority) {
     prio_of_.erase(worst->second);
     entries_.erase(worst);
     saturated_ = true;
+    ++evictions_;
   }
 }
 
 void bottom_k_sample::merge(const bottom_k_sample& other) {
   ANONPATH_EXPECTS(k_ == other.k_ && salt_ == other.salt_);
+  evictions_ += other.evictions_;  // then re-offering below may add more
   for (const auto& [prio, key] : other.entries_) offer(key, prio);
   saturated_ = saturated_ || other.saturated_;
 }

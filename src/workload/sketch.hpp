@@ -65,6 +65,11 @@ class count_min_sketch {
   [[nodiscard]] std::uint32_t depth() const noexcept { return depth_; }
   [[nodiscard]] std::uint32_t width() const noexcept { return width_; }
   [[nodiscard]] std::uint64_t salt() const noexcept { return salt_; }
+
+  /// Non-zero counter cells (of depth()*width() total) — the occupancy
+  /// gauge the obs layer reports. A pure function of the ingested key
+  /// multiset, so it is order- and shard-invariant. O(depth*width).
+  [[nodiscard]] std::uint64_t occupied_cells() const noexcept;
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
     return cells_.capacity() * sizeof(std::uint64_t) + sizeof(*this);
   }
@@ -119,10 +124,18 @@ class bottom_k_sample {
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
+  /// Entries displaced from the reservoir so far (merge sums both sides'
+  /// counts plus any displacements the merge itself causes). Telemetry of
+  /// work done: it depends on offer order — unlike the retained set, which
+  /// stays order- and shard-invariant — so it feeds the obs layer, never a
+  /// correctness contract.
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+
  private:
   std::uint32_t k_;
   std::uint64_t salt_;
   bool saturated_ = false;
+  std::uint64_t evictions_ = 0;
   std::set<std::pair<std::uint64_t, std::uint64_t>> entries_;  // (prio, key)
   std::map<std::uint64_t, std::uint64_t> prio_of_;  // key -> retained prio
 };

@@ -264,6 +264,53 @@ TEST_F(CliParse, ShardedCampaignMergesToUnshardedCsv) {
   std::remove(merged_csv.c_str());
 }
 
+TEST_F(CliParse, ObsFlagValidation) {
+  for (const char* args : {
+           // --metrics/--progress instrument the run-shaped commands only;
+           // the pure-analytic and trace surfaces must refuse loudly.
+           "degree --n 50 --c 2 --metrics /tmp/m.jsonl",
+           "estimate --n 50 --c 2 --metrics /tmp/m.jsonl",
+           "optimize --n 50 --progress",
+           "figures --progress",
+           "capture --n 16 --c 1 --messages 10 --metrics /tmp/m.jsonl",
+           "replay --in /tmp/x.trace --progress",
+           // a value is required, and an empty one is an empty path.
+           "simulate --n 20 --c 2 --metrics",
+           "simulate --n 20 --c 2 --metrics=",
+       }) {
+    const run_result r = run_cli(args);
+    EXPECT_NE(r.exit_code, 0) << "accepted: anonpath " << args;
+    EXPECT_FALSE(r.stderr_text.empty())
+        << "no stderr diagnostic: anonpath " << args;
+  }
+  // Positive controls: both spellings write a parseable snapshot, and
+  // --progress emits its greppable heartbeat on stderr.
+  const std::string dir = ::testing::TempDir();
+  const std::string metrics = dir + "anonpath_cli_metrics.jsonl";
+  std::remove(metrics.c_str());
+  EXPECT_EQ(run_cli("simulate --n 12 --c 2 --messages 20 --seed 3 "
+                    "--metrics '" + metrics + "'")
+                .exit_code,
+            0);
+  {
+    std::ifstream in(metrics);
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header)) << "metrics file missing or empty";
+    EXPECT_NE(header.find("\"format\":\"anonpath-metrics\""),
+              std::string::npos)
+        << header;
+  }
+  std::remove(metrics.c_str());
+  const run_result progress = run_cli(
+      "campaign --n 16 --c 1 --messages 20 --replicas 2 --progress "
+      "--metrics='" + metrics + "'");
+  EXPECT_EQ(progress.exit_code, 0);
+  EXPECT_NE(progress.stderr_text.find("# progress: campaign cells"),
+            std::string::npos)
+      << progress.stderr_text;
+  std::remove(metrics.c_str());
+}
+
 TEST_F(CliParse, WriteFailuresExitNonzeroWithDiagnostic) {
   // Output that cannot land must never yield exit 0. /dev/full accepts the
   // open and fails the flush (ENOSPC); a pipe whose reader is gone raises
@@ -289,6 +336,15 @@ TEST_F(CliParse, WriteFailuresExitNonzeroWithDiagnostic) {
       {"trace on full disk",
        "'" + cli_binary() +
            "' capture --n 16 --c 1 --messages 30 --out /dev/full >/dev/null"},
+      // --metrics writes are checked like any result-bearing output: a
+      // snapshot that cannot land must fail the run, not vanish quietly.
+      {"metrics on full disk", base + " --metrics /dev/full >/dev/null"},
+      {"simulate metrics on full disk",
+       "'" + cli_binary() +
+           "' simulate --n 16 --c 1 --messages 30 --metrics /dev/full "
+           ">/dev/null"},
+      {"metrics to unwritable dir",
+       base + " --metrics /nonexistent-dir/m.jsonl >/dev/null"},
   };
   for (const auto& c : cases) {
     static int serial = 0;

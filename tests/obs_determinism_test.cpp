@@ -1,0 +1,148 @@
+// End-to-end determinism of the instrumentation: the telemetry a campaign
+// records must be a pure function of the logical work — bit-identical
+// stable renderings across thread counts, across shard/merge splits, and
+// across repeated runs of the same simulation (span structure included).
+// Timing values are the one sanctioned nondeterminism; stable_text already
+// excludes them, which is exactly what these tests lean on.
+
+#include "src/sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "src/obs/jsonl.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/span.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace anonpath::sim {
+namespace {
+
+campaign_grid obs_grid() {
+  campaign_grid grid;
+  grid.node_counts = {16, 24};
+  grid.compromised_counts = {2};
+  grid.lengths = {path_length_distribution::fixed(3),
+                  path_length_distribution::uniform(1, 5)};
+  grid.modes = {routing_mode::source_routed};
+  grid.drop_probabilities = {0.0, 0.1};
+  grid.arrival_rates = {100.0};
+  grid.message_count = 40;
+  return grid;
+}
+
+obs::metrics_snapshot campaign_snapshot(const campaign_grid& grid,
+                                        unsigned threads,
+                                        std::uint32_t shard_index = 0,
+                                        std::uint32_t shard_count = 1) {
+  campaign_config cfg;
+  cfg.replicas = 2;
+  cfg.master_seed = 404;
+  cfg.threads = threads;
+  cfg.shard_index = shard_index;
+  cfg.shard_count = shard_count;
+  std::string checkpoint;
+  if (shard_count > 1) {
+    // Sharded campaigns require a checkpoint journal; park it in TempDir.
+    checkpoint = ::testing::TempDir() + "obs_det_shard_" +
+                 std::to_string(shard_index) + "of" +
+                 std::to_string(shard_count) + ".ckpt";
+    std::remove(checkpoint.c_str());
+    cfg.checkpoint_path = checkpoint;
+  }
+  obs::metrics_registry registry;
+  cfg.metrics = &registry;
+  (void)run_campaign(grid, cfg);
+  if (!checkpoint.empty()) std::remove(checkpoint.c_str());
+  return registry.snapshot();
+}
+
+TEST(ObsDeterminism, CampaignMetricsIdenticalAcrossThreadCounts) {
+  const auto grid = obs_grid();
+  const obs::metrics_snapshot base = campaign_snapshot(grid, 1);
+
+  // Sanity on the catalogue before comparing: every run and cell counted.
+  ASSERT_EQ(base.counters.at("campaign.cells_completed"), 8u);
+  ASSERT_EQ(base.counters.at("campaign.runs_completed"), 16u);
+  ASSERT_EQ(base.counters.count("campaign.runs_errored"), 0u);
+  ASSERT_GT(base.counters.at("sim.events_executed"), 0u);
+  ASSERT_EQ(base.counters.at("sim.messages_submitted"), 16u * 40u);
+  ASSERT_EQ(base.histograms.at("campaign.run_us").total(), 16u);
+  ASSERT_EQ(base.histograms.at("campaign.cell_us").total(), 8u);
+
+  const std::string base_text = obs::stable_text(base, {});
+  for (unsigned threads : {2u, 8u}) {
+    const obs::metrics_snapshot other = campaign_snapshot(grid, threads);
+    EXPECT_EQ(obs::stable_text(other, {}), base_text) << threads;
+  }
+}
+
+TEST(ObsDeterminism, ShardedMetricsMergeToUnshardedSnapshot) {
+  const auto grid = obs_grid();
+  const obs::metrics_snapshot whole = campaign_snapshot(grid, 2);
+  // Two shards, deliberately run at different thread counts: the merged
+  // telemetry must still equal the unsharded run's, bit for bit.
+  const obs::metrics_snapshot shard0 = campaign_snapshot(grid, 1, 0, 2);
+  const obs::metrics_snapshot shard1 = campaign_snapshot(grid, 3, 1, 2);
+  const obs::metrics_snapshot merged = obs::merge_snapshots(shard0, shard1);
+  EXPECT_EQ(obs::stable_text(merged, {}), obs::stable_text(whole, {}));
+  EXPECT_EQ(merged.counters, whole.counters);
+}
+
+TEST(ObsDeterminism, SimulatorSpanTreeStructureIsReproducible) {
+  sim_config cfg;
+  cfg.sys = {20, 1};
+  cfg.compromised = {4};
+  cfg.lengths = path_length_distribution::uniform(1, 4);
+  cfg.message_count = 50;
+  cfg.seed = 9;
+
+  std::string first;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    obs::tracer tracer;
+    cfg.tracer = &tracer;
+    (void)run_simulation(cfg);
+    const auto& spans = tracer.spans();
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0].name, "sim.run");
+    EXPECT_EQ(spans[0].parent, 0u);
+    EXPECT_EQ(spans[1].name, "sim.run_core");
+    EXPECT_EQ(spans[1].parent, spans[0].id);
+    EXPECT_EQ(spans[2].name, "sim.score");
+    EXPECT_EQ(spans[2].parent, spans[0].id);
+    const std::string text = obs::stable_text({}, spans);
+    if (repeat == 0)
+      first = text;
+    else
+      EXPECT_EQ(text, first);
+  }
+}
+
+TEST(ObsDeterminism, UninstrumentedRunsUnaffectedByRegistryPresence) {
+  // The observability hooks must be write-only taps: a campaign with a
+  // registry attached computes the same cells as one without.
+  const auto grid = obs_grid();
+  campaign_config plain;
+  plain.replicas = 2;
+  plain.master_seed = 404;
+  plain.threads = 2;
+  const auto without = run_campaign(grid, plain);
+
+  campaign_config tapped = plain;
+  obs::metrics_registry registry;
+  obs::progress_meter meter;  // inert: progress off
+  tapped.metrics = &registry;
+  tapped.progress = &meter;
+  const auto with = run_campaign(grid, tapped);
+
+  std::ostringstream a, b;
+  write_csv(without, a);
+  write_csv(with, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace anonpath::sim

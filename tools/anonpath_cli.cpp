@@ -77,6 +77,10 @@
 #include "src/net/route_plan.hpp"
 #include "src/net/topology.hpp"
 #include "src/net/topology_mc.hpp"
+#include "src/obs/jsonl.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/progress.hpp"
+#include "src/obs/span.hpp"
 #include "src/repro/figures.hpp"
 #include "src/sim/campaign.hpp"
 #include "src/sim/checkpoint.hpp"
@@ -152,7 +156,13 @@ using namespace anonpath;
       "            (CSR storage, Dijkstra, Yen k-shortest paths): [--csr]\n"
       "            [--components] [--source u] [--routes r (default 100)]\n"
       "            [--routing kpaths[:<k>]] [--seed s]\n"
-      "  figures:  (dumps fig3a/3b/4/5/6 series as CSV)\n");
+      "  figures:  (dumps fig3a/3b/4/5/6 series as CSV)\n"
+      "  obs:      --metrics <file> (or --metrics=<file>)  write a JSONL\n"
+      "            metrics snapshot; --progress  '# progress:' heartbeat\n"
+      "            with ETA on stderr. Both apply to simulate, campaign,\n"
+      "            attack, plan and merge only; merge --metrics reads each\n"
+      "            --input FILE's FILE.metrics sibling and writes their\n"
+      "            merged snapshot\n");
   std::exit(2);
 }
 
@@ -254,6 +264,10 @@ struct options {
   std::uint32_t plan_source = 0;      ///< plan: Dijkstra source node
   std::uint32_t plan_routes = 100;    ///< plan: routes to extract/plan
   bool plan_flag_set = false;         ///< any of the four above
+  // Observability surface (src/obs). Off by default: no registry, no
+  // tracer, no heartbeat — default runs stay byte-identical.
+  std::string metrics_path;  ///< --metrics: JSONL snapshot file ("" = off)
+  bool progress = false;     ///< --progress: stderr heartbeat with ETA
 };
 
 sim::adversary_config parse_adversary(const std::string& spec) {
@@ -703,6 +717,15 @@ options parse(int argc, char** argv) {
       if (opt.plan_routes == 0) usage("--routes must be > 0");
       opt.plan_flag_set = true;
     }
+    else if (flag == "--metrics") {
+      opt.metrics_path = next();
+      if (opt.metrics_path.empty()) usage("--metrics wants a file path");
+    }
+    else if (flag.rfind("--metrics=", 0) == 0) {
+      opt.metrics_path = flag.substr(std::strlen("--metrics="));
+      if (opt.metrics_path.empty()) usage("--metrics wants a file path");
+    }
+    else if (flag == "--progress") opt.progress = true;
     else usage(("unknown flag " + flag).c_str());
   }
   return opt;
@@ -791,11 +814,38 @@ void reject_fault_flags(const options& opt, const char* command) {
               .c_str());
 }
 
+/// The observability surface instruments the long-running commands
+/// (simulate/campaign/attack/plan/merge); anywhere else --metrics would
+/// write an empty snapshot and --progress would stay silent — accepting
+/// them there is exactly the silent drop this CLI promises never to do.
+void reject_obs_flags(const options& opt, const char* command) {
+  if (!opt.metrics_path.empty() || opt.progress)
+    usage((std::string("--metrics/--progress do not apply to '") + command +
+           "'; they instrument simulate/campaign/attack/plan/merge")
+              .c_str());
+}
+
+/// Folds one run's deterministic report telemetry into the registry under
+/// the catalogued metric names (README "Observability") — the same names
+/// run_campaign records per replica, so a one-cell campaign and a simulate
+/// of that cell agree.
+void harvest_report(obs::metrics_registry& reg, const sim::sim_report& r) {
+  reg.add_counter("sim.events_executed", r.events_executed);
+  reg.add_counter("sim.messages_submitted", r.submitted);
+  reg.add_counter("sim.messages_delivered", r.delivered);
+  reg.add_counter("sim.messages_dropped", r.wire_dropped);
+  reg.add_counter("sim.messages_stranded", r.wire_stranded + r.wire_crashed);
+  reg.add_counter("sim.retransmissions", r.retransmissions);
+  reg.add_counter("attack.memo_hits", r.memo_hits);
+  reg.add_counter("attack.memo_misses", r.memo_misses);
+}
+
 int cmd_degree(const options& opt) {
   reject_topology_flags(opt, "degree");
   reject_session_flags(opt, "degree");
   reject_fault_flags(opt, "degree");
   reject_plan_flags(opt, "degree");
+  reject_obs_flags(opt, "degree");
   const system_params sys{opt.n, 1};
   const auto d = opt.dist.value_or(path_length_distribution::fixed(3));
   const double h = anonymity_degree(sys, d);
@@ -821,6 +871,7 @@ int cmd_estimate(const options& opt) {
   reject_session_flags(opt, "estimate");
   reject_fault_flags(opt, "estimate");
   reject_plan_flags(opt, "estimate");
+  reject_obs_flags(opt, "estimate");
   if (!opt.churn_list.empty() && opt.churn_list.front().enabled())
     usage("--churn does not apply to 'estimate'; use simulate/capture/campaign");
   if (!opt.routing_list.empty())
@@ -887,6 +938,7 @@ int cmd_optimize(const options& opt) {
   reject_session_flags(opt, "optimize");
   reject_fault_flags(opt, "optimize");
   reject_plan_flags(opt, "optimize");
+  reject_obs_flags(opt, "optimize");
   const system_params sys{opt.n, 1};
   const auto cap = static_cast<path_length>(opt.n - 1);
   const auto r = optimize_for_mean(sys, opt.mean, cap);
@@ -1055,13 +1107,24 @@ void print_sim_report(const sim::sim_config& cfg, const sim::sim_report& r) {
 }
 
 int cmd_simulate(const options& opt) {
-  const sim::sim_config cfg = simulate_config(opt);
+  sim::sim_config cfg = simulate_config(opt);
+  obs::tracer tracer;
+  if (!opt.metrics_path.empty()) cfg.tracer = &tracer;
+  obs::progress_meter progress("simulate", 1, opt.progress);
+  progress.advance(0);
   const auto r = sim::run_simulation(cfg);
+  progress.advance(1);
   print_sim_report(cfg, r);
+  if (!opt.metrics_path.empty()) {
+    obs::metrics_registry reg;
+    harvest_report(reg, r);
+    obs::write_metrics_file(opt.metrics_path, reg.snapshot(), tracer.spans());
+  }
   return 0;
 }
 
 int cmd_capture(const options& opt) {
+  reject_obs_flags(opt, "capture");
   const sim::sim_config cfg = simulate_config(opt);
   const sim::sim_trace trace = sim::capture_trace(cfg);
   if (opt.out_path.empty()) {
@@ -1089,6 +1152,7 @@ int cmd_replay(const options& opt) {
   reject_session_flags(opt, "replay");
   reject_fault_flags(opt, "replay");
   reject_plan_flags(opt, "replay");
+  reject_obs_flags(opt, "replay");
   if (!opt.routing_list.empty())
     usage("--routing does not apply to 'replay' (the trace defines the "
           "run's routing)");
@@ -1243,9 +1307,28 @@ int cmd_campaign(const options& opt) {
             "shards would own zero cells)");
   }
 
+  // Observability: the registry and meter live here, at the process
+  // boundary; run_campaign sees only non-owning pointers (null = off).
+  // The meter is sized to this shard's local cell count, which is a pure
+  // function of the grid and the shard split.
+  obs::metrics_registry registry;
+  if (!opt.metrics_path.empty()) cfg.metrics = &registry;
+  const std::uint64_t grid_cells = sim::expand_grid(grid).size();
+  std::uint64_t local_cells = 0;
+  for (std::uint64_t a = cfg.shard_index; a < grid_cells;
+       a += cfg.shard_count)
+    ++local_cells;
+  obs::progress_meter progress("campaign cells", local_cells, opt.progress);
+  if (opt.progress) cfg.progress = &progress;
+
   const auto t0 = std::chrono::steady_clock::now();
   const auto result = sim::run_campaign(grid, cfg);
   const auto t1 = std::chrono::steady_clock::now();
+  // The snapshot is written before the CSV so a sharded campaign's
+  // journal + metrics pair stays consistent even if stdout later fails;
+  // the write itself is checked (parse_error{io} exits nonzero).
+  if (!opt.metrics_path.empty())
+    obs::write_metrics_file(opt.metrics_path, registry.snapshot(), {});
   const double secs =
       std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
           .count();
@@ -1291,7 +1374,24 @@ int cmd_merge(const options& opt) {
   // shard journals as belonging to this campaign.
   const sim::campaign_grid grid = build_campaign_grid(opt, "merge");
   const sim::campaign_config cfg = build_campaign_config(opt);
+  obs::progress_meter progress("merge shards", opt.input_paths.size(),
+                               opt.progress);
+  progress.advance(0);
   const auto result = sim::merge_campaign(grid, cfg, opt.input_paths);
+  progress.advance(opt.input_paths.size());
+
+  // Shard metrics ride next to the shard journals: each --input FILE is
+  // expected to carry a FILE.metrics sibling (the shard's campaign run
+  // with --metrics FILE.metrics). Counters and histogram bins sum, so the
+  // merged snapshot's stable metrics equal an unsharded run's; a missing
+  // or corrupt sibling is a loud parse_error, never a silent skip.
+  if (!opt.metrics_path.empty()) {
+    obs::metrics_snapshot merged;
+    for (const std::string& in : opt.input_paths)
+      merged = obs::merge_snapshots(
+          merged, obs::read_metrics_file(in + ".metrics").metrics);
+    obs::write_metrics_file(opt.metrics_path, merged, {});
+  }
 
   // With --checkpoint, also emit the merged result as an UNSHARDED
   // journal — byte-identical to the one a single-process run would have
@@ -1405,10 +1505,24 @@ int cmd_attack(const options& opt) {
   const std::uint32_t stride =
       opt.every != 0 ? opt.every : std::max(1u, cfg.round_count / 100);
 
+  obs::metrics_registry reg;
+  obs::tracer tracer;
+  obs::tracer* const tp = opt.metrics_path.empty() ? nullptr : &tracer;
+  obs::progress_meter progress("attack rounds", cfg.round_count,
+                               opt.progress);
+  progress.advance(0);
   const auto t0 = std::chrono::steady_clock::now();
-  const attack::attack_result result =
-      attack::run_workload_attack(pop, 0, *engine, opt.threshold, stride);
+  const attack::attack_result result = [&] {
+    obs::span run_span(tp, "attack.run");
+    return attack::run_workload_attack(pop, 0, *engine, opt.threshold,
+                                       stride);
+  }();
   const auto t1 = std::chrono::steady_clock::now();
+  progress.advance(cfg.round_count);
+  if (tp != nullptr) {
+    reg.add_counter("attack.rounds_ingested", cfg.round_count);
+    reg.add_counter("attack.trajectory_points", result.trajectory.size());
+  }
   const double secs =
       std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
           .count();
@@ -1448,6 +1562,11 @@ int cmd_attack(const options& opt) {
         workload::accumulate_streaming(pop, 0, cfg.round_count,
                                        workload::streaming_config{}, ccfg);
     const workload::cooccurrence_result totals = exact_acc.totals();
+    if (tp != nullptr) {
+      reg.add_counter("stream.rounds_accumulated", totals.rounds);
+      reg.set_gauge("stream.exact_memory_bytes",
+                    static_cast<double>(exact_acc.memory_bytes()));
+    }
     const attack::sda_attack parallel_sda =
         attack::sda_attack::from_counts(totals, 0, cfg.receiver_count);
     if (parallel_sda.posterior() != result.final_posterior) {
@@ -1475,15 +1594,18 @@ int cmd_attack(const options& opt) {
       ocfg.identified_threshold = opt.threshold;
       ocfg.stride = stride;
       attack::online_attack online(cfg.receiver_count, ocfg);
-      attack::round_observation obs;
-      const node_id target_sender = pop.pairs().front().sender;
-      for (std::uint32_t r = 0; r < cfg.round_count; ++r) {
-        const workload::round_batch batch = pop.round(r);
-        obs.target_present =
-            std::find(batch.senders.begin(), batch.senders.end(),
-                      target_sender) != batch.senders.end();
-        obs.receivers = batch.receivers;
-        online.ingest(obs);
+      {
+        obs::span ingest_span(tp, "attack.ingest");
+        attack::round_observation round_obs;
+        const node_id target_sender = pop.pairs().front().sender;
+        for (std::uint32_t r = 0; r < cfg.round_count; ++r) {
+          const workload::round_batch batch = pop.round(r);
+          round_obs.target_present =
+              std::find(batch.senders.begin(), batch.senders.end(),
+                        target_sender) != batch.senders.end();
+          round_obs.receivers = batch.receivers;
+          online.ingest(round_obs);
+        }
       }
       const attack::attack_result sres = online.result();
 
@@ -1505,6 +1627,18 @@ int cmd_attack(const options& opt) {
       }
       const auto& online_sketch =
           static_cast<const attack::sketch_sda_attack&>(online.engine());
+      if (tp != nullptr) {
+        reg.set_gauge("stream.memory_bytes",
+                      static_cast<double>(online.memory_bytes()));
+        reg.set_gauge("stream.sketch_occupied_cells",
+                      static_cast<double>(online_sketch.occupied_cells()));
+        reg.set_gauge("stream.candidates_retained",
+                      static_cast<double>(online_sketch.candidates().size()));
+        // Ingest-order-dependent telemetry: recorded only on this
+        // single-threaded online path, never compared across thread counts.
+        reg.add_counter("stream.reservoir_evictions",
+                        online_sketch.reservoir_evictions());
+      }
 
       // Count-min conformance against the exact counts: estimates never
       // undercount (worst-case), and each key overcounts past the bound
@@ -1561,6 +1695,8 @@ int cmd_attack(const options& opt) {
                        static_cast<double>(online.memory_bytes()));
     }
   }
+  if (tp != nullptr)
+    obs::write_metrics_file(opt.metrics_path, reg.snapshot(), tracer.spans());
   return 0;
 }
 
@@ -1583,6 +1719,11 @@ int cmd_plan(const options& opt) {
   if (!opt.topology_list.empty()) topo_cfg = opt.topology_list.front();
   if (!topo_cfg.valid_for(opt.n))
     usage("--topology parameters out of range for --n");
+  // Planning work counters are pure functions of the graph and the query
+  // sequence, so they land in the snapshot as stable metrics.
+  net::plan_counters counters;
+  obs::metrics_registry reg;
+  obs::progress_meter progress("plan routes", opt.plan_routes, opt.progress);
   const auto elapsed = [](std::chrono::steady_clock::time_point a,
                           std::chrono::steady_clock::time_point b) {
     return std::chrono::duration_cast<std::chrono::duration<double>>(b - a)
@@ -1611,7 +1752,8 @@ int cmd_plan(const options& opt) {
   }
 
   const auto t2 = std::chrono::steady_clock::now();
-  const net::shortest_path_tree tree = net::dijkstra(topo, opt.plan_source);
+  const net::shortest_path_tree tree =
+      net::dijkstra(topo, opt.plan_source, &counters);
   const auto t3 = std::chrono::steady_clock::now();
   std::uint64_t reachable = 0;
   double eccentricity = 0.0;
@@ -1630,12 +1772,14 @@ int cmd_plan(const options& opt) {
   stats::rng gen(opt.seed);
   const auto t4 = std::chrono::steady_clock::now();
   std::uint64_t hop_total = 0;
+  progress.advance(0);
   for (std::uint32_t i = 0; i < opt.plan_routes; ++i) {
     auto target = static_cast<node_id>(gen.next_below(opt.n - 1));
     if (target >= opt.plan_source) ++target;
     for (node_id v = target;
          v != opt.plan_source && v != net::no_vertex; v = tree.parent[v])
       ++hop_total;
+    progress.advance(i + 1);
   }
   const auto t5 = std::chrono::steady_clock::now();
   std::printf("%u shortest routes: mean hops %.2f, %.3f s\n", opt.plan_routes,
@@ -1658,6 +1802,18 @@ int cmd_plan(const options& opt) {
                 static_cast<double>(planned_hops) /
                     static_cast<double>(opt.plan_routes),
                 elapsed(t6, t7));
+    const net::plan_counters& yen = planner.counters();
+    counters.dijkstra_runs += yen.dijkstra_runs;
+    counters.nodes_settled += yen.nodes_settled;
+    counters.edges_scanned += yen.edges_scanned;
+    counters.yen_spur_searches += yen.yen_spur_searches;
+  }
+  if (!opt.metrics_path.empty()) {
+    reg.add_counter("plan.dijkstra_runs", counters.dijkstra_runs);
+    reg.add_counter("plan.nodes_settled", counters.nodes_settled);
+    reg.add_counter("plan.edges_scanned", counters.edges_scanned);
+    reg.add_counter("plan.yen_spur_searches", counters.yen_spur_searches);
+    obs::write_metrics_file(opt.metrics_path, reg.snapshot(), {});
   }
   return 0;
 }
@@ -1667,6 +1823,7 @@ int cmd_figures(const options& opt) {
   reject_session_flags(opt, "figures");
   reject_fault_flags(opt, "figures");
   reject_plan_flags(opt, "figures");
+  reject_obs_flags(opt, "figures");
   const system_params sys{opt.n, 1};
   repro::print_figure(repro::fig3a(sys), std::cout);
   repro::print_figure(repro::fig3b(sys), std::cout);
